@@ -1,0 +1,54 @@
+// Figure 9: effect of epsilon on Delta_d (total relative error in visual
+// distance), eps in [0.02, 0.11].
+//
+// Paper shape: |Delta_d| stays small (average never more than 5% above
+// optimal at paper scale), generally growing with eps; can be negative
+// because Delta_d compares *estimated* output distances against the
+// exact optimum.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace fastmatch;
+using namespace fastmatch::bench;
+
+int main() {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Figure 9: Delta_d vs epsilon (delta=0.01)", config);
+
+  const double epsilons[] = {0.02, 0.03, 0.04, 0.05, 0.06,
+                             0.07, 0.08, 0.09, 0.10, 0.11};
+  const int sweep_runs = std::max(2, config.runs / 2);
+
+  for (const PaperQuery& spec : PaperQueries()) {
+    const PreparedQuery& prepared = GetPrepared(spec, config);
+    const bool include_sync = spec.dataset != "taxi";
+    std::printf("\n%s%s\n", spec.id.c_str(),
+                include_sync ? "" : " (SyncMatch not shown, as in paper)");
+    std::printf("%8s %12s %12s %12s\n", "eps", "FastMatch", "SyncMatch",
+                "ScanMatch");
+    for (double eps : epsilons) {
+      HistSimParams params = config.Params();
+      params.epsilon = eps;
+      RunSummary fast = Measure(prepared, Approach::kFastMatch, params,
+                                config.lookahead, sweep_runs);
+      RunSummary scan_match = Measure(prepared, Approach::kScanMatch, params,
+                                      config.lookahead, sweep_runs);
+      if (include_sync) {
+        RunSummary sync = Measure(prepared, Approach::kSyncMatch, params,
+                                  config.lookahead, sweep_runs);
+        std::printf("%8.2f %+12.4f %+12.4f %+12.4f\n", eps,
+                    fast.mean_delta_d, sync.mean_delta_d,
+                    scan_match.mean_delta_d);
+      } else {
+        std::printf("%8.2f %+12.4f %12s %+12.4f\n", eps, fast.mean_delta_d,
+                    "-", scan_match.mean_delta_d);
+      }
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nPaper shape: small Delta_d that tends to grow with eps; "
+              "negative values possible (estimated distances).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Section 5.4 "Satisfaction of Guarantees": the paper reports that all
+// runs of all approximate approaches satisfied Guarantees 1 and 2 for all
+// queries (delta is a loose upper bound on the failure probability).
+// This harness counts violations and reports Delta_d per query.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace fastmatch;
+using namespace fastmatch::bench;
+
+int main() {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader(
+      "Guarantee satisfaction + Delta_d (paper Section 5.4: 0 violations)",
+      config);
+
+  std::printf("%-12s %-10s %12s %12s %10s\n", "Query", "Approach",
+              "violations", "runs", "Delta_d");
+  int total_violations = 0, total_runs = 0;
+  for (const PaperQuery& spec : PaperQueries()) {
+    const PreparedQuery& prepared = GetPrepared(spec, config);
+    for (Approach a : {Approach::kScanMatch, Approach::kSyncMatch,
+                       Approach::kFastMatch}) {
+      RunSummary s = Measure(prepared, a, config.Params(), config.lookahead,
+                             config.runs);
+      std::printf("%-12s %-10s %12d %12d %+10.4f\n", spec.id.c_str(),
+                  std::string(ApproachName(a)).c_str(),
+                  s.guarantee_violations, s.runs, s.mean_delta_d);
+      std::fflush(stdout);
+      total_violations += s.guarantee_violations;
+      total_runs += s.runs;
+    }
+  }
+  std::printf("\nTOTAL: %d violations across %d runs (delta=%.3g would allow "
+              "~%.1f)\n",
+              total_violations, total_runs, config.delta,
+              config.delta * total_runs);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Appendix A.1.1: matching SUM-aggregated histograms via measure-biased
+// sampling — the paper's Carol scenario: "which products were purchased
+// by users with ages most closely following the distribution for this
+// product?", weighted by spend instead of purchase count.
+
+#include <cstdio>
+
+#include "core/verify.h"
+#include "engine/executor.h"
+#include "engine/measure_biased.h"
+#include "util/random.h"
+#include "workload/ascii_chart.h"
+
+using namespace fastmatch;
+
+int main() {
+  constexpr int kProducts = 50;
+  constexpr int kAgeBuckets = 10;
+  constexpr int kSpendLevels = 16;
+  Rng rng(11);
+
+  // Purchases: product, age bucket, spend. Products 0-4 share an age x
+  // spend profile (young buyers, higher spend when young); the rest skew
+  // older with flat spend.
+  std::vector<Value> product, age, spend;
+  for (int i = 0; i < 1500000; ++i) {
+    const Value pr = static_cast<Value>(rng.Uniform(kProducts));
+    product.push_back(pr);
+    Value a;
+    if (pr < 5) {
+      a = static_cast<Value>(rng.NextDouble() < 0.75 ? rng.Uniform(4)
+                                                     : rng.Uniform(10));
+    } else {
+      a = static_cast<Value>(rng.NextDouble() < 0.7 ? 5 + rng.Uniform(5)
+                                                    : rng.Uniform(10));
+    }
+    age.push_back(a);
+    // Spend correlates with youth for the first product family.
+    const double boost = (pr < 5 && a < 4) ? 2.5 : 1.0;
+    spend.push_back(static_cast<Value>(
+        1 + std::min<uint64_t>(kSpendLevels - 2,
+                               rng.Uniform(static_cast<uint64_t>(
+                                   6 * boost)))));
+  }
+  auto store = ColumnStore::FromColumns(
+                   Schema({{"product", kProducts},
+                           {"age_bucket", kAgeBuckets},
+                           {"spend", kSpendLevels}}),
+                   {std::move(product), std::move(age), std::move(spend)})
+                   .value();
+
+  // Exact SUM(spend) GROUP BY age for product 0: the target profile.
+  std::vector<double> sum0(kAgeBuckets, 0);
+  for (RowId r = 0; r < store->num_rows(); ++r) {
+    if (store->column(0).Get(r) == 0) {
+      sum0[store->column(1).Get(r)] +=
+          static_cast<double>(store->column(2).Get(r));
+    }
+  }
+  const Distribution target = Normalize(sum0);
+  std::printf("Target: revenue-by-age profile of product 0 (exact "
+              "SUM(spend) GROUP BY age)\n%s\n",
+              RenderHistogram(target, 30).c_str());
+
+  // One preprocessing pass builds the measure-biased sample; COUNT
+  // matching on it estimates SUM histograms of the original relation.
+  auto sample =
+      BuildMeasureBiasedSample(*store, /*y_attr=*/2, 600000, 23).value();
+  std::printf("Measure-biased sample: %lld rows (probability proportional "
+              "to spend)\n\n",
+              static_cast<long long>(sample->num_rows()));
+
+  BoundQuery query;
+  query.store = sample;
+  query.z_index = BitmapIndex::Build(*sample, 0).value();
+  query.z_attr = 0;
+  query.x_attrs = {1};
+  query.target = target;
+  query.params.k = 5;
+  query.params.epsilon = 0.05;
+  query.params.delta = 0.01;
+  query.params.sigma = 0.001;
+  query.params.stage1_samples = 50000;
+
+  auto out = RunQuery(query, Approach::kFastMatch);
+  if (!out.ok()) {
+    std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Products whose revenue-by-age profile matches product 0's "
+              "(expected: the planted family 0-4):\n");
+  for (size_t i = 0; i < out->match.topk.size(); ++i) {
+    std::printf("#%zu: product %-4d distance %.4f %s\n", i + 1,
+                out->match.topk[i], out->match.topk_distances[i],
+                out->match.topk[i] < 5 ? "(planted family)" : "");
+  }
+  return 0;
+}

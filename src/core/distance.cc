@@ -1,0 +1,69 @@
+#include "core/distance.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace fastmatch {
+
+std::string_view MetricName(Metric m) {
+  switch (m) {
+    case Metric::kL1:
+      return "l1";
+    case Metric::kL2:
+      return "l2";
+  }
+  return "?";
+}
+
+double MaxDistance(Metric m) {
+  switch (m) {
+    case Metric::kL1:
+      return 2.0;  // disjoint supports
+    case Metric::kL2:
+      return std::sqrt(2.0);
+  }
+  return 2.0;
+}
+
+double L1Distance(const Distribution& a, const Distribution& b) {
+  FASTMATCH_CHECK_EQ(a.size(), b.size());
+  double acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc += std::fabs(a[i] - b[i]);
+  return acc;
+}
+
+double L2Distance(const Distribution& a, const Distribution& b) {
+  FASTMATCH_CHECK_EQ(a.size(), b.size());
+  double acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double KLDivergence(const Distribution& a, const Distribution& b) {
+  FASTMATCH_CHECK_EQ(a.size(), b.size());
+  double acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) continue;
+    if (b[i] == 0.0) return std::numeric_limits<double>::infinity();
+    acc += a[i] * std::log(a[i] / b[i]);
+  }
+  return acc;
+}
+
+double HistDistance(Metric m, const Distribution& a, const Distribution& b) {
+  if (a.empty() || b.empty()) return MaxDistance(m);
+  switch (m) {
+    case Metric::kL1:
+      return L1Distance(a, b);
+    case Metric::kL2:
+      return L2Distance(a, b);
+  }
+  return MaxDistance(m);
+}
+
+}  // namespace fastmatch

@@ -1,0 +1,46 @@
+// Distance functions between normalized histograms (paper Definition 2).
+//
+// The paper's primary metric is l1 between normalized vectors (2x total
+// variation distance); l2 is supported for the Table 5 comparison and as
+// an alternative metric (Appendix A.2.2), with guarantees inherited from
+// the l1 deviation bound since ||.||_2 <= ||.||_1. KL divergence is
+// provided for the Section 2 discussion/examples only.
+
+#ifndef FASTMATCH_CORE_DISTANCE_H_
+#define FASTMATCH_CORE_DISTANCE_H_
+
+#include <string_view>
+
+#include "core/histogram.h"
+
+namespace fastmatch {
+
+enum class Metric {
+  kL1,
+  kL2,
+};
+
+std::string_view MetricName(Metric m);
+
+/// Maximum possible distance between two distributions under a metric;
+/// used as the conventional distance for candidates with zero samples so
+/// they sort last and stay eligible for sampling.
+double MaxDistance(Metric m);
+
+/// \brief ||a - b||_1 over distributions of equal size.
+double L1Distance(const Distribution& a, const Distribution& b);
+
+/// \brief ||a - b||_2 over distributions of equal size.
+double L2Distance(const Distribution& a, const Distribution& b);
+
+/// \brief KL(a || b); +inf when b has a zero where a does not (the
+/// drawback Section 2.1 calls out).
+double KLDivergence(const Distribution& a, const Distribution& b);
+
+/// \brief Metric dispatch. Either argument empty (zero-sample histogram)
+/// yields MaxDistance(m).
+double HistDistance(Metric m, const Distribution& a, const Distribution& b);
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_CORE_DISTANCE_H_

@@ -1,0 +1,344 @@
+#include "core/histsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "stats/deviation.h"
+#include "stats/hypergeometric.h"
+#include "stats/multiple_testing.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace fastmatch {
+
+namespace {
+
+constexpr double kLog2 = 0.6931471805599453;
+
+/// Working state of one run, kept off the HistSim object so Run() is
+/// re-entrant.
+struct RunState {
+  int vz = 0;
+  int vx = 0;
+  int64_t n_total = 0;  // N, total datapoints
+
+  CountMatrix total;  // cumulative counts across stages/rounds
+  CountMatrix round;  // fresh counts of the current stage-2/3 phase
+
+  std::vector<bool> pruned;
+  std::vector<bool> exact;
+  std::vector<double> tau;  // estimated distance per candidate
+  std::vector<int> active_set;  // A: non-pruned candidate ids
+};
+
+}  // namespace
+
+HistSim::HistSim(HistSimParams params, Distribution target)
+    : params_(std::move(params)), target_(std::move(target)) {}
+
+Result<MatchResult> HistSim::Run(Sampler* sampler) {
+  FASTMATCH_RETURN_IF_ERROR(params_.Validate());
+  if (sampler == nullptr) {
+    return Status::InvalidArgument("HistSim::Run: null sampler");
+  }
+
+  RunState st;
+  st.vz = sampler->num_candidates();
+  st.vx = sampler->num_groups();
+  st.n_total = sampler->total_rows();
+  if (st.vz <= 0 || st.vx <= 0) {
+    return Status::InvalidArgument("sampler reports empty domain");
+  }
+  if (static_cast<int>(target_.size()) != st.vx) {
+    return Status::InvalidArgument("target has wrong number of groups");
+  }
+  if (st.n_total <= 0) {
+    return Status::FailedPrecondition("relation is empty");
+  }
+
+  st.total = CountMatrix(st.vz, st.vx);
+  st.round = CountMatrix(st.vz, st.vx);
+  st.pruned.assign(st.vz, false);
+  st.exact.assign(st.vz, false);
+  st.tau.assign(st.vz, MaxDistance(params_.metric));
+
+  MatchResult result;
+  HistSimDiagnostics& diag = result.diag;
+
+  const double eps_sep = params_.SeparationEps();
+  const double log_delta_third = std::log(params_.delta / 3.0);
+
+  auto refresh_tau = [&](int i) {
+    Distribution d = st.total.NormalizedRow(i);
+    st.tau[i] = HistDistance(params_.metric, d, target_);
+  };
+
+  auto mark_exhausted = [&](const std::vector<bool>& exhausted) {
+    for (int i = 0; i < st.vz; ++i) {
+      if (exhausted[i]) st.exact[i] = true;
+    }
+  };
+
+  // ---------------------------------------------------------------- stage 1
+  {
+    WallTimer timer;
+    const int64_t drawn =
+        sampler->SampleRows(params_.stage1_samples, &st.total);
+    diag.stage1_samples = drawn;
+    if (sampler->AllConsumed()) {
+      std::fill(st.exact.begin(), st.exact.end(), true);
+    }
+
+    // Under-representation test (null: N_i >= sigma * N) only when a
+    // pruning threshold was requested and sampling was partial.
+    const int64_t k_rare =
+        static_cast<int64_t>(std::ceil(params_.sigma * st.n_total));
+    if (params_.sigma > 0 && k_rare >= 1 && drawn > 0 &&
+        !sampler->AllConsumed()) {
+      int64_t max_ni = 0;
+      for (int i = 0; i < st.vz; ++i) {
+        max_ni = std::max(max_ni, st.total.RowTotal(i));
+      }
+      HypergeomCdfTable table(st.n_total, k_rare, drawn, max_ni);
+      std::vector<double> log_pvalues(st.vz);
+      for (int i = 0; i < st.vz; ++i) {
+        log_pvalues[i] = table.LogCdf(st.total.RowTotal(i));
+      }
+      for (int i : HolmBonferroniReject(log_pvalues, log_delta_third)) {
+        st.pruned[i] = true;
+      }
+    } else if (sampler->AllConsumed() && params_.sigma > 0) {
+      // Complete data: prune by exact selectivity (Scan's behaviour).
+      for (int i = 0; i < st.vz; ++i) {
+        if (static_cast<double>(st.total.RowTotal(i)) <
+            params_.sigma * static_cast<double>(st.n_total)) {
+          st.pruned[i] = true;
+        }
+      }
+    }
+
+    for (int i = 0; i < st.vz; ++i) {
+      if (!st.pruned[i]) st.active_set.push_back(i);
+      refresh_tau(i);
+    }
+    diag.pruned_candidates =
+        st.vz - static_cast<int>(st.active_set.size());
+    diag.stage1_seconds = timer.Seconds();
+  }
+
+  if (st.active_set.empty()) {
+    return Status::FailedPrecondition(
+        "all candidates were pruned as rare; lower sigma or raise "
+        "stage1_samples");
+  }
+
+  // Effective k: cannot return more candidates than survive pruning.
+  int k_eff = std::min<int>(params_.k, static_cast<int>(st.active_set.size()));
+  diag.chosen_k = k_eff;
+
+  const auto tau_less = [&](int a, int b) {
+    return st.tau[a] < st.tau[b] || (st.tau[a] == st.tau[b] && a < b);
+  };
+
+  // ---------------------------------------------------------------- stage 2
+  std::vector<int> matching;  // M: current top-k guess
+  {
+    WallTimer timer;
+    const bool need_stage2 =
+        static_cast<int>(st.active_set.size()) > k_eff;
+
+    double log_dupper = log_delta_third;
+    int round_t = 0;
+    bool chose_k = params_.k_hi <= 0;
+
+    while (need_stage2) {
+      ++round_t;
+      log_dupper -= kLog2;  // delta/3 / 2^t at round t
+
+      // Fold the previous round's samples into the totals (Alg. 1 l.15-16)
+      // and refresh distance estimates.
+      st.total.Merge(st.round);
+      st.round.Reset();
+      for (int i : st.active_set) refresh_tau(i);
+
+      std::vector<int> order = st.active_set;
+      std::sort(order.begin(), order.end(), tau_less);
+
+      // Appendix A.2.3: given a k-range [k, k_hi], pick the boundary with
+      // the widest distance gap once initial estimates exist.
+      if (!chose_k) {
+        const int hi =
+            std::min<int>(params_.k_hi, static_cast<int>(order.size()) - 1);
+        double best_gap = -1;
+        for (int kk = params_.k; kk <= hi; ++kk) {
+          const double gap = st.tau[order[kk]] - st.tau[order[kk - 1]];
+          if (gap > best_gap) {
+            best_gap = gap;
+            k_eff = kk;
+          }
+        }
+        diag.chosen_k = k_eff;
+        chose_k = true;
+      }
+
+      matching.assign(order.begin(), order.begin() + k_eff);
+      const double max_m_tau = st.tau[matching.back()];
+      const double min_rest_tau = st.tau[order[k_eff]];
+      const double s = 0.5 * (max_m_tau + min_rest_tau);
+
+      std::vector<bool> in_m(st.vz, false);
+      for (int i : matching) in_m[i] = true;
+
+      // All-exact shortcut: every remaining estimate is exact, so the
+      // separation is exact and no further samples can help.
+      bool all_exact = true;
+      for (int i : st.active_set) {
+        if (!st.exact[i]) {
+          all_exact = false;
+          break;
+        }
+      }
+      if (all_exact) break;
+
+      // Per-candidate fresh-sample targets for this round (Equation 1),
+      // assuming tau_i is correct: the round must reconstruct candidate i
+      // to within eps'_i for its test to reject.
+      //
+      // Equation 1 alone makes the round's P-value land exactly at
+      // delta_upper when the observed round distance equals the estimate,
+      // i.e. each test rejects with only ~50% probability (less for
+      // i in M, since the empirical l1 distance is biased upward). The
+      // paper's system oversampled implicitly -- whole blocks feed every
+      // candidate, so all but the scan-length-limiting candidate receive
+      // far more than n'_i -- and reports termination "within 4 or 5
+      // iterations". We make the slack explicit with a 2x factor, which
+      // drives the design-point P-value to ~delta_upper^2 * 2^-|VX| and
+      // keeps round counts small even when targets are hit exactly.
+      // Correctness is unaffected (extra samples never hurt the test).
+      constexpr int64_t kRoundSafetyFactor = 2;
+      std::vector<int64_t> targets(st.vz, -1);
+      for (int i : st.active_set) {
+        if (st.exact[i]) continue;
+        const double eps_prime =
+            in_m[i] ? (s + eps_sep / 2 - st.tau[i])
+                    : (st.tau[i] - (s - eps_sep / 2));
+        // eps'_i >= eps/2 holds by construction of s; guard anyway against
+        // floating-point equality corner cases.
+        const double eps_safe = std::max(eps_prime, eps_sep / 2);
+        targets[i] =
+            kRoundSafetyFactor * DeviationSamples(eps_safe, st.vx, log_dupper);
+      }
+
+      const int64_t consumed_before = sampler->rows_consumed();
+      std::vector<bool> exhausted(st.vz, false);
+      sampler->SampleUntilTargets(targets, &st.round, &exhausted);
+      diag.stage2_samples += sampler->rows_consumed() - consumed_before;
+      mark_exhausted(exhausted);
+
+      // The multiple hypothesis test of Lemma 4 over fresh samples.
+      std::vector<double> log_pvalues;
+      log_pvalues.reserve(st.active_set.size());
+      for (int i : st.active_set) {
+        double lp;
+        if (st.exact[i]) {
+          // Fully enumerated candidate: its true distance is known, so the
+          // null is simply true or false. A true null can never be
+          // rejected; a false null is rejected error-free.
+          Distribution d_exact(st.vx);
+          const auto total_row = st.total.Row(i);
+          const auto round_row = st.round.Row(i);
+          std::vector<int64_t> merged(st.vx);
+          for (int g = 0; g < st.vx; ++g) {
+            merged[g] = total_row[g] + round_row[g];
+          }
+          Distribution nd = Normalize(merged);
+          const double tau_exact =
+              HistDistance(params_.metric, nd, target_);
+          const bool null_true = in_m[i] ? (tau_exact >= s + eps_sep / 2)
+                                         : (tau_exact <= s - eps_sep / 2);
+          lp = null_true ? 0.0 : -std::numeric_limits<double>::infinity();
+        } else {
+          const Distribution d_round = st.round.NormalizedRow(i);
+          const double tau_round =
+              HistDistance(params_.metric, d_round, target_);
+          double eps_i;
+          if (in_m[i]) {
+            eps_i = s + eps_sep / 2 - tau_round;
+          } else if (s - eps_sep / 2 >= 0) {
+            eps_i = tau_round - (s - eps_sep / 2);
+          } else {
+            eps_i = std::numeric_limits<double>::infinity();
+          }
+          lp = LogDeviationPValue(eps_i, st.round.RowTotal(i), st.vx);
+        }
+        log_pvalues.push_back(lp);
+      }
+
+      if (SimultaneousReject(log_pvalues, log_dupper)) {
+        st.total.Merge(st.round);
+        st.round.Reset();
+        for (int i : st.active_set) refresh_tau(i);
+        break;
+      }
+    }
+
+    if (!need_stage2 || matching.empty()) {
+      // Everything left is a winner (|A| <= k), or the loop broke on the
+      // all-exact path before assigning: recompute from current estimates.
+      std::vector<int> order = st.active_set;
+      std::sort(order.begin(), order.end(), tau_less);
+      matching.assign(order.begin(),
+                      order.begin() + std::min<size_t>(order.size(), k_eff));
+    }
+    diag.rounds = round_t;
+    diag.stage2_seconds = timer.Seconds();
+  }
+
+  // ---------------------------------------------------------------- stage 3
+  {
+    WallTimer timer;
+    const int64_t needed = Stage3Samples(params_.ReconstructionEps(), st.vx,
+                                         k_eff, params_.delta);
+    std::vector<int64_t> targets(st.vz, -1);
+    bool any = false;
+    for (int i : matching) {
+      if (st.exact[i]) continue;
+      const int64_t missing = needed - st.total.RowTotal(i);
+      if (missing > 0) {
+        targets[i] = missing;
+        any = true;
+      }
+    }
+    if (any) {
+      const int64_t consumed_before = sampler->rows_consumed();
+      std::vector<bool> exhausted(st.vz, false);
+      st.round.Reset();
+      sampler->SampleUntilTargets(targets, &st.round, &exhausted);
+      diag.stage3_samples = sampler->rows_consumed() - consumed_before;
+      mark_exhausted(exhausted);
+      st.total.Merge(st.round);
+      st.round.Reset();
+      for (int i : matching) refresh_tau(i);
+    }
+    diag.stage3_seconds = timer.Seconds();
+  }
+
+  // ------------------------------------------------------------------ output
+  std::sort(matching.begin(), matching.end(), tau_less);
+  result.topk = matching;
+  result.topk_distances.reserve(matching.size());
+  for (int i : matching) result.topk_distances.push_back(st.tau[i]);
+  result.distances = st.tau;
+  result.counts = std::move(st.total);
+  result.pruned = std::move(st.pruned);
+  result.exact = std::move(st.exact);
+  diag.exact_candidates =
+      static_cast<int>(std::count(result.exact.begin(), result.exact.end(),
+                                  true));
+  diag.data_exhausted = sampler->AllConsumed();
+  return result;
+}
+
+}  // namespace fastmatch

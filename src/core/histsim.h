@@ -1,0 +1,83 @@
+// HistSim (paper Algorithm 1): the three-stage sampling algorithm that
+// returns the top-k candidates closest to a target under normalized l1,
+// with the separation and reconstruction guarantees (Problem 1) holding
+// jointly with probability > 1 - delta.
+//
+//   Stage 1  prune rare candidates: hypergeometric under-representation
+//            test per candidate, Holm-Bonferroni at level delta/3.
+//   Stage 2  identify top-k: rounds of fresh samples; per-round split
+//            point s, null hypotheses "tau*_i >= s + eps/2" (i in M) /
+//            "tau*_j <= s - eps/2" (j not in M); P-values from the
+//            Theorem-1 l1 deviation bound; all-or-nothing simultaneous
+//            rejection at level delta/3/2^t.
+//   Stage 3  reconstruct: top up winners to
+//            n_i >= 2/eps^2 (|VX| log 2 + log(3k/delta)).
+//
+// The class is deliberately ignorant of where samples come from: it talks
+// to a core/sampler.h Sampler (row-level reference implementation, or the
+// block-based FastMatch engine).
+
+#ifndef FASTMATCH_CORE_HISTSIM_H_
+#define FASTMATCH_CORE_HISTSIM_H_
+
+#include <vector>
+
+#include "core/histogram.h"
+#include "core/params.h"
+#include "core/sampler.h"
+#include "util/result.h"
+
+namespace fastmatch {
+
+/// \brief Counters describing one HistSim run.
+struct HistSimDiagnostics {
+  int64_t stage1_samples = 0;   // fresh tuples drawn in stage 1
+  int64_t stage2_samples = 0;   // fresh tuples drawn across stage-2 rounds
+  int64_t stage3_samples = 0;   // fresh tuples drawn in stage 3
+  int rounds = 0;               // stage-2 rounds executed
+  int pruned_candidates = 0;    // flagged rare in stage 1
+  int exact_candidates = 0;     // fully enumerated (exhausted) candidates
+  bool data_exhausted = false;  // the whole relation was consumed
+  int chosen_k = 0;             // k actually returned (k-range extension)
+  double stage1_seconds = 0;
+  double stage2_seconds = 0;
+  double stage3_seconds = 0;
+};
+
+/// \brief Output of a run: the estimated top-k plus all estimate state.
+struct MatchResult {
+  /// Candidate ids, ascending estimated distance to the target.
+  std::vector<int> topk;
+  /// Estimated distances of the top-k (same order).
+  std::vector<double> topk_distances;
+  /// Final estimated distance per candidate (MaxDistance for zero-sample
+  /// candidates).
+  std::vector<double> distances;
+  /// Final cumulative counts per candidate.
+  CountMatrix counts;
+  /// Stage-1 pruning decision per candidate.
+  std::vector<bool> pruned;
+  /// Candidates whose counts are exact (fully enumerated).
+  std::vector<bool> exact;
+  HistSimDiagnostics diag;
+};
+
+/// \brief One top-k-similar query execution over a Sampler.
+class HistSim {
+ public:
+  /// \param params problem parameters (validated in Run)
+  /// \param target resolved target distribution q, |VX| entries summing
+  ///        to 1
+  HistSim(HistSimParams params, Distribution target);
+
+  /// \brief Runs all three stages to completion against `sampler`.
+  Result<MatchResult> Run(Sampler* sampler);
+
+ private:
+  HistSimParams params_;
+  Distribution target_;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_CORE_HISTSIM_H_

@@ -1,0 +1,27 @@
+#include "core/params.h"
+
+#include <string>
+
+namespace fastmatch {
+
+Status HistSimParams::Validate() const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (k_hi != 0 && k_hi < k) {
+    return Status::InvalidArgument("k_hi must be 0 (disabled) or >= k");
+  }
+  if (SeparationEps() <= 0 || ReconstructionEps() <= 0) {
+    return Status::InvalidArgument("epsilon must be > 0");
+  }
+  if (delta <= 0 || delta >= 1) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (sigma < 0 || sigma >= 1) {
+    return Status::InvalidArgument("sigma must be in [0, 1)");
+  }
+  if (stage1_samples < 0) {
+    return Status::InvalidArgument("stage1_samples must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace fastmatch

@@ -1,0 +1,60 @@
+// User-facing parameters of a HistSim run (paper Problem 1 + Appendix A.2).
+
+#ifndef FASTMATCH_CORE_PARAMS_H_
+#define FASTMATCH_CORE_PARAMS_H_
+
+#include <cstdint>
+
+#include "core/distance.h"
+#include "util/status.h"
+
+namespace fastmatch {
+
+/// \brief Parameters of Problem 1 (TOP-K-SIMILAR) plus engine knobs.
+struct HistSimParams {
+  /// Number of matching histograms to retrieve.
+  int k = 10;
+
+  /// When > k, enables the Appendix A.2.3 extension: the algorithm may
+  /// return any k' in [k, k_hi], picked at stage-2 start to maximize the
+  /// distance gap at the boundary (easier separation).
+  int k_hi = 0;
+
+  /// Approximation error bound epsilon. When eps_separation /
+  /// eps_reconstruction are 0, both guarantees use this value; setting
+  /// them separately enables Appendix A.2.1.
+  double epsilon = 0.04;
+  double eps_separation = 0.0;
+  double eps_reconstruction = 0.0;
+
+  /// Failure probability bound for the joint guarantees.
+  double delta = 0.01;
+
+  /// Minimum selectivity: candidates with N_i/N below this may be pruned.
+  double sigma = 0.0008;
+
+  /// Stage-1 sample count m (paper default 5e5; footnote 1 notes
+  /// insensitivity as long as it is neither tiny nor a large fraction of
+  /// the data).
+  int64_t stage1_samples = 500000;
+
+  /// Distance metric (Appendix A.2.2).
+  Metric metric = Metric::kL1;
+
+  /// Seed for all randomness in the run (start offsets etc.).
+  uint64_t seed = 42;
+
+  double SeparationEps() const {
+    return eps_separation > 0 ? eps_separation : epsilon;
+  }
+  double ReconstructionEps() const {
+    return eps_reconstruction > 0 ? eps_reconstruction : epsilon;
+  }
+
+  /// \brief Validates ranges (k >= 1, 0 < eps, 0 < delta < 1, sigma >= 0).
+  Status Validate() const;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_CORE_PARAMS_H_

@@ -1,0 +1,107 @@
+#include "core/row_sampler.h"
+
+#include <numeric>
+
+namespace fastmatch {
+
+Result<std::unique_ptr<RowSampler>> RowSampler::Create(
+    std::shared_ptr<const ColumnStore> store, int z_attr,
+    std::vector<int> x_attrs, uint64_t seed) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  const int num_attrs = store->schema().num_attributes();
+  if (z_attr < 0 || z_attr >= num_attrs) {
+    return Status::InvalidArgument("z_attr out of range");
+  }
+  if (x_attrs.empty()) {
+    return Status::InvalidArgument("at least one x attribute required");
+  }
+  int64_t groups = 1;
+  for (int a : x_attrs) {
+    if (a < 0 || a >= num_attrs) {
+      return Status::InvalidArgument("x_attr out of range");
+    }
+    groups *= store->schema().attribute(a).cardinality;
+    if (groups > (1 << 24)) {
+      return Status::InvalidArgument(
+          "composite group cardinality too large (> 2^24)");
+    }
+  }
+  return std::unique_ptr<RowSampler>(
+      new RowSampler(std::move(store), z_attr, std::move(x_attrs), seed));
+}
+
+RowSampler::RowSampler(std::shared_ptr<const ColumnStore> store, int z_attr,
+                       std::vector<int> x_attrs, uint64_t seed)
+    : store_(std::move(store)), z_attr_(z_attr), x_attrs_(std::move(x_attrs)) {
+  num_candidates_ =
+      static_cast<int>(store_->schema().attribute(z_attr_).cardinality);
+  int64_t groups = 1;
+  for (int a : x_attrs_) {
+    const int card =
+        static_cast<int>(store_->schema().attribute(a).cardinality);
+    x_cards_.push_back(card);
+    groups *= card;
+  }
+  num_groups_ = static_cast<int>(groups);
+
+  perm_.resize(store_->num_rows());
+  std::iota(perm_.begin(), perm_.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&perm_);
+}
+
+int RowSampler::GroupOf(RowId row) const {
+  int g = 0;
+  for (size_t i = 0; i < x_attrs_.size(); ++i) {
+    g = g * x_cards_[i] +
+        static_cast<int>(store_->column(x_attrs_[i]).Get(row));
+  }
+  return g;
+}
+
+int64_t RowSampler::SampleRows(int64_t m, CountMatrix* out) {
+  const int64_t n = static_cast<int64_t>(perm_.size());
+  int64_t drawn = 0;
+  const Column& z_col = store_->column(z_attr_);
+  while (drawn < m && cursor_ < n) {
+    const RowId row = perm_[cursor_++];
+    out->Add(static_cast<int>(z_col.Get(row)), GroupOf(row));
+    ++drawn;
+  }
+  return drawn;
+}
+
+void RowSampler::SampleUntilTargets(const std::vector<int64_t>& targets,
+                                    CountMatrix* out,
+                                    std::vector<bool>* exhausted) {
+  FASTMATCH_CHECK_EQ(static_cast<int>(targets.size()), num_candidates_);
+  FASTMATCH_CHECK_EQ(static_cast<int>(exhausted->size()), num_candidates_);
+
+  // Fresh counts of this call, per candidate, starting from what `out`
+  // already holds (normally zero).
+  std::vector<int64_t> fresh(num_candidates_);
+  for (int i = 0; i < num_candidates_; ++i) fresh[i] = out->RowTotal(i);
+
+  int64_t unmet = 0;
+  for (int i = 0; i < num_candidates_; ++i) {
+    if (targets[i] >= 0 && fresh[i] < targets[i]) ++unmet;
+  }
+
+  const int64_t n = static_cast<int64_t>(perm_.size());
+  const Column& z_col = store_->column(z_attr_);
+  while (cursor_ < n && unmet > 0) {
+    const RowId row = perm_[cursor_++];
+    const int z = static_cast<int>(z_col.Get(row));
+    out->Add(z, GroupOf(row));
+    ++fresh[z];
+    if (targets[z] >= 0 && fresh[z] == targets[z]) --unmet;
+  }
+
+  if (cursor_ >= n) {
+    // The whole relation has been consumed: every candidate's cumulative
+    // counts are exact.
+    std::fill(exhausted->begin(), exhausted->end(), true);
+  }
+}
+
+}  // namespace fastmatch

@@ -1,0 +1,60 @@
+#include "core/target.h"
+
+#include <string>
+
+namespace fastmatch {
+
+Result<Distribution> ResolveTarget(const TargetSpec& spec,
+                                   const CountMatrix& exact_counts,
+                                   Metric metric) {
+  const int vx = exact_counts.num_groups();
+  switch (spec.kind) {
+    case TargetSpec::Kind::kExplicit: {
+      if (static_cast<int>(spec.explicit_dist.size()) != vx) {
+        return Status::InvalidArgument(
+            "explicit target has " +
+            std::to_string(spec.explicit_dist.size()) + " entries, expected " +
+            std::to_string(vx));
+      }
+      Distribution d = Normalize(spec.explicit_dist);
+      if (d.empty()) {
+        return Status::InvalidArgument("explicit target sums to zero");
+      }
+      return d;
+    }
+    case TargetSpec::Kind::kCandidate: {
+      if (spec.candidate >= static_cast<Value>(exact_counts.num_candidates())) {
+        return Status::OutOfRange("target candidate id out of range");
+      }
+      Distribution d = exact_counts.NormalizedRow(
+          static_cast<int>(spec.candidate));
+      if (d.empty()) {
+        return Status::FailedPrecondition(
+            "target candidate has no tuples; its histogram is undefined");
+      }
+      return d;
+    }
+    case TargetSpec::Kind::kClosestToUniform: {
+      const Distribution uniform = UniformDistribution(vx);
+      int best = -1;
+      double best_dist = 0;
+      for (int i = 0; i < exact_counts.num_candidates(); ++i) {
+        Distribution d = exact_counts.NormalizedRow(i);
+        if (d.empty()) continue;
+        const double dist = HistDistance(metric, d, uniform);
+        if (best < 0 || dist < best_dist) {
+          best = i;
+          best_dist = dist;
+        }
+      }
+      if (best < 0) {
+        return Status::FailedPrecondition(
+            "no candidate has tuples; cannot resolve closest-to-uniform");
+      }
+      return exact_counts.NormalizedRow(best);
+    }
+  }
+  return Status::Internal("unreachable target kind");
+}
+
+}  // namespace fastmatch

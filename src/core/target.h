@@ -1,0 +1,55 @@
+// Visual target specification and resolution.
+//
+// A visual target q is an |VX|-vector the candidates are compared against
+// (paper Section 2.1). Analysts supply it directly (an explicit shape such
+// as FLIGHTS-q3's [0.25, 0.125 x 6]), by naming a candidate whose histogram
+// they already have (the Greece / ORD scenarios), or as "the candidate
+// closest to uniform" (the paper's default for most queries in Table 3).
+
+#ifndef FASTMATCH_CORE_TARGET_H_
+#define FASTMATCH_CORE_TARGET_H_
+
+#include "core/distance.h"
+#include "core/histogram.h"
+#include "storage/types.h"
+#include "util/result.h"
+
+namespace fastmatch {
+
+/// \brief How the target distribution is specified.
+struct TargetSpec {
+  enum class Kind {
+    kExplicit,          // a literal distribution
+    kCandidate,         // a named candidate's (exact) histogram
+    kClosestToUniform,  // the candidate whose histogram is closest to uniform
+  };
+
+  Kind kind = Kind::kClosestToUniform;
+  Distribution explicit_dist;  // kExplicit only
+  Value candidate = 0;         // kCandidate only
+
+  static TargetSpec Explicit(Distribution d) {
+    TargetSpec s;
+    s.kind = Kind::kExplicit;
+    s.explicit_dist = std::move(d);
+    return s;
+  }
+  static TargetSpec Candidate(Value v) {
+    TargetSpec s;
+    s.kind = Kind::kCandidate;
+    s.candidate = v;
+    return s;
+  }
+  static TargetSpec ClosestToUniform() { return TargetSpec{}; }
+};
+
+/// \brief Resolves a target spec into a concrete distribution, given the
+/// exact per-candidate counts of the query template (see core/verify.h for
+/// computing them). Explicit targets are normalized and size-checked.
+Result<Distribution> ResolveTarget(const TargetSpec& spec,
+                                   const CountMatrix& exact_counts,
+                                   Metric metric);
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_CORE_TARGET_H_

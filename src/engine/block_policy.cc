@@ -1,0 +1,59 @@
+#include "engine/block_policy.h"
+
+#include "util/logging.h"
+
+namespace fastmatch {
+
+void MarkAnyActiveNaive(const BitmapIndex& index,
+                        const std::vector<int>& active, BlockId start,
+                        int count, std::vector<uint8_t>* marks) {
+  FASTMATCH_CHECK_GE(start, 0);
+  FASTMATCH_CHECK_LE(start + count, index.num_blocks());
+  marks->assign(static_cast<size_t>(count), 0);
+  for (int i = 0; i < count; ++i) {
+    const BlockId b = start + i;
+    for (int cand : active) {
+      // Each lookup touches a different bitmap: deliberately the paper's
+      // cache-inefficient per-block pattern.
+      if (index.BlockContains(static_cast<Value>(cand), b)) {
+        (*marks)[static_cast<size_t>(i)] = 1;
+        break;
+      }
+    }
+  }
+}
+
+void MarkAnyActiveLookahead(const BitmapIndex& index,
+                            const std::vector<int>& active, BlockId start,
+                            int count, std::vector<uint64_t>* scratch,
+                            std::vector<uint8_t>* marks) {
+  FASTMATCH_CHECK_GE(start, 0);
+  FASTMATCH_CHECK_LE(start + count, index.num_blocks());
+  marks->assign(static_cast<size_t>(count), 0);
+  if (count == 0) return;
+
+  const int64_t first_word = start >> 6;
+  const int64_t last_word = (start + count - 1) >> 6;
+  const size_t num_words = static_cast<size_t>(last_word - first_word + 1);
+  scratch->assign(num_words, 0);
+
+  // Candidate-outer: consume a run of consecutive words of one bitmap
+  // before moving to the next candidate (one cache line yields 512 block
+  // bits).
+  for (int cand : active) {
+    const auto& words = index.bitmap(static_cast<Value>(cand)).words();
+    for (size_t w = 0; w < num_words; ++w) {
+      (*scratch)[w] |= words[static_cast<size_t>(first_word) + w];
+    }
+  }
+
+  for (int i = 0; i < count; ++i) {
+    const int64_t bit = start + i;
+    const uint64_t word =
+        (*scratch)[static_cast<size_t>((bit >> 6) - first_word)];
+    (*marks)[static_cast<size_t>(i)] =
+        static_cast<uint8_t>((word >> (bit & 63)) & 1);
+  }
+}
+
+}  // namespace fastmatch

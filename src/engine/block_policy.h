@@ -1,0 +1,48 @@
+// AnyActive block selection policies (paper Section 4.2, Challenge 3/4).
+//
+// Given the set of *active* candidates (those whose per-round sample
+// targets are unmet), a block should be read iff it contains at least one
+// tuple of an active candidate. Two implementations:
+//
+//  * Naive (paper Algorithm 2): per block, probe each active candidate's
+//    bitmap until one hits. Each probe lands on a different bitmap (a
+//    different cache line), so per-block evaluation thrashes the cache
+//    when many candidates are active — this is the documented cause of
+//    SyncMatch's pathological slowdowns on high-|VZ| queries.
+//
+//  * Lookahead (paper Algorithm 3): candidate-outer, block-inner over a
+//    batch of `lookahead` blocks. We realize the inner loop as a word-wise
+//    OR of bitmap words into an accumulator, consuming an entire cache
+//    line of each candidate's bitmap per touch.
+
+#ifndef FASTMATCH_ENGINE_BLOCK_POLICY_H_
+#define FASTMATCH_ENGINE_BLOCK_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/bitmap_index.h"
+
+namespace fastmatch {
+
+/// \brief Algorithm 2: per-block candidate probing.
+///
+/// Sets (*marks)[i] = 1 iff block (start + i) contains a tuple of at least
+/// one candidate in `active`, for i in [0, count). `start + count` must not
+/// exceed the index's block count. `marks` is resized to `count`.
+void MarkAnyActiveNaive(const BitmapIndex& index,
+                        const std::vector<int>& active, BlockId start,
+                        int count, std::vector<uint8_t>* marks);
+
+/// \brief Algorithm 3: candidate-outer batch marking via word-wise OR.
+///
+/// Same contract as MarkAnyActiveNaive; `scratch` (word accumulator) is
+/// caller-provided so repeated calls do not allocate.
+void MarkAnyActiveLookahead(const BitmapIndex& index,
+                            const std::vector<int>& active, BlockId start,
+                            int count, std::vector<uint64_t>* scratch,
+                            std::vector<uint8_t>* marks);
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_ENGINE_BLOCK_POLICY_H_

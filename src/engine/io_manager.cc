@@ -1,0 +1,129 @@
+#include "engine/io_manager.h"
+
+namespace fastmatch {
+
+Result<std::unique_ptr<IoManager>> IoManager::Create(
+    std::shared_ptr<const ColumnStore> store, int z_attr,
+    std::vector<int> x_attrs) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  const int num_attrs = store->schema().num_attributes();
+  if (z_attr < 0 || z_attr >= num_attrs) {
+    return Status::InvalidArgument("z_attr out of range");
+  }
+  if (x_attrs.empty()) {
+    return Status::InvalidArgument("at least one x attribute required");
+  }
+  int64_t groups = 1;
+  for (int a : x_attrs) {
+    if (a < 0 || a >= num_attrs) {
+      return Status::InvalidArgument("x_attr out of range");
+    }
+    groups *= store->schema().attribute(a).cardinality;
+    if (groups > (1 << 24)) {
+      return Status::InvalidArgument("composite group cardinality too large");
+    }
+  }
+  return std::unique_ptr<IoManager>(
+      new IoManager(std::move(store), z_attr, std::move(x_attrs)));
+}
+
+IoManager::IoManager(std::shared_ptr<const ColumnStore> store, int z_attr,
+                     std::vector<int> x_attrs)
+    : store_(std::move(store)), z_attr_(z_attr), x_attrs_(std::move(x_attrs)) {
+  num_candidates_ =
+      static_cast<int>(store_->schema().attribute(z_attr_).cardinality);
+  int64_t groups = 1;
+  for (int a : x_attrs_) {
+    const int card =
+        static_cast<int>(store_->schema().attribute(a).cardinality);
+    x_cards_.push_back(card);
+    groups *= card;
+  }
+  num_groups_ = static_cast<int>(groups);
+}
+
+template <typename ZT, typename XT>
+int64_t IoManager::ReadBlockTyped(BlockId b, CountMatrix* out,
+                                  std::atomic<int64_t>* fresh_counts) const {
+  RowId begin, end;
+  store_->BlockRowRange(b, &begin, &end);
+  const ZT* z_data = store_->column(z_attr_).data<ZT>();
+  const XT* x_data = store_->column(x_attrs_[0]).data<XT>();
+  for (RowId r = begin; r < end; ++r) {
+    const int z = static_cast<int>(z_data[r]);
+    out->Add(z, static_cast<int>(x_data[r]));
+    if (fresh_counts != nullptr) {
+      // Single-writer counters (only the I/O thread writes; the marking
+      // thread reads): a relaxed load+store avoids the locked RMW that
+      // would otherwise dominate the scan kernel.
+      fresh_counts[z].store(
+          fresh_counts[z].load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+    }
+  }
+  return end - begin;
+}
+
+int64_t IoManager::ReadBlockGeneric(BlockId b, CountMatrix* out,
+                                    std::atomic<int64_t>* fresh_counts) const {
+  RowId begin, end;
+  store_->BlockRowRange(b, &begin, &end);
+  const Column& z_col = store_->column(z_attr_);
+  for (RowId r = begin; r < end; ++r) {
+    const int z = static_cast<int>(z_col.Get(r));
+    int g = 0;
+    for (size_t i = 0; i < x_attrs_.size(); ++i) {
+      g = g * x_cards_[i] +
+          static_cast<int>(store_->column(x_attrs_[i]).Get(r));
+    }
+    out->Add(z, g);
+    if (fresh_counts != nullptr) {
+      fresh_counts[z].store(
+          fresh_counts[z].load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+    }
+  }
+  return end - begin;
+}
+
+int64_t IoManager::ReadBlock(BlockId b, CountMatrix* out,
+                             std::atomic<int64_t>* fresh_counts) const {
+  if (x_attrs_.size() != 1) return ReadBlockGeneric(b, out, fresh_counts);
+  const ValueType zt = store_->schema().attribute(z_attr_).type();
+  const ValueType xt = store_->schema().attribute(x_attrs_[0]).type();
+  switch (zt) {
+    case ValueType::kU8:
+      switch (xt) {
+        case ValueType::kU8:
+          return ReadBlockTyped<uint8_t, uint8_t>(b, out, fresh_counts);
+        case ValueType::kU16:
+          return ReadBlockTyped<uint8_t, uint16_t>(b, out, fresh_counts);
+        case ValueType::kU32:
+          return ReadBlockTyped<uint8_t, uint32_t>(b, out, fresh_counts);
+      }
+      break;
+    case ValueType::kU16:
+      switch (xt) {
+        case ValueType::kU8:
+          return ReadBlockTyped<uint16_t, uint8_t>(b, out, fresh_counts);
+        case ValueType::kU16:
+          return ReadBlockTyped<uint16_t, uint16_t>(b, out, fresh_counts);
+        case ValueType::kU32:
+          return ReadBlockTyped<uint16_t, uint32_t>(b, out, fresh_counts);
+      }
+      break;
+    case ValueType::kU32:
+      switch (xt) {
+        case ValueType::kU8:
+          return ReadBlockTyped<uint32_t, uint8_t>(b, out, fresh_counts);
+        case ValueType::kU16:
+          return ReadBlockTyped<uint32_t, uint16_t>(b, out, fresh_counts);
+        case ValueType::kU32:
+          return ReadBlockTyped<uint32_t, uint32_t>(b, out, fresh_counts);
+      }
+      break;
+  }
+  return ReadBlockGeneric(b, out, fresh_counts);
+}
+
+}  // namespace fastmatch

@@ -1,0 +1,61 @@
+// The I/O manager (paper Section 4.1): synchronous block reads.
+//
+// Given a block id, scans the block's rows of the candidate (Z) and
+// grouping (X) columns and accumulates (candidate, group) counts. Per-
+// candidate fresh-sample totals are additionally published through an
+// optional atomic array so a concurrent marking thread (the sampling
+// engine's lookahead) can observe progress without locking.
+
+#ifndef FASTMATCH_ENGINE_IO_MANAGER_H_
+#define FASTMATCH_ENGINE_IO_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/histogram.h"
+#include "storage/column_store.h"
+#include "util/result.h"
+
+namespace fastmatch {
+
+class IoManager {
+ public:
+  /// \brief Creates a reader for (z_attr, x_attrs) of `store`. Multiple
+  /// x attributes form a mixed-radix composite group (Appendix A.1.3).
+  static Result<std::unique_ptr<IoManager>> Create(
+      std::shared_ptr<const ColumnStore> store, int z_attr,
+      std::vector<int> x_attrs);
+
+  /// \brief Scans block `b`, adding counts into `out`. When
+  /// `fresh_counts` is non-null, each candidate's per-call total is also
+  /// incremented there (relaxed; read by the marking thread).
+  /// Returns the number of rows scanned.
+  int64_t ReadBlock(BlockId b, CountMatrix* out,
+                    std::atomic<int64_t>* fresh_counts) const;
+
+  int num_candidates() const { return num_candidates_; }
+  int num_groups() const { return num_groups_; }
+  const ColumnStore& store() const { return *store_; }
+
+ private:
+  IoManager(std::shared_ptr<const ColumnStore> store, int z_attr,
+            std::vector<int> x_attrs);
+
+  template <typename ZT, typename XT>
+  int64_t ReadBlockTyped(BlockId b, CountMatrix* out,
+                         std::atomic<int64_t>* fresh_counts) const;
+  int64_t ReadBlockGeneric(BlockId b, CountMatrix* out,
+                           std::atomic<int64_t>* fresh_counts) const;
+
+  std::shared_ptr<const ColumnStore> store_;
+  int z_attr_;
+  std::vector<int> x_attrs_;
+  std::vector<int> x_cards_;
+  int num_candidates_ = 0;
+  int num_groups_ = 0;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_ENGINE_IO_MANAGER_H_

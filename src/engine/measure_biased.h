@@ -1,0 +1,32 @@
+// Measure-biased sampling for SUM aggregations (paper Appendix A.1.1,
+// after Ding et al. "Sample + Seek").
+//
+// To match histograms of SUM(Y) GROUP BY X instead of COUNT(*), one
+// preprocessing pass draws rows with probability proportional to their Y
+// value; COUNT-based matching on the biased sample then estimates the
+// SUM-based histograms of the original relation. One biased sample is
+// needed per measure attribute of interest.
+
+#ifndef FASTMATCH_ENGINE_MEASURE_BIASED_H_
+#define FASTMATCH_ENGINE_MEASURE_BIASED_H_
+
+#include <memory>
+
+#include "storage/column_store.h"
+#include "util/result.h"
+
+namespace fastmatch {
+
+/// \brief Draws `sample_rows` rows of `store` i.i.d. with probability
+/// proportional to attribute `y_attr` (whose dictionary codes are used as
+/// magnitudes; rows with Y = 0 are never drawn), producing a new store
+/// with the same schema.
+///
+/// The output is already in random order, so it can be scanned
+/// sequentially by the engine like any pre-shuffled relation.
+Result<std::shared_ptr<ColumnStore>> BuildMeasureBiasedSample(
+    const ColumnStore& store, int y_attr, int64_t sample_rows, uint64_t seed);
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_ENGINE_MEASURE_BIASED_H_

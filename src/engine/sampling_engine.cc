@@ -1,0 +1,354 @@
+#include "engine/sampling_engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "engine/block_policy.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace fastmatch {
+
+namespace {
+
+/// One unit of work handed from the lookahead (marking) thread to the I/O
+/// thread: the blocks of a batch that must be read. `done` flags the final
+/// batch of a phase.
+struct MarkBatch {
+  std::vector<BlockId> reads;
+  bool done = false;
+};
+
+/// Bounded SPSC queue; the marker blocks when the I/O side lags by more
+/// than `capacity` batches (the paper's "waits to mark the next batch
+/// until the I/O manager catches up").
+class MarkQueue {
+ public:
+  explicit MarkQueue(size_t capacity) : capacity_(capacity) {}
+
+  void Push(MarkBatch batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [&] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(batch));
+    cv_item_.notify_one();
+  }
+
+  MarkBatch Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_item_.wait(lock, [&] { return !queue_.empty(); });
+    MarkBatch batch = std::move(queue_.front());
+    queue_.pop_front();
+    cv_space_.notify_one();
+    return batch;
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable cv_item_, cv_space_;
+  std::deque<MarkBatch> queue_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SamplingEngine>> SamplingEngine::Create(
+    std::shared_ptr<const ColumnStore> store,
+    std::shared_ptr<const BitmapIndex> z_index, int z_attr,
+    std::vector<int> x_attrs, EngineOptions options) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  if (store->num_rows() == 0) {
+    return Status::FailedPrecondition("empty store");
+  }
+  if (options.policy != BlockSelection::kScanAll) {
+    if (z_index == nullptr) {
+      return Status::InvalidArgument(
+          "AnyActive policies require a bitmap index on the candidate "
+          "attribute");
+    }
+    if (z_index->attribute() != z_attr) {
+      return Status::InvalidArgument(
+          "bitmap index was built for a different attribute");
+    }
+    if (z_index->num_blocks() != store->num_blocks()) {
+      return Status::InvalidArgument(
+          "bitmap index block count does not match store");
+    }
+  }
+  if (options.lookahead < 1) {
+    return Status::InvalidArgument("lookahead must be >= 1");
+  }
+  FASTMATCH_ASSIGN_OR_RETURN(
+      auto io, IoManager::Create(store, z_attr, std::move(x_attrs)));
+  return std::unique_ptr<SamplingEngine>(new SamplingEngine(
+      std::move(store), std::move(z_index), std::move(io), options));
+}
+
+SamplingEngine::SamplingEngine(std::shared_ptr<const ColumnStore> store,
+                               std::shared_ptr<const BitmapIndex> z_index,
+                               std::unique_ptr<IoManager> io,
+                               EngineOptions options)
+    : store_(std::move(store)),
+      index_(std::move(z_index)),
+      io_(std::move(io)),
+      options_(options),
+      num_blocks_(store_->num_blocks()),
+      consumed_(num_blocks_) {
+  Rng rng(options_.seed);
+  cursor_ = static_cast<BlockId>(
+      rng.Uniform(static_cast<uint64_t>(num_blocks_)));
+  exhausted_.assign(io_->num_candidates(), false);
+  fresh_.reset(new std::atomic<int64_t>[io_->num_candidates()]);
+}
+
+int64_t SamplingEngine::ConsumeBlock(BlockId b, CountMatrix* out,
+                                     std::atomic<int64_t>* fresh) {
+  const int64_t rows = io_->ReadBlock(b, out, fresh);
+  consumed_.Set(b);
+  ++consumed_blocks_;
+  rows_consumed_ += rows;
+  ++stats_.blocks_read;
+  stats_.rows_read += rows;
+  return rows;
+}
+
+void SamplingEngine::MarkAllExhausted() {
+  std::fill(exhausted_.begin(), exhausted_.end(), true);
+}
+
+int64_t SamplingEngine::SampleRows(int64_t m, CountMatrix* out) {
+  // Stage-1 I/O: plain sequential consumption; the paper's block choice
+  // for the pruning stage is "just scan each block sequentially".
+  int64_t drawn = 0;
+  while (drawn < m && consumed_blocks_ < num_blocks_) {
+    const BlockId b = NextBlock();
+    if (consumed_.Get(b)) continue;
+    drawn += ConsumeBlock(b, out, nullptr);
+  }
+  if (AllConsumed()) MarkAllExhausted();
+  return drawn;
+}
+
+void SamplingEngine::SampleUntilTargets(const std::vector<int64_t>& targets,
+                                        CountMatrix* out,
+                                        std::vector<bool>* exhausted) {
+  const int vz = io_->num_candidates();
+  FASTMATCH_CHECK_EQ(static_cast<int>(targets.size()), vz);
+  FASTMATCH_CHECK_EQ(static_cast<int>(exhausted->size()), vz);
+
+  // Per-call fresh counters (shared with the marker thread in lookahead
+  // mode). Seeded from `out`, which is normally empty.
+  for (int i = 0; i < vz; ++i) {
+    fresh_[i].store(out->RowTotal(i), std::memory_order_relaxed);
+  }
+
+  switch (options_.policy) {
+    case BlockSelection::kScanAll:
+      RunScanAll(targets, out);
+      break;
+    case BlockSelection::kAnyActiveSync:
+      RunSync(targets, out);
+      break;
+    case BlockSelection::kAnyActiveLookahead:
+      RunLookahead(targets, out);
+      break;
+  }
+
+  if (AllConsumed()) MarkAllExhausted();
+  for (int i = 0; i < vz; ++i) {
+    if (exhausted_[i]) (*exhausted)[i] = true;
+    // Postcondition: every requested target is met or the candidate is
+    // fully enumerated.
+    FASTMATCH_CHECK(targets[i] < 0 || exhausted_[i] ||
+                    fresh_[i].load(std::memory_order_relaxed) >= targets[i])
+        << "candidate " << i << " target unmet without exhaustion";
+  }
+}
+
+namespace {
+
+/// Builds the list of candidates whose fresh-sample targets are unmet.
+std::vector<int> UnmetList(const std::vector<int64_t>& targets,
+                           const std::atomic<int64_t>* fresh,
+                           const std::vector<bool>& exhausted) {
+  std::vector<int> unmet;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i] >= 0 && !exhausted[i] &&
+        fresh[i].load(std::memory_order_relaxed) < targets[i]) {
+      unmet.push_back(static_cast<int>(i));
+    }
+  }
+  return unmet;
+}
+
+}  // namespace
+
+void SamplingEngine::RunScanAll(const std::vector<int64_t>& targets,
+                                CountMatrix* out) {
+  std::vector<int> unmet = UnmetList(targets, fresh_.get(), exhausted_);
+  int since_sweep = 0;
+  while (!unmet.empty() && consumed_blocks_ < num_blocks_) {
+    const BlockId b = NextBlock();
+    if (consumed_.Get(b)) continue;
+    ConsumeBlock(b, out, fresh_.get());
+    if (++since_sweep >= 16) {
+      since_sweep = 0;
+      unmet = UnmetList(targets, fresh_.get(), exhausted_);
+    }
+  }
+  if (consumed_blocks_ >= num_blocks_) MarkAllExhausted();
+}
+
+void SamplingEngine::RunSync(const std::vector<int64_t>& targets,
+                             CountMatrix* out) {
+  std::vector<int> unmet = UnmetList(targets, fresh_.get(), exhausted_);
+  std::vector<uint8_t> mark(1);
+  int64_t zero_read_streak = 0;
+  int since_sweep = 0;
+
+  while (!unmet.empty()) {
+    if (consumed_blocks_ >= num_blocks_) {
+      MarkAllExhausted();
+      break;
+    }
+    // A full wrap-around cycle without a single read: every unconsumed
+    // block lacks tuples of all unmet candidates, so they are fully
+    // enumerated.
+    if (zero_read_streak >= num_blocks_) {
+      for (int i : unmet) exhausted_[i] = true;
+      break;
+    }
+    const BlockId b = NextBlock();
+    if (consumed_.Get(b)) {
+      ++zero_read_streak;
+      continue;
+    }
+    // Paper Algorithm 2: per-block candidate probing, synchronous.
+    MarkAnyActiveNaive(*index_, unmet, b, 1, &mark);
+    if (!mark[0]) {
+      ++stats_.blocks_skipped;
+      ++zero_read_streak;
+      continue;
+    }
+    ConsumeBlock(b, out, fresh_.get());
+    zero_read_streak = 0;
+    if (++since_sweep >= 16) {
+      since_sweep = 0;
+      unmet = UnmetList(targets, fresh_.get(), exhausted_);
+    }
+  }
+}
+
+void SamplingEngine::RunLookahead(const std::vector<int64_t>& targets,
+                                  CountMatrix* out) {
+  // Marker state is private to the marking thread: a virtual view of
+  // consumption that includes blocks queued but not yet read. Since the
+  // marker is the only producer of reads, the view is consistent.
+  BitVector virtual_consumed = consumed_;
+  int64_t virtual_count = consumed_blocks_;
+  BlockId marker_cursor = cursor_;
+
+  MarkQueue queue(/*capacity=*/4);
+  std::vector<int> marker_exhausted;
+  int64_t marker_skipped = 0;
+  int64_t marker_batches = 0;
+  // Set by the I/O side the moment every target is met, so the marker
+  // does not keep queueing reads against stale counts (lookahead
+  // overshoot is bounded by the queue depth plus one batch).
+  std::atomic<bool> stop{false};
+
+  std::thread marker([&] {
+    std::vector<uint64_t> scratch;
+    std::vector<uint8_t> marks;
+    int64_t zero_read_streak = 0;
+    while (true) {
+      if (stop.load(std::memory_order_relaxed)) {
+        queue.Push(MarkBatch{{}, true});
+        return;
+      }
+      std::vector<int> unmet = UnmetList(targets, fresh_.get(), exhausted_);
+      if (unmet.empty()) {
+        queue.Push(MarkBatch{{}, true});
+        return;
+      }
+      if (virtual_count >= num_blocks_) {
+        // Everything is consumed or queued: all candidates will be exact.
+        for (int i = 0; i < io_->num_candidates(); ++i) {
+          marker_exhausted.push_back(i);
+        }
+        queue.Push(MarkBatch{{}, true});
+        return;
+      }
+      if (zero_read_streak >= num_blocks_) {
+        marker_exhausted = unmet;
+        queue.Push(MarkBatch{{}, true});
+        return;
+      }
+
+      const int count = static_cast<int>(std::min<int64_t>(
+          options_.lookahead, num_blocks_ - marker_cursor));
+      MarkAnyActiveLookahead(*index_, unmet, marker_cursor, count, &scratch,
+                             &marks);
+      MarkBatch batch;
+      for (int i = 0; i < count; ++i) {
+        const BlockId b = marker_cursor + i;
+        if (virtual_consumed.Get(b)) continue;
+        if (marks[static_cast<size_t>(i)]) {
+          virtual_consumed.Set(b);
+          ++virtual_count;
+          batch.reads.push_back(b);
+        } else {
+          ++marker_skipped;
+        }
+      }
+      marker_cursor += count;
+      if (marker_cursor >= num_blocks_) marker_cursor = 0;
+      if (batch.reads.empty()) {
+        zero_read_streak += count;
+      } else {
+        zero_read_streak = 0;
+        ++marker_batches;
+        queue.Push(std::move(batch));
+      }
+    }
+  });
+
+  // This thread is the I/O manager: it executes read marks as they arrive,
+  // never blocked by marking (paper Challenge 4). It also owns the
+  // freshest counts, so it is the side that detects "all targets met" and
+  // stops the pipeline; blocks still queued are discarded unread (their
+  // consumed bits were never set).
+  int since_check = 0;
+  while (true) {
+    MarkBatch batch = queue.Pop();
+    if (!stop.load(std::memory_order_relaxed)) {
+      for (BlockId b : batch.reads) {
+        ConsumeBlock(b, out, fresh_.get());
+        if (++since_check >= 16) {
+          since_check = 0;
+          if (UnmetList(targets, fresh_.get(), exhausted_).empty()) {
+            stop.store(true, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    }
+    if (batch.done) break;
+  }
+  marker.join();
+
+  cursor_ = marker_cursor;
+  stats_.blocks_skipped += marker_skipped;
+  stats_.marker_batches += marker_batches;
+  // The marker's exhaustion conclusions presume every block it virtually
+  // consumed was actually read. When the I/O side stopped early (all
+  // targets met), queued reads were discarded and the claims are void --
+  // and unneeded, since no target is left unmet.
+  if (!stop.load(std::memory_order_relaxed)) {
+    for (int i : marker_exhausted) exhausted_[i] = true;
+  }
+}
+
+}  // namespace fastmatch

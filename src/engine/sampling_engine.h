@@ -1,0 +1,134 @@
+// The FastMatch sampling engine (paper Section 4).
+//
+// Implements core/sampler.h over the block grid of a ColumnStore:
+//
+//   * data is consumed at block granularity, sequentially from a random
+//     start (the store is pre-shuffled, so this is uniform sampling
+//     without replacement at block granularity);
+//   * a consumed-block bitmap enforces exact without-replacement across
+//     all stages of a run;
+//   * stage-2/3 I/O phases apply a block selection policy:
+//       kScanAll            ScanMatch: read every block in order
+//       kAnyActiveSync      SyncMatch: per-block naive AnyActive (Alg. 2)
+//       kAnyActiveLookahead FastMatch: batch marking on a separate
+//                           lookahead thread (Alg. 3) feeding the I/O
+//                           manager through a bounded queue, so marking
+//                           never blocks I/O (paper Challenge 4).
+//
+// Exhaustion rule: if a full cursor cycle (num_blocks consecutive visited
+// blocks) produces zero new reads while candidate c stays active, then
+// every block containing c is consumed (or queued for reading), so c is
+// fully enumerated once the queue drains; c's cumulative counts are then
+// exact. This is what lets HistSim terminate on candidates whose sample
+// targets exceed their total tuple counts.
+
+#ifndef FASTMATCH_ENGINE_SAMPLING_ENGINE_H_
+#define FASTMATCH_ENGINE_SAMPLING_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/sampler.h"
+#include "engine/io_manager.h"
+#include "index/bitmap_index.h"
+#include "index/bitvector.h"
+#include "storage/column_store.h"
+#include "util/result.h"
+
+namespace fastmatch {
+
+/// Block selection policy for stage-2/3 I/O phases.
+enum class BlockSelection {
+  kScanAll,             // ScanMatch
+  kAnyActiveSync,       // SyncMatch
+  kAnyActiveLookahead,  // FastMatch
+};
+
+/// Engine knobs.
+struct EngineOptions {
+  BlockSelection policy = BlockSelection::kAnyActiveLookahead;
+  /// Blocks marked per batch by the lookahead thread (paper default 1024).
+  int lookahead = 1024;
+  /// Seed; chooses the random scan start position.
+  uint64_t seed = 42;
+};
+
+/// I/O counters for one engine lifetime (one query run).
+struct EngineStats {
+  int64_t blocks_read = 0;
+  int64_t blocks_skipped = 0;  // visited and skipped by the policy
+  int64_t rows_read = 0;
+  int64_t marker_batches = 0;  // lookahead batches produced
+};
+
+class SamplingEngine : public Sampler {
+ public:
+  /// \brief Creates an engine for one query run.
+  ///
+  /// `z_index` is required for the AnyActive policies and ignored by
+  /// kScanAll. The engine starts its scan cursor at a seed-derived random
+  /// block, per the paper's experimental protocol.
+  static Result<std::unique_ptr<SamplingEngine>> Create(
+      std::shared_ptr<const ColumnStore> store,
+      std::shared_ptr<const BitmapIndex> z_index, int z_attr,
+      std::vector<int> x_attrs, EngineOptions options);
+
+  // ------------------------------------------------------ Sampler interface
+  int num_candidates() const override { return io_->num_candidates(); }
+  int num_groups() const override { return io_->num_groups(); }
+  int64_t total_rows() const override { return store_->num_rows(); }
+  int64_t SampleRows(int64_t m, CountMatrix* out) override;
+  void SampleUntilTargets(const std::vector<int64_t>& targets,
+                          CountMatrix* out,
+                          std::vector<bool>* exhausted) override;
+  bool AllConsumed() const override {
+    return consumed_blocks_ == num_blocks_;
+  }
+  int64_t rows_consumed() const override { return rows_consumed_; }
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  SamplingEngine(std::shared_ptr<const ColumnStore> store,
+                 std::shared_ptr<const BitmapIndex> z_index,
+                 std::unique_ptr<IoManager> io, EngineOptions options);
+
+  /// Advances the wrap-around cursor and returns the block to visit.
+  BlockId NextBlock() {
+    const BlockId b = cursor_;
+    if (++cursor_ >= num_blocks_) cursor_ = 0;
+    return b;
+  }
+
+  /// Reads block b into `out`, maintaining consumption state and stats.
+  int64_t ConsumeBlock(BlockId b, CountMatrix* out,
+                       std::atomic<int64_t>* fresh);
+
+  void MarkAllExhausted();
+
+  // Policy-specific SampleUntilTargets bodies.
+  void RunScanAll(const std::vector<int64_t>& targets, CountMatrix* out);
+  void RunSync(const std::vector<int64_t>& targets, CountMatrix* out);
+  void RunLookahead(const std::vector<int64_t>& targets, CountMatrix* out);
+
+  std::shared_ptr<const ColumnStore> store_;
+  std::shared_ptr<const BitmapIndex> index_;
+  std::unique_ptr<IoManager> io_;
+  EngineOptions options_;
+
+  int64_t num_blocks_ = 0;
+  BlockId cursor_ = 0;
+  BitVector consumed_;
+  int64_t consumed_blocks_ = 0;
+  int64_t rows_consumed_ = 0;
+  std::vector<bool> exhausted_;  // sticky: candidate fully enumerated
+  EngineStats stats_;
+
+  // Per-call fresh-sample counters, shared with the lookahead thread.
+  std::unique_ptr<std::atomic<int64_t>[]> fresh_;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_ENGINE_SAMPLING_ENGINE_H_

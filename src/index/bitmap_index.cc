@@ -1,0 +1,62 @@
+#include "index/bitmap_index.h"
+
+namespace fastmatch {
+
+namespace {
+
+template <typename T>
+void FillBitmaps(const ColumnStore& store, int attr,
+                 std::vector<BitVector>* bitmaps) {
+  const T* data = store.column(attr).data<T>();
+  const int64_t num_blocks = store.num_blocks();
+  for (BlockId b = 0; b < num_blocks; ++b) {
+    RowId begin, end;
+    store.BlockRowRange(b, &begin, &end);
+    for (RowId r = begin; r < end; ++r) {
+      (*bitmaps)[data[r]].Set(b);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::shared_ptr<BitmapIndex>> BitmapIndex::Build(
+    const ColumnStore& store, int attr) {
+  if (attr < 0 || attr >= store.schema().num_attributes()) {
+    return Status::InvalidArgument("BitmapIndex::Build: bad attribute index " +
+                                   std::to_string(attr));
+  }
+  auto index = std::make_shared<BitmapIndex>();
+  index->attr_ = attr;
+  index->num_blocks_ = store.num_blocks();
+  const uint32_t card = store.schema().attribute(attr).cardinality;
+  index->bitmaps_.assign(card, BitVector(index->num_blocks_));
+
+  switch (store.schema().attribute(attr).type()) {
+    case ValueType::kU8:
+      FillBitmaps<uint8_t>(store, attr, &index->bitmaps_);
+      break;
+    case ValueType::kU16:
+      FillBitmaps<uint16_t>(store, attr, &index->bitmaps_);
+      break;
+    case ValueType::kU32:
+      FillBitmaps<uint32_t>(store, attr, &index->bitmaps_);
+      break;
+  }
+
+  index->block_counts_.resize(card);
+  for (uint32_t v = 0; v < card; ++v) {
+    index->block_counts_[v] = index->bitmaps_[v].Popcount();
+  }
+  return index;
+}
+
+int64_t BitmapIndex::ByteSize() const {
+  int64_t total = 0;
+  for (const auto& bv : bitmaps_) {
+    total += static_cast<int64_t>(bv.words().size()) * 8;
+  }
+  return total;
+}
+
+}  // namespace fastmatch

@@ -1,0 +1,73 @@
+#include "index/bitvector.h"
+
+#include <bit>
+
+namespace fastmatch {
+
+int64_t BitVector::Popcount() const {
+  int64_t total = 0;
+  for (uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+int64_t BitVector::PopcountRange(int64_t begin, int64_t end) const {
+  if (begin >= end) return 0;
+  FASTMATCH_CHECK_GE(begin, 0);
+  FASTMATCH_CHECK_LE(end, num_bits_);
+  const int64_t first_word = begin >> 6;
+  const int64_t last_word = (end - 1) >> 6;
+  if (first_word == last_word) {
+    const uint64_t mask = ((end - begin) == 64)
+                              ? ~0ULL
+                              : (((1ULL << (end - begin)) - 1) << (begin & 63));
+    return std::popcount(words_[static_cast<size_t>(first_word)] & mask);
+  }
+  int64_t total = 0;
+  // Head word: bits [begin & 63, 64).
+  total += std::popcount(words_[static_cast<size_t>(first_word)] &
+                         (~0ULL << (begin & 63)));
+  for (int64_t w = first_word + 1; w < last_word; ++w) {
+    total += std::popcount(words_[static_cast<size_t>(w)]);
+  }
+  // Tail word: bits [0, ((end-1) & 63) + 1).
+  const int tail_bits = static_cast<int>(((end - 1) & 63) + 1);
+  const uint64_t tail_mask =
+      tail_bits == 64 ? ~0ULL : ((1ULL << tail_bits) - 1);
+  total += std::popcount(words_[static_cast<size_t>(last_word)] & tail_mask);
+  return total;
+}
+
+bool BitVector::AnyInRange(int64_t begin, int64_t end) const {
+  if (begin >= end) return false;
+  FASTMATCH_CHECK_GE(begin, 0);
+  FASTMATCH_CHECK_LE(end, num_bits_);
+  const int64_t first_word = begin >> 6;
+  const int64_t last_word = (end - 1) >> 6;
+  if (first_word == last_word) {
+    const uint64_t mask = ((end - begin) == 64)
+                              ? ~0ULL
+                              : (((1ULL << (end - begin)) - 1) << (begin & 63));
+    return (words_[static_cast<size_t>(first_word)] & mask) != 0;
+  }
+  if ((words_[static_cast<size_t>(first_word)] & (~0ULL << (begin & 63))) != 0)
+    return true;
+  for (int64_t w = first_word + 1; w < last_word; ++w) {
+    if (words_[static_cast<size_t>(w)] != 0) return true;
+  }
+  const int tail_bits = static_cast<int>(((end - 1) & 63) + 1);
+  const uint64_t tail_mask =
+      tail_bits == 64 ? ~0ULL : ((1ULL << tail_bits) - 1);
+  return (words_[static_cast<size_t>(last_word)] & tail_mask) != 0;
+}
+
+void BitVector::SetAll() {
+  if (words_.empty()) return;
+  for (auto& w : words_) w = ~0ULL;
+  // Clear the bits beyond size() in the last word.
+  const int used = static_cast<int>(num_bits_ & 63);
+  if (used != 0) {
+    words_.back() &= (1ULL << used) - 1;
+  }
+}
+
+}  // namespace fastmatch

@@ -1,0 +1,55 @@
+// Packed bit vector used by the block-level bitmap index.
+
+#ifndef FASTMATCH_INDEX_BITVECTOR_H_
+#define FASTMATCH_INDEX_BITVECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace fastmatch {
+
+/// \brief Fixed-size packed bit vector (64-bit words).
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(int64_t num_bits)
+      : num_bits_(num_bits),
+        words_(static_cast<size_t>((num_bits + 63) / 64), 0) {}
+
+  int64_t size() const { return num_bits_; }
+
+  void Set(int64_t i) {
+    words_[static_cast<size_t>(i >> 6)] |= (1ULL << (i & 63));
+  }
+  void Clear(int64_t i) {
+    words_[static_cast<size_t>(i >> 6)] &= ~(1ULL << (i & 63));
+  }
+  bool Get(int64_t i) const {
+    return (words_[static_cast<size_t>(i >> 6)] >> (i & 63)) & 1;
+  }
+
+  /// \brief Number of set bits.
+  int64_t Popcount() const;
+
+  /// \brief Number of set bits within [begin, end).
+  int64_t PopcountRange(int64_t begin, int64_t end) const;
+
+  /// \brief Whether any bit is set in [begin, end).
+  bool AnyInRange(int64_t begin, int64_t end) const;
+
+  /// \brief Raw words, for cache-conscious scanning (Algorithm 3).
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// \brief Sets every bit in [0, size()).
+  void SetAll();
+
+ private:
+  int64_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_INDEX_BITVECTOR_H_

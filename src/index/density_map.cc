@@ -1,0 +1,68 @@
+#include "index/density_map.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fastmatch {
+
+Result<std::shared_ptr<DensityMap>> DensityMap::Build(const ColumnStore& store,
+                                                      int attr) {
+  if (attr < 0 || attr >= store.schema().num_attributes()) {
+    return Status::InvalidArgument("DensityMap::Build: bad attribute index " +
+                                   std::to_string(attr));
+  }
+  auto map = std::make_shared<DensityMap>();
+  map->attr_ = attr;
+  map->num_blocks_ = store.num_blocks();
+  map->num_values_ = store.schema().attribute(attr).cardinality;
+  map->cells_.assign(
+      static_cast<size_t>(map->num_values_) * map->num_blocks_, 0);
+
+  const Column& col = store.column(attr);
+  for (BlockId b = 0; b < map->num_blocks_; ++b) {
+    RowId begin, end;
+    store.BlockRowRange(b, &begin, &end);
+    for (RowId r = begin; r < end; ++r) {
+      uint8_t& cell =
+          map->cells_[static_cast<size_t>(col.Get(r)) * map->num_blocks_ + b];
+      if (cell != 255) ++cell;  // saturate
+    }
+  }
+  return map;
+}
+
+bool CandidatePredicate::Matches(const ColumnStore& store, RowId row) const {
+  const bool first = store.column(attr1).Get(row) == value1;
+  switch (op) {
+    case Op::kSingle:
+      return first;
+    case Op::kAnd:
+      return first && store.column(attr2).Get(row) == value2;
+    case Op::kOr:
+      return first || store.column(attr2).Get(row) == value2;
+  }
+  return false;
+}
+
+uint8_t EstimateBlockMatches(const CandidatePredicate& pred,
+                             const DensityMap& map1, const DensityMap* map2,
+                             BlockId b) {
+  const uint8_t c1 = map1.Count(pred.value1, b);
+  switch (pred.op) {
+    case CandidatePredicate::Op::kSingle:
+      return c1;
+    case CandidatePredicate::Op::kAnd: {
+      FASTMATCH_CHECK(map2 != nullptr);
+      return std::min(c1, map2->Count(pred.value2, b));
+    }
+    case CandidatePredicate::Op::kOr: {
+      FASTMATCH_CHECK(map2 != nullptr);
+      const int sum = c1 + map2->Count(pred.value2, b);
+      return static_cast<uint8_t>(std::min(sum, 255));
+    }
+  }
+  return 0;
+}
+
+}  // namespace fastmatch

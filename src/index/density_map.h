@@ -1,0 +1,74 @@
+// Density maps (paper Appendix A.1.2, after Kim et al. [48]).
+//
+// A density map stores, for each (attribute value, block), a saturating
+// 8-bit count of matching tuples. Unlike the 1-bit bitmap index, density
+// maps can estimate how many tuples in a block satisfy a boolean
+// combination of predicates (AND -> min, OR -> saturating sum), which is
+// what the AnyActive policy needs when candidates are defined by arbitrary
+// predicates rather than single attribute values.
+//
+// Memory cost is |V_A| * num_blocks bytes per indexed attribute (8x the
+// bitmap index), so these are built on demand for predicate workloads.
+
+#ifndef FASTMATCH_INDEX_DENSITY_MAP_H_
+#define FASTMATCH_INDEX_DENSITY_MAP_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/column_store.h"
+#include "util/result.h"
+
+namespace fastmatch {
+
+/// \brief Per-(value, block) saturating tuple counts for one attribute.
+class DensityMap {
+ public:
+  static Result<std::shared_ptr<DensityMap>> Build(const ColumnStore& store,
+                                                   int attr);
+
+  int attribute() const { return attr_; }
+  int64_t num_blocks() const { return num_blocks_; }
+  uint32_t num_values() const { return num_values_; }
+
+  /// \brief Saturating count (capped at 255) of tuples with value v in
+  /// block b.
+  uint8_t Count(Value v, BlockId b) const {
+    return cells_[static_cast<size_t>(v) * num_blocks_ + b];
+  }
+
+  int64_t ByteSize() const { return static_cast<int64_t>(cells_.size()); }
+
+ private:
+  int attr_ = -1;
+  int64_t num_blocks_ = 0;
+  uint32_t num_values_ = 0;
+  std::vector<uint8_t> cells_;  // value-major: cells_[v * num_blocks + b]
+};
+
+/// \brief A predicate over one or two attributes of a store, in the shape
+/// Appendix A.1.2 discusses: Z1 = a, optionally AND/OR Z2 = b.
+struct CandidatePredicate {
+  enum class Op { kSingle, kAnd, kOr };
+  Op op = Op::kSingle;
+  int attr1 = -1;
+  Value value1 = 0;
+  int attr2 = -1;
+  Value value2 = 0;
+
+  /// \brief Evaluates the predicate on one row.
+  bool Matches(const ColumnStore& store, RowId row) const;
+};
+
+/// \brief Estimated matching-tuple count in a block, from density maps
+/// (min for AND, saturating sum for OR). An estimate of 0 for AND may be a
+/// false negative only when both sides saturate, which cannot happen at
+/// 8-bit saturation vs. paper-sized blocks; for kSingle/kOr a 0 estimate is
+/// exact.
+uint8_t EstimateBlockMatches(const CandidatePredicate& pred,
+                             const DensityMap& map1, const DensityMap* map2,
+                             BlockId b);
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_INDEX_DENSITY_MAP_H_

@@ -1,0 +1,59 @@
+#include "stats/deviation.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace fastmatch {
+
+namespace {
+constexpr double kLog2 = 0.6931471805599453;
+}  // namespace
+
+double DeviationEpsilon(int64_t n, int64_t vx, double log_delta) {
+  FASTMATCH_CHECK_GT(n, 0);
+  FASTMATCH_CHECK_GT(vx, 0);
+  FASTMATCH_CHECK_LE(log_delta, 0.0);
+  return std::sqrt(2.0 / static_cast<double>(n) *
+                   (static_cast<double>(vx) * kLog2 - log_delta));
+}
+
+int64_t DeviationSamples(double eps, int64_t vx, double log_delta) {
+  FASTMATCH_CHECK_GT(eps, 0.0);
+  FASTMATCH_CHECK_GT(vx, 0);
+  FASTMATCH_CHECK_LE(log_delta, 0.0);
+  const double n =
+      2.0 * (static_cast<double>(vx) * kLog2 - log_delta) / (eps * eps);
+  return static_cast<int64_t>(std::ceil(n));
+}
+
+double LogDeviationPValue(double eps, int64_t n, int64_t vx) {
+  FASTMATCH_CHECK_GE(n, 0);
+  FASTMATCH_CHECK_GT(vx, 0);
+  if (eps <= 0.0) return 0.0;  // log(1): cannot reject.
+  if (std::isinf(eps)) {
+    // eps = +inf encodes a vacuous null (s - eps/2 < 0 in Algorithm 1
+    // line 22): the null is impossible, reject for free.
+    return -std::numeric_limits<double>::infinity();
+  }
+  const double lp = static_cast<double>(vx) * kLog2 -
+                    eps * eps * static_cast<double>(n) / 2.0;
+  return lp < 0.0 ? lp : 0.0;
+}
+
+int64_t Stage3Samples(double eps, int64_t vx, int64_t k, double delta) {
+  FASTMATCH_CHECK_GT(eps, 0.0);
+  FASTMATCH_CHECK_GT(vx, 0);
+  FASTMATCH_CHECK_GT(k, 0);
+  FASTMATCH_CHECK_GT(delta, 0.0);
+  // ni >= (2/eps^2) (|VX| log 2 + log(3k/delta)): each winner fails
+  // reconstruction with probability <= delta/(3k); union over k winners
+  // gives the stage's delta/3 budget.
+  const double n = 2.0 / (eps * eps) *
+                   (static_cast<double>(vx) * kLog2 +
+                    std::log(3.0 * static_cast<double>(k) / delta));
+  return static_cast<int64_t>(std::ceil(n));
+}
+
+}  // namespace fastmatch

@@ -1,0 +1,44 @@
+// Theorem 1 of the paper: the l1 deviation bound for empirical discrete
+// distributions, and its inverses.
+//
+//   P( || r_hat - r_true ||_1 >= eps ) <= 2^{|VX|} * exp(-eps^2 * n / 2)
+//
+// Equivalently, with probability > 1 - delta the empirical distribution
+// built from n samples is within
+//   eps = sqrt( (2/n) * (|VX| log 2 + log(1/delta)) )
+// of the truth. The bound is information-theoretically rate-optimal
+// (Omega(|VX|/eps^2) samples are necessary). It also transfers to sampling
+// without replacement (Hoeffding 1963 / Bardenet-Maillard 2015), which is
+// how the FastMatch engine actually samples.
+
+#ifndef FASTMATCH_STATS_DEVIATION_H_
+#define FASTMATCH_STATS_DEVIATION_H_
+
+#include <cstdint>
+
+namespace fastmatch {
+
+/// \brief eps such that n samples give eps-deviation w.p. > 1 - delta.
+///
+/// \param n number of samples (> 0)
+/// \param vx support size |VX|
+/// \param log_delta log of the failure probability (log space because
+///        HistSim drives delta to delta/3/2^t across rounds)
+double DeviationEpsilon(int64_t n, int64_t vx, double log_delta);
+
+/// \brief Minimal n with eps-deviation w.p. > 1 - delta (Equation 1).
+///
+/// n = ceil( 2 * (|VX| log 2 - log_delta) / eps^2 ).
+int64_t DeviationSamples(double eps, int64_t vx, double log_delta);
+
+/// \brief log P-value of observing deviation >= eps after n samples:
+/// min(0, |VX| log 2 - eps^2 n / 2). eps <= 0 yields log(1) = 0.
+double LogDeviationPValue(double eps, int64_t n, int64_t vx);
+
+/// \brief Stage-3 per-winner sample target:
+/// ceil( (2/eps^2) * (|VX| log 2 + log(3k/delta)) )  (Algorithm 1 line 26).
+int64_t Stage3Samples(double eps, int64_t vx, int64_t k, double delta);
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_STATS_DEVIATION_H_

@@ -1,0 +1,52 @@
+#include "stats/multiple_testing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace fastmatch {
+
+std::vector<int> HolmBonferroniReject(const std::vector<double>& log_pvalues,
+                                      double log_alpha) {
+  const size_t n = log_pvalues.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return log_pvalues[a] < log_pvalues[b];
+  });
+
+  std::vector<int> rejected;
+  for (size_t r = 0; r < n; ++r) {
+    // Rank r (0-based): threshold alpha / (n - r).
+    const double log_threshold =
+        log_alpha - std::log(static_cast<double>(n - r));
+    if (log_pvalues[order[r]] <= log_threshold) {
+      rejected.push_back(order[r]);
+    } else {
+      break;  // Step-down stops at the first retained hypothesis.
+    }
+  }
+  return rejected;
+}
+
+std::vector<int> BonferroniReject(const std::vector<double>& log_pvalues,
+                                  double log_alpha) {
+  const size_t n = log_pvalues.size();
+  if (n == 0) return {};
+  const double log_threshold = log_alpha - std::log(static_cast<double>(n));
+  std::vector<int> rejected;
+  for (size_t i = 0; i < n; ++i) {
+    if (log_pvalues[i] <= log_threshold) rejected.push_back(static_cast<int>(i));
+  }
+  return rejected;
+}
+
+bool SimultaneousReject(const std::vector<double>& log_pvalues,
+                        double log_alpha) {
+  for (double lp : log_pvalues) {
+    if (lp > log_alpha) return false;
+  }
+  return true;
+}
+
+}  // namespace fastmatch

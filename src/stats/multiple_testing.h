@@ -1,0 +1,41 @@
+// Multiple hypothesis testing procedures (paper Sections 3.2 and 3.4.1).
+//
+// All P-values are handled in log space: after several HistSim stage-2
+// rounds the working significance level is delta/3/2^t, and the Theorem-1
+// P-values themselves routinely land around exp(-hundreds).
+
+#ifndef FASTMATCH_STATS_MULTIPLE_TESTING_H_
+#define FASTMATCH_STATS_MULTIPLE_TESTING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fastmatch {
+
+/// \brief Holm-Bonferroni step-down at level exp(log_alpha).
+///
+/// Returns the indices (into `log_pvalues`) of rejected null hypotheses.
+/// Sort P-values ascending; walking ranks r = 1..n, reject while
+/// p_(r) <= alpha / (n - r + 1); stop at the first failure (all later
+/// hypotheses are retained, even if individually below their threshold).
+/// Controls family-wise error at alpha for arbitrary dependence.
+std::vector<int> HolmBonferroniReject(const std::vector<double>& log_pvalues,
+                                      double log_alpha);
+
+/// \brief Plain Bonferroni: reject i iff p_i <= alpha / n.
+///
+/// Uniformly less powerful than Holm-Bonferroni; kept for the ablation
+/// benchmark that quantifies the paper's Section 3.2 claim.
+std::vector<int> BonferroniReject(const std::vector<double>& log_pvalues,
+                                  double log_alpha);
+
+/// \brief The all-or-nothing tester of Lemma 4.
+///
+/// Rejects every null iff max_i p_i <= alpha; rejecting one or more true
+/// nulls then has probability <= alpha. Empty families reject vacuously.
+bool SimultaneousReject(const std::vector<double>& log_pvalues,
+                        double log_alpha);
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_STATS_MULTIPLE_TESTING_H_

@@ -1,0 +1,19 @@
+#include "storage/column.h"
+
+#include "storage/types.h"
+
+namespace fastmatch {
+
+std::string_view ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kU8:
+      return "u8";
+    case ValueType::kU16:
+      return "u16";
+    case ValueType::kU32:
+      return "u32";
+  }
+  return "?";
+}
+
+}  // namespace fastmatch

@@ -1,0 +1,104 @@
+// A single dictionary-encoded column with narrow physical storage.
+
+#ifndef FASTMATCH_STORAGE_COLUMN_H_
+#define FASTMATCH_STORAGE_COLUMN_H_
+
+#include <cstring>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/logging.h"
+
+namespace fastmatch {
+
+/// \brief Append-only typed column. Values are dictionary codes; the
+/// physical width (u8/u16/u32) is fixed at construction.
+class Column {
+ public:
+  explicit Column(ValueType type) : type_(type) {}
+
+  ValueType type() const { return type_; }
+  int64_t size() const {
+    return static_cast<int64_t>(bytes_.size()) / ValueWidth(type_);
+  }
+
+  void Reserve(int64_t n) {
+    bytes_.reserve(static_cast<size_t>(n) * ValueWidth(type_));
+  }
+
+  /// \brief Appends one value. The value must fit the physical width
+  /// (checked in debug; masked never — generators guarantee the range).
+  void Append(Value v) {
+    switch (type_) {
+      case ValueType::kU8: {
+        uint8_t x = static_cast<uint8_t>(v);
+        bytes_.push_back(x);
+        break;
+      }
+      case ValueType::kU16: {
+        uint16_t x = static_cast<uint16_t>(v);
+        const uint8_t* p = reinterpret_cast<const uint8_t*>(&x);
+        bytes_.insert(bytes_.end(), p, p + 2);
+        break;
+      }
+      case ValueType::kU32: {
+        const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+        bytes_.insert(bytes_.end(), p, p + 4);
+        break;
+      }
+    }
+  }
+
+  /// \brief Random access (branch on width; scans should use data<T>()).
+  Value Get(RowId row) const {
+    switch (type_) {
+      case ValueType::kU8:
+        return bytes_[static_cast<size_t>(row)];
+      case ValueType::kU16: {
+        uint16_t x;
+        std::memcpy(&x, &bytes_[static_cast<size_t>(row) * 2], 2);
+        return x;
+      }
+      case ValueType::kU32: {
+        uint32_t x;
+        std::memcpy(&x, &bytes_[static_cast<size_t>(row) * 4], 4);
+        return x;
+      }
+    }
+    return 0;
+  }
+
+  void Set(RowId row, Value v) {
+    switch (type_) {
+      case ValueType::kU8:
+        bytes_[static_cast<size_t>(row)] = static_cast<uint8_t>(v);
+        break;
+      case ValueType::kU16: {
+        uint16_t x = static_cast<uint16_t>(v);
+        std::memcpy(&bytes_[static_cast<size_t>(row) * 2], &x, 2);
+        break;
+      }
+      case ValueType::kU32:
+        std::memcpy(&bytes_[static_cast<size_t>(row) * 4], &v, 4);
+        break;
+    }
+  }
+
+  /// \brief Typed pointer for tight scan kernels. T must match type().
+  template <typename T>
+  const T* data() const {
+    FASTMATCH_CHECK_EQ(sizeof(T), static_cast<size_t>(ValueWidth(type_)));
+    return reinterpret_cast<const T*>(bytes_.data());
+  }
+
+  /// \brief Physical bytes (for block-size accounting / IO simulation).
+  int64_t byte_size() const { return static_cast<int64_t>(bytes_.size()); }
+
+ private:
+  ValueType type_;
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_STORAGE_COLUMN_H_

@@ -1,0 +1,98 @@
+#include "storage/column_store.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace fastmatch {
+
+ColumnStore::ColumnStore(Schema schema, StorageOptions options)
+    : schema_(std::move(schema)), options_(options) {
+  columns_.reserve(schema_.num_attributes());
+  for (int i = 0; i < schema_.num_attributes(); ++i) {
+    columns_.emplace_back(schema_.attribute(i).type());
+  }
+  ComputeRowsPerBlock();
+}
+
+void ColumnStore::ComputeRowsPerBlock() {
+  if (options_.rows_per_block_override > 0) {
+    rows_per_block_ = options_.rows_per_block_override;
+    return;
+  }
+  int widest = 1;
+  for (int i = 0; i < schema_.num_attributes(); ++i) {
+    widest = std::max(widest, ValueWidth(schema_.attribute(i).type()));
+  }
+  rows_per_block_ = std::max(1, options_.block_bytes / widest);
+}
+
+Result<std::shared_ptr<ColumnStore>> ColumnStore::FromColumns(
+    Schema schema, std::vector<std::vector<Value>> column_values,
+    StorageOptions options) {
+  if (static_cast<int>(column_values.size()) != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        "FromColumns: column count does not match schema");
+  }
+  const size_t n = column_values.empty() ? 0 : column_values[0].size();
+  for (const auto& col : column_values) {
+    if (col.size() != n) {
+      return Status::InvalidArgument(
+          "FromColumns: ragged columns (unequal lengths)");
+    }
+  }
+  auto store = std::make_shared<ColumnStore>(std::move(schema), options);
+  store->Reserve(static_cast<int64_t>(n));
+  for (int a = 0; a < store->schema_.num_attributes(); ++a) {
+    const uint32_t card = store->schema_.attribute(a).cardinality;
+    Column& col = store->columns_[a];
+    for (Value v : column_values[a]) {
+      if (v >= card) {
+        return Status::OutOfRange("FromColumns: value " + std::to_string(v) +
+                                  " out of range for attribute '" +
+                                  store->schema_.attribute(a).name + "'");
+      }
+      col.Append(v);
+    }
+  }
+  store->num_rows_ = static_cast<int64_t>(n);
+  return store;
+}
+
+void ColumnStore::AppendRow(const std::vector<Value>& values) {
+  FASTMATCH_CHECK_EQ(static_cast<int>(values.size()),
+                     schema_.num_attributes());
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    FASTMATCH_CHECK_LT(values[a], schema_.attribute(a).cardinality);
+    columns_[a].Append(values[a]);
+  }
+  ++num_rows_;
+}
+
+void ColumnStore::Reserve(int64_t rows) {
+  for (auto& col : columns_) col.Reserve(rows);
+}
+
+void ColumnStore::Shuffle(uint64_t seed) {
+  // One shared permutation applied to every column, so rows stay aligned.
+  Rng rng(seed);
+  for (int64_t i = num_rows_ - 1; i > 0; --i) {
+    const int64_t j = static_cast<int64_t>(rng.Uniform(
+        static_cast<uint64_t>(i) + 1));
+    if (i == j) continue;
+    for (auto& col : columns_) {
+      Value tmp = col.Get(i);
+      col.Set(i, col.Get(j));
+      col.Set(j, tmp);
+    }
+  }
+}
+
+int64_t ColumnStore::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& col : columns_) total += col.byte_size();
+  return total;
+}
+
+}  // namespace fastmatch

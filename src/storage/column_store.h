@@ -1,0 +1,93 @@
+// Column-oriented in-memory store with a fixed block grid.
+//
+// FastMatch's unit of I/O is the block (paper Section 4): a fixed number of
+// consecutive rows, sized so that one column's slice of a block is
+// `block_bytes` (default 600 bytes, the paper's setting) for the widest
+// column. Blocks are aligned across columns so a block id denotes the same
+// tuple range in every column.
+//
+// The paper's preprocessing randomly permutes the tuples once so that a
+// sequential scan from any starting point is a uniform without-replacement
+// sample; `Shuffle()` implements that step.
+
+#ifndef FASTMATCH_STORAGE_COLUMN_STORE_H_
+#define FASTMATCH_STORAGE_COLUMN_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/schema.h"
+#include "storage/types.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace fastmatch {
+
+/// Storage layout knobs.
+struct StorageOptions {
+  /// Bytes of one column's slice of one block, for the widest column.
+  /// The paper uses 600 and reports insensitivity to the exact choice.
+  int block_bytes = 600;
+
+  /// When > 0, overrides the block_bytes computation with an explicit
+  /// row count per block.
+  int rows_per_block_override = 0;
+};
+
+/// \brief Immutable-after-load columnar relation.
+class ColumnStore {
+ public:
+  ColumnStore(Schema schema, StorageOptions options = {});
+
+  /// \brief Builds a store by moving in fully materialized columns.
+  /// Every vector must have the same length; values must be within the
+  /// attribute's cardinality.
+  static Result<std::shared_ptr<ColumnStore>> FromColumns(
+      Schema schema, std::vector<std::vector<Value>> column_values,
+      StorageOptions options = {});
+
+  const Schema& schema() const { return schema_; }
+  const Column& column(int attr) const { return columns_.at(attr); }
+
+  int64_t num_rows() const { return num_rows_; }
+  int rows_per_block() const { return rows_per_block_; }
+  int64_t num_blocks() const {
+    return (num_rows_ + rows_per_block_ - 1) / rows_per_block_;
+  }
+
+  /// \brief Row range [begin, end) covered by block b (last block may be
+  /// short).
+  void BlockRowRange(BlockId b, RowId* begin, RowId* end) const {
+    *begin = b * rows_per_block_;
+    *end = std::min<RowId>(num_rows_, *begin + rows_per_block_);
+  }
+
+  /// \brief Block containing row r.
+  BlockId BlockOfRow(RowId r) const { return r / rows_per_block_; }
+
+  /// \brief Appends one row; `values` must have one entry per attribute.
+  void AppendRow(const std::vector<Value>& values);
+
+  void Reserve(int64_t rows);
+
+  /// \brief Random row permutation (Fisher-Yates, seeded): the paper's
+  /// one-time preprocessing that makes sequential scans uniform samples.
+  void Shuffle(uint64_t seed);
+
+  /// \brief Total physical bytes across columns.
+  int64_t TotalBytes() const;
+
+ private:
+  Schema schema_;
+  StorageOptions options_;
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+  int rows_per_block_ = 1;
+
+  void ComputeRowsPerBlock();
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_STORAGE_COLUMN_STORE_H_

@@ -1,0 +1,14 @@
+#include "storage/schema.h"
+
+namespace fastmatch {
+
+Schema::Schema(std::vector<AttributeSpec> attrs) : attrs_(std::move(attrs)) {}
+
+Result<int> Schema::FindAttribute(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+}  // namespace fastmatch

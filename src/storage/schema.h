@@ -1,0 +1,43 @@
+// Relation schema: named, dictionary-encoded attributes.
+
+#ifndef FASTMATCH_STORAGE_SCHEMA_H_
+#define FASTMATCH_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/result.h"
+
+namespace fastmatch {
+
+/// \brief One attribute: a name and the size of its dictionary-encoded
+/// value set (|V_A| in the paper's notation).
+struct AttributeSpec {
+  std::string name;
+  uint32_t cardinality = 0;
+
+  /// Physical width chosen for this attribute.
+  ValueType type() const { return NarrowestType(cardinality); }
+};
+
+/// \brief Ordered attribute list with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeSpec> attrs);
+
+  int num_attributes() const { return static_cast<int>(attrs_.size()); }
+  const AttributeSpec& attribute(int i) const { return attrs_.at(i); }
+  const std::vector<AttributeSpec>& attributes() const { return attrs_; }
+
+  /// \brief Index of the attribute named `name`, or NotFound.
+  Result<int> FindAttribute(const std::string& name) const;
+
+ private:
+  std::vector<AttributeSpec> attrs_;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_STORAGE_SCHEMA_H_

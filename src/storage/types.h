@@ -1,0 +1,47 @@
+// Value types for dictionary-encoded columns.
+//
+// Every attribute is dictionary-encoded to a dense integer domain
+// [0, cardinality); the physical width is the narrowest unsigned type that
+// fits the cardinality. The logical value type everywhere in the API is
+// uint32_t.
+
+#ifndef FASTMATCH_STORAGE_TYPES_H_
+#define FASTMATCH_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace fastmatch {
+
+/// Logical value: dictionary code of an attribute value.
+using Value = uint32_t;
+
+/// Row index into a ColumnStore.
+using RowId = int64_t;
+
+/// Block index into a ColumnStore's fixed-size block grid.
+using BlockId = int64_t;
+
+/// Physical storage width of a column.
+enum class ValueType : uint8_t {
+  kU8 = 1,
+  kU16 = 2,
+  kU32 = 4,
+};
+
+/// \brief Bytes per value for a physical type.
+inline int ValueWidth(ValueType t) { return static_cast<int>(t); }
+
+/// \brief Narrowest type that stores codes in [0, cardinality).
+inline ValueType NarrowestType(uint64_t cardinality) {
+  if (cardinality <= (1ULL << 8)) return ValueType::kU8;
+  if (cardinality <= (1ULL << 16)) return ValueType::kU16;
+  return ValueType::kU32;
+}
+
+/// \brief Display name ("u8" / "u16" / "u32").
+std::string_view ValueTypeName(ValueType t);
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_STORAGE_TYPES_H_

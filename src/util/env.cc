@@ -1,0 +1,31 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace fastmatch {
+
+int64_t GetEnvInt64(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<int64_t>(v);
+}
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  double v = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return v;
+}
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  return std::string(raw);
+}
+
+}  // namespace fastmatch

@@ -1,0 +1,22 @@
+// Environment-variable helpers for benchmark/test scale knobs.
+
+#ifndef FASTMATCH_UTIL_ENV_H_
+#define FASTMATCH_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fastmatch {
+
+/// \brief Integer env var, or `fallback` when unset/unparseable.
+int64_t GetEnvInt64(const char* name, int64_t fallback);
+
+/// \brief Double env var, or `fallback` when unset/unparseable.
+double GetEnvDouble(const char* name, double fallback);
+
+/// \brief String env var, or `fallback` when unset.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_UTIL_ENV_H_

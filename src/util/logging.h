@@ -1,0 +1,76 @@
+// Minimal leveled logging and CHECK macros.
+//
+// FASTMATCH_CHECK(cond) << "context"; aborts with the streamed message when
+// `cond` is false. Internal invariants use CHECKs; user-facing failures use
+// Status. Log level is controlled by FASTMATCH_LOG_LEVEL (env) or
+// SetLogLevel().
+
+#ifndef FASTMATCH_UTIL_LOGGING_H_
+#define FASTMATCH_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fastmatch {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// \brief Sets the minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (or aborts, for kFatal) at
+/// end-of-statement when the temporary is destroyed.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace fastmatch
+
+#define FASTMATCH_LOG(level)                                        \
+  ::fastmatch::internal::LogMessage(::fastmatch::LogLevel::k##level, \
+                                    __FILE__, __LINE__)
+
+#define FASTMATCH_CHECK(cond)                              \
+  (cond) ? (void)0                                         \
+         : ::fastmatch::internal::LogMessageVoidify() &    \
+               FASTMATCH_LOG(Fatal) << "Check failed: " #cond " "
+
+#define FASTMATCH_CHECK_EQ(a, b) FASTMATCH_CHECK((a) == (b))
+#define FASTMATCH_CHECK_NE(a, b) FASTMATCH_CHECK((a) != (b))
+#define FASTMATCH_CHECK_LT(a, b) FASTMATCH_CHECK((a) < (b))
+#define FASTMATCH_CHECK_LE(a, b) FASTMATCH_CHECK((a) <= (b))
+#define FASTMATCH_CHECK_GT(a, b) FASTMATCH_CHECK((a) > (b))
+#define FASTMATCH_CHECK_GE(a, b) FASTMATCH_CHECK((a) >= (b))
+
+#endif  // FASTMATCH_UTIL_LOGGING_H_

@@ -1,0 +1,55 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace fastmatch {
+
+double NegInf() { return -std::numeric_limits<double>::infinity(); }
+
+double LogChoose(int64_t n, int64_t k) {
+  FASTMATCH_CHECK_GE(k, 0);
+  FASTMATCH_CHECK_LE(k, n);
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1) -
+         std::lgamma(static_cast<double>(k) + 1) -
+         std::lgamma(static_cast<double>(n - k) + 1);
+}
+
+double LogAdd(double a, double b) {
+  if (a == NegInf()) return b;
+  if (b == NegInf()) return a;
+  double hi = std::max(a, b);
+  double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double LogSumExp(const std::vector<double>& v) {
+  double acc = NegInf();
+  for (double x : v) acc = LogAdd(acc, x);
+  return acc;
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(hi, std::max(lo, x));
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double acc = 0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+}  // namespace fastmatch

@@ -1,0 +1,34 @@
+// Numerically stable log-space helpers used by the statistics layer.
+
+#ifndef FASTMATCH_UTIL_MATH_H_
+#define FASTMATCH_UTIL_MATH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fastmatch {
+
+/// \brief log(n choose k), exact-ish via lgamma; 0 <= k <= n required.
+double LogChoose(int64_t n, int64_t k);
+
+/// \brief log(exp(a) + exp(b)) without overflow.
+double LogAdd(double a, double b);
+
+/// \brief log(sum_i exp(v_i)); -inf for an empty vector.
+double LogSumExp(const std::vector<double>& v);
+
+/// \brief Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// \brief Mean of v; 0 for empty.
+double Mean(const std::vector<double>& v);
+
+/// \brief Sample standard deviation of v; 0 for size < 2.
+double StdDev(const std::vector<double>& v);
+
+/// \brief Negative infinity constant for log-probability code.
+double NegInf();
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_UTIL_MATH_H_

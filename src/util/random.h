@@ -1,0 +1,90 @@
+// Seeded, reproducible pseudo-random number generation.
+//
+// The library never uses std::random_device or global RNG state: every
+// stochastic component takes an explicit seed so that runs are replayable.
+// Rng is xoshiro256** (fast, high quality, 2^256-1 period) seeded through
+// SplitMix64 as its authors recommend. AliasSampler draws from a fixed
+// discrete distribution in O(1) per sample (Walker/Vose alias method) and
+// is the workhorse of the synthetic data generators.
+
+#ifndef FASTMATCH_UTIL_RANDOM_H_
+#define FASTMATCH_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fastmatch {
+
+/// \brief SplitMix64 step; used for seeding and cheap hash mixing.
+uint64_t SplitMix64(uint64_t* state);
+
+/// \brief xoshiro256** engine with std::uniform_random_bit_generator shape.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// \brief Next raw 64 random bits.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// \brief Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t Uniform(uint64_t bound);
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// \brief Uniform double in [0, 1) with 53 bits of randomness.
+  double NextDouble();
+
+  /// \brief Standard normal via Box-Muller (no cached spare; stateless).
+  double NextGaussian();
+
+  /// \brief Bernoulli draw with success probability p.
+  bool NextBernoulli(double p);
+
+  /// \brief Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// \brief O(1)-per-draw sampler from a fixed discrete distribution.
+///
+/// Construction is O(n) (Vose's variant of the alias method). Weights need
+/// not be normalized; they must be non-negative with a positive sum.
+class AliasSampler {
+ public:
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// \brief Draws an index in [0, size()) with probability proportional to
+  /// its weight.
+  uint32_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+/// \brief Zipf(s) weights over n items: weight(i) = 1/(i+1)^s.
+std::vector<double> ZipfWeights(size_t n, double s);
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_UTIL_RANDOM_H_

@@ -1,0 +1,71 @@
+// Result<T>: a value-or-Status, the library's fallible-return type.
+
+#ifndef FASTMATCH_UTIL_RESULT_H_
+#define FASTMATCH_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace fastmatch {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Accessing the value of an errored Result is a checked fatal error
+/// (never undefined behavior), so misuse fails loudly in tests.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    FASTMATCH_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    FASTMATCH_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    FASTMATCH_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    FASTMATCH_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// \brief Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ is set.
+};
+
+}  // namespace fastmatch
+
+/// Assigns the value of a Result expression to `lhs` or propagates the error.
+#define FASTMATCH_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto FASTMATCH_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!FASTMATCH_CONCAT_(_res_, __LINE__).ok())      \
+    return FASTMATCH_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(FASTMATCH_CONCAT_(_res_, __LINE__)).value()
+
+#define FASTMATCH_CONCAT_INNER_(a, b) a##b
+#define FASTMATCH_CONCAT_(a, b) FASTMATCH_CONCAT_INNER_(a, b)
+
+#endif  // FASTMATCH_UTIL_RESULT_H_

@@ -1,0 +1,93 @@
+// Status: error model for the fastmatch library.
+//
+// Public library entry points that can fail return Status (or Result<T>,
+// see util/result.h) instead of throwing. This follows the convention of
+// mature storage engines (RocksDB, Arrow): exceptions never cross the
+// library boundary, and callers can branch on a small closed set of codes.
+
+#ifndef FASTMATCH_UTIL_STATUS_H_
+#define FASTMATCH_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace fastmatch {
+
+/// Closed set of error categories surfaced by the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kNotImplemented = 8,
+};
+
+/// \brief Human-readable name of a status code ("InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// \brief Cheap value type describing success or a categorized failure.
+///
+/// An OK status carries no allocation; error statuses carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace fastmatch
+
+/// Propagates a non-OK status to the caller, RocksDB/Arrow style.
+#define FASTMATCH_RETURN_IF_ERROR(expr)              \
+  do {                                               \
+    ::fastmatch::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+#endif  // FASTMATCH_UTIL_STATUS_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing for the benchmark harness and engine phase accounting.
+
+#ifndef FASTMATCH_UTIL_TIMER_H_
+#define FASTMATCH_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace fastmatch {
+
+/// \brief Monotonic wall-clock stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// \brief Seconds elapsed since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_UTIL_TIMER_H_

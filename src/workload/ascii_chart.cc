@@ -1,0 +1,59 @@
+#include "workload/ascii_chart.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fastmatch {
+
+namespace {
+
+double MaxOf(const Distribution& d) {
+  double m = 0;
+  for (double x : d) m = std::max(m, x);
+  return m;
+}
+
+std::string Bar(double value, double max, int width) {
+  const int filled =
+      max > 0 ? static_cast<int>(value / max * width + 0.5) : 0;
+  std::string bar(static_cast<size_t>(filled), '#');
+  bar.append(static_cast<size_t>(width - filled), '.');
+  return bar;
+}
+
+}  // namespace
+
+std::string RenderHistogram(const Distribution& dist, int width) {
+  std::string out;
+  const double max = MaxOf(dist);
+  char line[160];
+  for (size_t i = 0; i < dist.size(); ++i) {
+    std::snprintf(line, sizeof(line), "%4zu | %s %6.2f%%\n", i,
+                  Bar(dist[i], max, width).c_str(), dist[i] * 100);
+    out += line;
+  }
+  return out;
+}
+
+std::string RenderComparison(const Distribution& a, const Distribution& b,
+                             const std::string& label_a,
+                             const std::string& label_b, int width) {
+  std::string out;
+  char line[240];
+  std::snprintf(line, sizeof(line), "%6s %-*s | %-*s\n", "bin", width + 8,
+                label_a.c_str(), width + 8, label_b.c_str());
+  out += line;
+  const double max = std::max(MaxOf(a), MaxOf(b));
+  const size_t n = std::max(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double va = i < a.size() ? a[i] : 0;
+    const double vb = i < b.size() ? b[i] : 0;
+    std::snprintf(line, sizeof(line), "%6zu %s %5.1f%% | %s %5.1f%%\n", i,
+                  Bar(va, max, width).c_str(), va * 100,
+                  Bar(vb, max, width).c_str(), vb * 100);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace fastmatch

@@ -1,0 +1,25 @@
+// Terminal rendering of histograms for the example programs.
+
+#ifndef FASTMATCH_WORKLOAD_ASCII_CHART_H_
+#define FASTMATCH_WORKLOAD_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+#include "core/histogram.h"
+
+namespace fastmatch {
+
+/// \brief Horizontal bar chart of a distribution; one line per bin:
+/// "  3 | #########----------  12.3%". `width` is the bar length of the
+/// largest bin.
+std::string RenderHistogram(const Distribution& dist, int width = 40);
+
+/// \brief Two distributions side by side for visual comparison.
+std::string RenderComparison(const Distribution& a, const Distribution& b,
+                             const std::string& label_a,
+                             const std::string& label_b, int width = 28);
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_WORKLOAD_ASCII_CHART_H_

@@ -1,0 +1,104 @@
+// Synthetic dataset generators standing in for the paper's real datasets
+// (FLIGHTS / TAXI / POLICE; Table 2), which are not available here.
+//
+// HistSim/FastMatch behaviour is driven by a handful of statistical
+// features, which the generators plant explicitly:
+//   * candidate selectivity skew (hubs, a mid tier straddling the sigma
+//     threshold, and heavy tails of near-empty candidates);
+//   * clustered per-candidate histogram shapes: candidates in the same
+//     cluster share a prototype distribution with per-candidate noise,
+//     so targets have genuine near-matches at graded distances;
+//   * planted special candidates (a high-selectivity hub "ORD" analogue
+//     and a rare-but-matching "ATW" analogue for the FLIGHTS queries).
+//
+// Every attribute is generated from either a marginal distribution or a
+// per-parent-value conditional (a tiny Bayes net), with all randomness
+// seeded. Rows are i.i.d., hence exchangeable: a sequential scan is a
+// uniform sample, exactly the property the paper's shuffle preprocessing
+// establishes for real data.
+
+#ifndef FASTMATCH_WORKLOAD_GENERATOR_H_
+#define FASTMATCH_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/histogram.h"
+#include "storage/column_store.h"
+#include "util/random.h"
+
+namespace fastmatch {
+
+/// \brief A generated dataset plus the planted structure tests and
+/// benchmarks refer to.
+struct SyntheticDataset {
+  std::string name;
+  std::shared_ptr<ColumnStore> store;
+  /// FLIGHTS: the high-selectivity hub candidate (the "ORD" analogue).
+  Value hub_candidate = 0;
+  /// FLIGHTS: the low-selectivity matching candidate ("ATW" analogue).
+  Value rare_candidate = 0;
+};
+
+/// FLIGHTS-like: 7 attributes, Z = Origin(347);
+/// X in {DepartureHour(24), DayOfWeek(7), Dest(351)}.
+SyntheticDataset MakeFlightsLike(int64_t rows, uint64_t seed);
+
+/// TAXI-like: 7 attributes, Z = Location(7641) with > 3000 near-empty
+/// candidates; X in {HourOfDay(24), MonthOfYear(12)}.
+SyntheticDataset MakeTaxiLike(int64_t rows, uint64_t seed);
+
+/// POLICE-like: 10 attributes, Z in {RoadID(210), Violation(2110)};
+/// X in {ContrabandFound(2), OfficerRace(5), DriverGender(2)}.
+SyntheticDataset MakePoliceLike(int64_t rows, uint64_t seed);
+
+// ------------------------------------------------------------------
+// Generator building blocks, exposed for tests and custom workloads.
+
+/// \brief Log-normal weights: exp(sigma * N(0,1)) per item.
+std::vector<double> LogNormalWeights(int n, double sigma, Rng* rng);
+
+/// \brief `num` prototype distributions over vx bins, each normalized
+/// log-normal with the given spread (larger = peakier shapes).
+std::vector<Distribution> MakePrototypes(int num, int vx, double spread,
+                                         Rng* rng);
+
+/// \brief `num` prototypes with a deterministic distance floor: prototype
+/// c puts `peak_mass` on bin (c * stride mod vx) and spreads the rest
+/// log-normally. Any two prototypes with distinct peak bins are at l1
+/// distance >= 2 * (peak_mass - 1/vx) - ..., and every prototype is at
+/// least ~2 * (peak_mass - 1/vx) from uniform. Used so that "stranger"
+/// candidates are provably far from the planted winner clusters, which
+/// keeps their stage-2 sample targets small (see the note in
+/// generator.cc).
+std::vector<Distribution> PeakedPrototypes(int num, int vx, double peak_mass,
+                                           Rng* rng);
+
+/// \brief Per-candidate conditionals: candidate i's distribution is its
+/// cluster's prototype perturbed bin-wise by exp(noise * N(0,1)).
+std::vector<Distribution> MakeConditionals(
+    const std::vector<int>& cluster_of,
+    const std::vector<Distribution>& prototypes, double noise, Rng* rng);
+
+/// \brief One attribute of the generative model.
+struct GenAttr {
+  std::string name;
+  uint32_t cardinality = 0;
+  /// Index of the parent attribute, or -1 for a marginal attribute.
+  int parent = -1;
+  /// parent == -1: weights over [0, cardinality).
+  std::vector<double> marginal;
+  /// parent >= 0: conditional distribution per parent value.
+  std::vector<Distribution> conditional;
+};
+
+/// \brief Samples `rows` i.i.d. rows from the model (parents must precede
+/// children in the vector) and materializes a column store.
+std::shared_ptr<ColumnStore> GenerateRows(const std::string& name,
+                                          const std::vector<GenAttr>& attrs,
+                                          int64_t rows, Rng* rng);
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,86 @@
+#include "workload/queries.h"
+
+#include "core/target.h"
+
+namespace fastmatch {
+
+std::vector<PaperQuery> PaperQueries() {
+  using T = PaperQuery::Target;
+  return {
+      {"flights-q1", "flights", "Origin", "DepartureHour", 10,
+       T::kHubCandidate},
+      {"flights-q2", "flights", "Origin", "DepartureHour", 10,
+       T::kRareCandidate},
+      {"flights-q3", "flights", "Origin", "DayOfWeek", 5, T::kExplicitQ3},
+      {"flights-q4", "flights", "Origin", "Dest", 10, T::kClosestToUniform},
+      {"taxi-q1", "taxi", "Location", "HourOfDay", 10, T::kClosestToUniform},
+      {"taxi-q2", "taxi", "Location", "MonthOfYear", 10,
+       T::kClosestToUniform},
+      {"police-q1", "police", "RoadID", "ContrabandFound", 10,
+       T::kClosestToUniform},
+      {"police-q2", "police", "RoadID", "OfficerRace", 10,
+       T::kClosestToUniform},
+      {"police-q3", "police", "Violation", "DriverGender", 5,
+       T::kClosestToUniform},
+  };
+}
+
+Result<PreparedQuery> PrepareQuery(const SyntheticDataset& ds,
+                                   const PaperQuery& spec,
+                                   const HistSimParams& params,
+                                   std::shared_ptr<const BitmapIndex> index) {
+  if (ds.store == nullptr) return Status::InvalidArgument("dataset not built");
+  PreparedQuery out;
+  out.spec = spec;
+  out.bound.store = ds.store;
+  out.bound.params = params;
+
+  FASTMATCH_ASSIGN_OR_RETURN(out.bound.z_attr,
+                             ds.store->schema().FindAttribute(spec.z_attr));
+  FASTMATCH_ASSIGN_OR_RETURN(int x_attr,
+                             ds.store->schema().FindAttribute(spec.x_attr));
+  out.bound.x_attrs = {x_attr};
+  out.bound.params.k = spec.k;
+
+  FASTMATCH_ASSIGN_OR_RETURN(
+      out.exact,
+      ComputeExactCounts(*ds.store, out.bound.z_attr, out.bound.x_attrs));
+
+  TargetSpec target_spec;
+  switch (spec.target) {
+    case PaperQuery::Target::kHubCandidate:
+      target_spec = TargetSpec::Candidate(ds.hub_candidate);
+      break;
+    case PaperQuery::Target::kRareCandidate:
+      target_spec = TargetSpec::Candidate(ds.rare_candidate);
+      break;
+    case PaperQuery::Target::kExplicitQ3:
+      target_spec = TargetSpec::Explicit(
+          {0.25, 0.125, 0.125, 0.125, 0.125, 0.125, 0.125});
+      break;
+    case PaperQuery::Target::kClosestToUniform:
+      target_spec = TargetSpec::ClosestToUniform();
+      break;
+  }
+  FASTMATCH_ASSIGN_OR_RETURN(
+      out.bound.target,
+      ResolveTarget(target_spec, out.exact, out.bound.params.metric));
+
+  if (index == nullptr) {
+    FASTMATCH_ASSIGN_OR_RETURN(auto built,
+                               BitmapIndex::Build(*ds.store, out.bound.z_attr));
+    out.bound.z_index = std::move(built);
+  } else {
+    out.bound.z_index = std::move(index);
+  }
+
+  out.truth = MakeTruth(out, out.bound.params);
+  return out;
+}
+
+GroundTruth MakeTruth(const PreparedQuery& q, const HistSimParams& params) {
+  return ComputeGroundTruth(q.exact, q.bound.target, params.metric,
+                            params.sigma, params.k > 0 ? params.k : q.spec.k);
+}
+
+}  // namespace fastmatch

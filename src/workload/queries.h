@@ -1,0 +1,56 @@
+// The paper's evaluation queries (Table 3) and query binding helpers.
+
+#ifndef FASTMATCH_WORKLOAD_QUERIES_H_
+#define FASTMATCH_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/verify.h"
+#include "engine/executor.h"
+#include "workload/generator.h"
+
+namespace fastmatch {
+
+/// \brief One query template of Table 3.
+struct PaperQuery {
+  std::string id;       // e.g. "flights-q1"
+  std::string dataset;  // "flights" | "taxi" | "police"
+  std::string z_attr;   // candidate attribute
+  std::string x_attr;   // grouping attribute
+  int k = 10;
+  enum class Target {
+    kHubCandidate,      // the dataset's planted hub ("ORD")
+    kRareCandidate,     // the dataset's planted rare match ("ATW")
+    kExplicitQ3,        // [0.25, 0.125 x 6] (FLIGHTS-q3)
+    kClosestToUniform,  // Table 3's default
+  };
+  Target target = Target::kClosestToUniform;
+};
+
+/// \brief All nine queries of Table 3 with the paper's k values.
+std::vector<PaperQuery> PaperQueries();
+
+/// \brief A query bound to data: engine-ready plus ground-truth state.
+struct PreparedQuery {
+  PaperQuery spec;
+  BoundQuery bound;
+  CountMatrix exact;  // exact counts for the (Z, X) template
+  GroundTruth truth;  // under bound.params
+};
+
+/// \brief Resolves attribute names, computes exact counts, resolves the
+/// target, builds the bitmap index (when `index` is null), and computes
+/// ground truth under `params`.
+Result<PreparedQuery> PrepareQuery(const SyntheticDataset& ds,
+                                   const PaperQuery& spec,
+                                   const HistSimParams& params,
+                                   std::shared_ptr<const BitmapIndex> index);
+
+/// \brief Recomputes ground truth after parameter changes (sigma, k,
+/// metric) without rescanning.
+GroundTruth MakeTruth(const PreparedQuery& q, const HistSimParams& params);
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_WORKLOAD_QUERIES_H_

@@ -1,0 +1,112 @@
+#include "index/bitmap_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "util/random.h"
+
+namespace fastmatch {
+namespace {
+
+std::shared_ptr<ColumnStore> SmallStore(int rows_per_block = 10) {
+  // Z in [0, 6), X in [0, 4): enough values to exercise bitmap structure.
+  std::vector<Value> z, x;
+  Rng rng(42);
+  for (int i = 0; i < 237; ++i) {
+    z.push_back(static_cast<Value>(rng.Uniform(6)));
+    x.push_back(static_cast<Value>(rng.Uniform(4)));
+  }
+  StorageOptions options;
+  options.rows_per_block_override = rows_per_block;
+  auto store = ColumnStore::FromColumns(Schema({{"Z", 6}, {"X", 4}}),
+                                        {std::move(z), std::move(x)}, options);
+  return std::move(store).value();
+}
+
+TEST(BitmapIndexTest, BitsMatchBruteForce) {
+  auto store = SmallStore();
+  auto index = BitmapIndex::Build(*store, 0).value();
+  ASSERT_EQ(index->num_blocks(), store->num_blocks());
+  ASSERT_EQ(index->num_values(), 6u);
+
+  for (Value v = 0; v < 6; ++v) {
+    for (BlockId b = 0; b < store->num_blocks(); ++b) {
+      RowId begin, end;
+      store->BlockRowRange(b, &begin, &end);
+      bool expected = false;
+      for (RowId r = begin; r < end; ++r) {
+        if (store->column(0).Get(r) == v) expected = true;
+      }
+      EXPECT_EQ(index->BlockContains(v, b), expected)
+          << "v=" << v << " b=" << b;
+    }
+  }
+}
+
+TEST(BitmapIndexTest, BlockCountsMatchPopcount) {
+  auto store = SmallStore();
+  auto index = BitmapIndex::Build(*store, 0).value();
+  for (Value v = 0; v < 6; ++v) {
+    EXPECT_EQ(index->BlockCount(v), index->bitmap(v).Popcount());
+  }
+}
+
+TEST(BitmapIndexTest, ValueAbsentFromData) {
+  // Cardinality 6 but only values 0..2 appear: values 3..5 have all-zero
+  // bitmaps.
+  std::vector<Value> z, x;
+  for (int i = 0; i < 50; ++i) {
+    z.push_back(static_cast<Value>(i % 3));
+    x.push_back(0);
+  }
+  StorageOptions options;
+  options.rows_per_block_override = 8;
+  auto store = ColumnStore::FromColumns(Schema({{"Z", 6}, {"X", 4}}),
+                                        {std::move(z), std::move(x)}, options)
+                   .value();
+  auto index = BitmapIndex::Build(*store, 0).value();
+  for (Value v = 3; v < 6; ++v) {
+    EXPECT_EQ(index->BlockCount(v), 0);
+    for (BlockId b = 0; b < store->num_blocks(); ++b) {
+      EXPECT_FALSE(index->BlockContains(v, b));
+    }
+  }
+}
+
+TEST(BitmapIndexTest, SecondAttributeIndexable) {
+  auto store = SmallStore();
+  auto index = BitmapIndex::Build(*store, 1).value();
+  EXPECT_EQ(index->attribute(), 1);
+  EXPECT_EQ(index->num_values(), 4u);
+}
+
+TEST(BitmapIndexTest, BadAttributeRejected) {
+  auto store = SmallStore();
+  EXPECT_EQ(BitmapIndex::Build(*store, -1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BitmapIndex::Build(*store, 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BitmapIndexTest, ByteSizeIsOneBitPerBlockPerValue) {
+  auto store = SmallStore(/*rows_per_block=*/10);  // 24 blocks
+  auto index = BitmapIndex::Build(*store, 0).value();
+  // 6 values x ceil(24/64) = 1 word = 8 bytes each.
+  EXPECT_EQ(index->ByteSize(), 6 * 8);
+}
+
+TEST(BitmapIndexTest, SingleRowBlocks) {
+  auto store = SmallStore(/*rows_per_block=*/1);
+  auto index = BitmapIndex::Build(*store, 0).value();
+  // With one row per block, BlockCount(v) equals v's row count.
+  std::vector<int64_t> counts(6, 0);
+  for (RowId r = 0; r < store->num_rows(); ++r) {
+    counts[store->column(0).Get(r)]++;
+  }
+  for (Value v = 0; v < 6; ++v) {
+    EXPECT_EQ(index->BlockCount(v), counts[v]);
+  }
+}
+
+}  // namespace
+}  // namespace fastmatch

@@ -1,0 +1,109 @@
+#include "index/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace fastmatch {
+namespace {
+
+TEST(BitVectorTest, SetGetClear) {
+  BitVector bv(130);
+  EXPECT_FALSE(bv.Get(0));
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(129);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(63));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(129));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_FALSE(bv.Get(128));
+  bv.Clear(63);
+  EXPECT_FALSE(bv.Get(63));
+}
+
+TEST(BitVectorTest, PopcountMatchesSetBits) {
+  BitVector bv(1000);
+  Rng rng(3);
+  int expected = 0;
+  std::vector<bool> ref(1000, false);
+  for (int i = 0; i < 400; ++i) {
+    int64_t pos = static_cast<int64_t>(rng.Uniform(1000));
+    if (!ref[static_cast<size_t>(pos)]) {
+      ref[static_cast<size_t>(pos)] = true;
+      ++expected;
+    }
+    bv.Set(pos);
+  }
+  EXPECT_EQ(bv.Popcount(), expected);
+}
+
+TEST(BitVectorTest, PopcountRangeBruteForce) {
+  constexpr int64_t kBits = 300;
+  BitVector bv(kBits);
+  Rng rng(17);
+  std::vector<bool> ref(kBits, false);
+  for (int i = 0; i < 120; ++i) {
+    int64_t pos = static_cast<int64_t>(rng.Uniform(kBits));
+    ref[static_cast<size_t>(pos)] = true;
+    bv.Set(pos);
+  }
+  for (int64_t begin = 0; begin < kBits; begin += 13) {
+    for (int64_t end = begin; end <= kBits; end += 29) {
+      int64_t expected = 0;
+      for (int64_t i = begin; i < end; ++i) expected += ref[static_cast<size_t>(i)];
+      EXPECT_EQ(bv.PopcountRange(begin, end), expected)
+          << "[" << begin << ", " << end << ")";
+      EXPECT_EQ(bv.AnyInRange(begin, end), expected > 0);
+    }
+  }
+}
+
+TEST(BitVectorTest, RangeQueriesOnWordBoundaries) {
+  BitVector bv(256);
+  bv.Set(64);
+  EXPECT_TRUE(bv.AnyInRange(64, 65));
+  EXPECT_TRUE(bv.AnyInRange(0, 65));
+  EXPECT_TRUE(bv.AnyInRange(64, 128));
+  EXPECT_FALSE(bv.AnyInRange(0, 64));
+  EXPECT_FALSE(bv.AnyInRange(65, 256));
+  EXPECT_EQ(bv.PopcountRange(0, 256), 1);
+  EXPECT_EQ(bv.PopcountRange(64, 65), 1);
+}
+
+TEST(BitVectorTest, EmptyRange) {
+  BitVector bv(100);
+  bv.Set(5);
+  EXPECT_EQ(bv.PopcountRange(10, 10), 0);
+  EXPECT_FALSE(bv.AnyInRange(10, 10));
+  EXPECT_FALSE(bv.AnyInRange(10, 5));  // inverted treated as empty
+}
+
+TEST(BitVectorTest, SetAllRespectsSize) {
+  BitVector bv(70);
+  bv.SetAll();
+  EXPECT_EQ(bv.Popcount(), 70);
+  for (int64_t i = 0; i < 70; ++i) EXPECT_TRUE(bv.Get(i));
+}
+
+TEST(BitVectorTest, SetAllExactWordMultiple) {
+  BitVector bv(128);
+  bv.SetAll();
+  EXPECT_EQ(bv.Popcount(), 128);
+}
+
+TEST(BitVectorTest, CopySemantics) {
+  BitVector a(100);
+  a.Set(42);
+  BitVector b = a;
+  b.Set(43);
+  EXPECT_TRUE(a.Get(42));
+  EXPECT_FALSE(a.Get(43));
+  EXPECT_TRUE(b.Get(42));
+  EXPECT_TRUE(b.Get(43));
+}
+
+}  // namespace
+}  // namespace fastmatch

@@ -1,0 +1,132 @@
+#include "engine/block_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace fastmatch {
+namespace {
+
+std::shared_ptr<ColumnStore> RandomStore(int rows, int vz, uint64_t seed,
+                                         int rows_per_block) {
+  std::vector<Value> z, x;
+  Rng rng(seed);
+  for (int i = 0; i < rows; ++i) {
+    z.push_back(static_cast<Value>(rng.Uniform(static_cast<uint64_t>(vz))));
+    x.push_back(static_cast<Value>(rng.Uniform(4)));
+  }
+  StorageOptions options;
+  options.rows_per_block_override = rows_per_block;
+  return ColumnStore::FromColumns(
+             Schema({{"Z", static_cast<uint32_t>(vz)}, {"X", 4}}),
+             {std::move(z), std::move(x)}, options)
+      .value();
+}
+
+TEST(BlockPolicyTest, NaiveMatchesBruteForce) {
+  auto store = RandomStore(997, 40, 1, 7);
+  auto index = BitmapIndex::Build(*store, 0).value();
+  const std::vector<int> active = {3, 17, 25};
+  std::vector<uint8_t> marks;
+  MarkAnyActiveNaive(*index, active, 0, static_cast<int>(store->num_blocks()),
+                     &marks);
+  for (BlockId b = 0; b < store->num_blocks(); ++b) {
+    RowId begin, end;
+    store->BlockRowRange(b, &begin, &end);
+    bool expected = false;
+    for (RowId r = begin; r < end; ++r) {
+      const Value v = store->column(0).Get(r);
+      for (int c : active) {
+        if (v == static_cast<Value>(c)) expected = true;
+      }
+    }
+    EXPECT_EQ(marks[static_cast<size_t>(b)] != 0, expected) << "block " << b;
+  }
+}
+
+TEST(BlockPolicyTest, LookaheadAgreesWithNaiveEverywhere) {
+  auto store = RandomStore(5003, 120, 2, 11);
+  auto index = BitmapIndex::Build(*store, 0).value();
+  Rng rng(3);
+  std::vector<uint64_t> scratch;
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random active set.
+    std::vector<int> active;
+    for (int c = 0; c < 120; ++c) {
+      if (rng.NextBernoulli(0.05)) active.push_back(c);
+    }
+    if (active.empty()) active.push_back(static_cast<int>(rng.Uniform(120)));
+    // Random window.
+    const int64_t nb = store->num_blocks();
+    const BlockId start = static_cast<BlockId>(rng.Uniform(static_cast<uint64_t>(nb)));
+    const int count =
+        1 + static_cast<int>(rng.Uniform(static_cast<uint64_t>(nb - start)));
+    std::vector<uint8_t> naive, lookahead;
+    MarkAnyActiveNaive(*index, active, start, count, &naive);
+    MarkAnyActiveLookahead(*index, active, start, count, &scratch, &lookahead);
+    EXPECT_EQ(naive, lookahead) << "trial " << trial << " start " << start
+                                << " count " << count;
+  }
+}
+
+TEST(BlockPolicyTest, EmptyActiveSetMarksNothing) {
+  auto store = RandomStore(500, 10, 4, 10);
+  auto index = BitmapIndex::Build(*store, 0).value();
+  std::vector<uint8_t> marks;
+  std::vector<uint64_t> scratch;
+  MarkAnyActiveNaive(*index, {}, 0, static_cast<int>(store->num_blocks()),
+                     &marks);
+  for (uint8_t m : marks) EXPECT_EQ(m, 0);
+  MarkAnyActiveLookahead(*index, {}, 0,
+                         static_cast<int>(store->num_blocks()), &scratch,
+                         &marks);
+  for (uint8_t m : marks) EXPECT_EQ(m, 0);
+}
+
+TEST(BlockPolicyTest, ZeroCountWindow) {
+  auto store = RandomStore(500, 10, 5, 10);
+  auto index = BitmapIndex::Build(*store, 0).value();
+  std::vector<uint8_t> marks;
+  std::vector<uint64_t> scratch;
+  MarkAnyActiveLookahead(*index, {1}, 3, 0, &scratch, &marks);
+  EXPECT_TRUE(marks.empty());
+}
+
+TEST(BlockPolicyTest, WindowsAtBitVectorWordBoundaries) {
+  auto store = RandomStore(2000, 6, 6, 2);  // 1000 blocks, many words
+  auto index = BitmapIndex::Build(*store, 0).value();
+  std::vector<uint64_t> scratch;
+  const std::vector<int> active = {2, 4};
+  for (BlockId start : {0L, 63L, 64L, 65L, 127L, 128L, 500L}) {
+    for (int count : {1, 63, 64, 65, 128, 200}) {
+      if (start + count > store->num_blocks()) continue;
+      std::vector<uint8_t> naive, lookahead;
+      MarkAnyActiveNaive(*index, active, start, count, &naive);
+      MarkAnyActiveLookahead(*index, active, start, count, &scratch,
+                             &lookahead);
+      EXPECT_EQ(naive, lookahead) << "start " << start << " count " << count;
+    }
+  }
+}
+
+TEST(BlockPolicyTest, LocalizedCandidateMarksOnlyItsBlocks) {
+  // Unshuffled store: candidate 1 occupies rows 100..199 only -> exactly
+  // blocks 10..19 at 10 rows/block.
+  std::vector<Value> z(500, 0), x(500, 0);
+  for (int i = 100; i < 200; ++i) z[static_cast<size_t>(i)] = 1;
+  StorageOptions options;
+  options.rows_per_block_override = 10;
+  auto store = ColumnStore::FromColumns(Schema({{"Z", 3}, {"X", 4}}),
+                                        {std::move(z), std::move(x)}, options)
+                   .value();
+  auto index = BitmapIndex::Build(*store, 0).value();
+  std::vector<uint8_t> marks;
+  MarkAnyActiveNaive(*index, {1}, 0, 50, &marks);
+  for (int b = 0; b < 50; ++b) {
+    EXPECT_EQ(marks[static_cast<size_t>(b)] != 0, b >= 10 && b < 20)
+        << "block " << b;
+  }
+}
+
+}  // namespace
+}  // namespace fastmatch

@@ -1,0 +1,159 @@
+#include "storage/column_store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace fastmatch {
+namespace {
+
+Schema TwoAttrSchema(uint32_t card_a = 10, uint32_t card_b = 300) {
+  return Schema({{"A", card_a}, {"B", card_b}});
+}
+
+TEST(ValueTypeTest, NarrowestTypeSelection) {
+  EXPECT_EQ(NarrowestType(2), ValueType::kU8);
+  EXPECT_EQ(NarrowestType(256), ValueType::kU8);
+  EXPECT_EQ(NarrowestType(257), ValueType::kU16);
+  EXPECT_EQ(NarrowestType(65536), ValueType::kU16);
+  EXPECT_EQ(NarrowestType(65537), ValueType::kU32);
+  EXPECT_EQ(ValueWidth(ValueType::kU8), 1);
+  EXPECT_EQ(ValueWidth(ValueType::kU16), 2);
+  EXPECT_EQ(ValueWidth(ValueType::kU32), 4);
+}
+
+TEST(SchemaTest, FindAttribute) {
+  Schema s = TwoAttrSchema();
+  EXPECT_EQ(s.FindAttribute("A").value(), 0);
+  EXPECT_EQ(s.FindAttribute("B").value(), 1);
+  EXPECT_EQ(s.FindAttribute("C").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ColumnTest, AppendGetRoundTripAllWidths) {
+  for (ValueType t : {ValueType::kU8, ValueType::kU16, ValueType::kU32}) {
+    Column col(t);
+    const Value max_val = t == ValueType::kU8    ? 255
+                          : t == ValueType::kU16 ? 65535
+                                                 : 4000000000u;
+    col.Append(0);
+    col.Append(max_val);
+    col.Append(max_val / 2);
+    ASSERT_EQ(col.size(), 3);
+    EXPECT_EQ(col.Get(0), 0u);
+    EXPECT_EQ(col.Get(1), max_val);
+    EXPECT_EQ(col.Get(2), max_val / 2);
+    col.Set(1, 7);
+    EXPECT_EQ(col.Get(1), 7u);
+  }
+}
+
+TEST(ColumnStoreTest, AppendRowAndRead) {
+  ColumnStore store(TwoAttrSchema());
+  store.AppendRow({3, 250});
+  store.AppendRow({7, 0});
+  ASSERT_EQ(store.num_rows(), 2);
+  EXPECT_EQ(store.column(0).Get(0), 3u);
+  EXPECT_EQ(store.column(1).Get(0), 250u);
+  EXPECT_EQ(store.column(0).Get(1), 7u);
+}
+
+TEST(ColumnStoreTest, FromColumnsValidatesShape) {
+  auto ragged = ColumnStore::FromColumns(TwoAttrSchema(), {{1, 2}, {3}});
+  EXPECT_EQ(ragged.status().code(), StatusCode::kInvalidArgument);
+
+  auto wrong_count = ColumnStore::FromColumns(TwoAttrSchema(), {{1, 2}});
+  EXPECT_EQ(wrong_count.status().code(), StatusCode::kInvalidArgument);
+
+  auto out_of_range =
+      ColumnStore::FromColumns(TwoAttrSchema(), {{1, 99}, {3, 4}});
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ColumnStoreTest, BlockMathDefaultBytes) {
+  // Widest column has cardinality 300 -> u16 -> 600/2 = 300 rows/block.
+  ColumnStore store(TwoAttrSchema());
+  EXPECT_EQ(store.rows_per_block(), 300);
+  for (int i = 0; i < 650; ++i) store.AppendRow({0, 0});
+  EXPECT_EQ(store.num_blocks(), 3);
+  RowId begin, end;
+  store.BlockRowRange(0, &begin, &end);
+  EXPECT_EQ(begin, 0);
+  EXPECT_EQ(end, 300);
+  store.BlockRowRange(2, &begin, &end);
+  EXPECT_EQ(begin, 600);
+  EXPECT_EQ(end, 650);  // short last block
+  EXPECT_EQ(store.BlockOfRow(0), 0);
+  EXPECT_EQ(store.BlockOfRow(299), 0);
+  EXPECT_EQ(store.BlockOfRow(300), 1);
+  EXPECT_EQ(store.BlockOfRow(649), 2);
+}
+
+TEST(ColumnStoreTest, RowsPerBlockOverride) {
+  StorageOptions options;
+  options.rows_per_block_override = 7;
+  ColumnStore store(TwoAttrSchema(), options);
+  EXPECT_EQ(store.rows_per_block(), 7);
+}
+
+TEST(ColumnStoreTest, ShufflePreservesRowMultiset) {
+  ColumnStore store(TwoAttrSchema());
+  for (Value i = 0; i < 500; ++i) store.AppendRow({i % 10, i % 300});
+
+  std::map<std::pair<Value, Value>, int> before;
+  for (RowId r = 0; r < store.num_rows(); ++r) {
+    before[{store.column(0).Get(r), store.column(1).Get(r)}]++;
+  }
+  store.Shuffle(1234);
+  std::map<std::pair<Value, Value>, int> after;
+  for (RowId r = 0; r < store.num_rows(); ++r) {
+    after[{store.column(0).Get(r), store.column(1).Get(r)}]++;
+  }
+  EXPECT_EQ(before, after);
+}
+
+TEST(ColumnStoreTest, ShuffleKeepsRowsAligned) {
+  // Encode the same payload in both columns; alignment must survive.
+  ColumnStore store(Schema({{"A", 256}, {"B", 256}}));
+  for (Value i = 0; i < 256; ++i) store.AppendRow({i, i});
+  store.Shuffle(99);
+  for (RowId r = 0; r < store.num_rows(); ++r) {
+    EXPECT_EQ(store.column(0).Get(r), store.column(1).Get(r));
+  }
+}
+
+TEST(ColumnStoreTest, ShuffleIsSeedDeterministic) {
+  auto make = [] {
+    ColumnStore s(TwoAttrSchema());
+    for (Value i = 0; i < 100; ++i) s.AppendRow({i % 10, i});
+    return s;
+  };
+  ColumnStore a = make(), b = make(), c = make();
+  a.Shuffle(5);
+  b.Shuffle(5);
+  c.Shuffle(6);
+  bool differs_from_c = false;
+  for (RowId r = 0; r < 100; ++r) {
+    EXPECT_EQ(a.column(1).Get(r), b.column(1).Get(r));
+    differs_from_c |= a.column(1).Get(r) != c.column(1).Get(r);
+  }
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(ColumnStoreTest, TotalBytesAccounting) {
+  ColumnStore store(TwoAttrSchema());  // u8 + u16 = 3 bytes/row
+  for (int i = 0; i < 100; ++i) store.AppendRow({1, 1});
+  EXPECT_EQ(store.TotalBytes(), 300);
+}
+
+TEST(ColumnStoreTest, TypedDataPointerMatchesGet) {
+  ColumnStore store(TwoAttrSchema());
+  for (Value i = 0; i < 50; ++i) store.AppendRow({i % 10, i * 3});
+  const uint16_t* b = store.column(1).data<uint16_t>();
+  for (RowId r = 0; r < 50; ++r) {
+    EXPECT_EQ(static_cast<Value>(b[r]), store.column(1).Get(r));
+  }
+}
+
+}  // namespace
+}  // namespace fastmatch

@@ -1,0 +1,146 @@
+#include "stats/deviation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fastmatch {
+namespace {
+
+constexpr double kLog2 = 0.6931471805599453;
+
+TEST(DeviationTest, EpsilonFormula) {
+  // eps = sqrt(2/n (|VX| log2 + log(1/delta)))
+  const double eps = DeviationEpsilon(1000, 24, std::log(0.01));
+  const double expected =
+      std::sqrt(2.0 / 1000 * (24 * kLog2 + std::log(100.0)));
+  EXPECT_NEAR(eps, expected, 1e-12);
+}
+
+TEST(DeviationTest, EpsilonShrinksWithSamples) {
+  double prev = std::numeric_limits<double>::infinity();
+  for (int64_t n : {10, 100, 1000, 10000, 100000}) {
+    const double eps = DeviationEpsilon(n, 24, std::log(0.01));
+    EXPECT_LT(eps, prev);
+    prev = eps;
+  }
+}
+
+TEST(DeviationTest, EpsilonGrowsWithSupport) {
+  EXPECT_LT(DeviationEpsilon(1000, 2, std::log(0.01)),
+            DeviationEpsilon(1000, 24, std::log(0.01)));
+  EXPECT_LT(DeviationEpsilon(1000, 24, std::log(0.01)),
+            DeviationEpsilon(1000, 351, std::log(0.01)));
+}
+
+TEST(DeviationTest, SamplesInvertsEpsilon) {
+  for (int64_t vx : {2, 7, 24, 351}) {
+    for (double eps : {0.02, 0.04, 0.11}) {
+      const int64_t n = DeviationSamples(eps, vx, std::log(0.01));
+      // Plugging n back must give deviation <= eps (and n-1 gives > eps).
+      EXPECT_LE(DeviationEpsilon(n, vx, std::log(0.01)), eps + 1e-12);
+      EXPECT_GT(DeviationEpsilon(n - 1, vx, std::log(0.01)), eps - 1e-9);
+    }
+  }
+}
+
+TEST(DeviationTest, SamplesMatchesEquation1) {
+  // n'_i = 2 (|VX| log 2 - log delta_upper) / eps'^2
+  const double eps = 0.05;
+  const double log_dupper = std::log(0.01 / 3 / 8);
+  const int64_t n = DeviationSamples(eps, 24, log_dupper);
+  const double expected = 2 * (24 * kLog2 - log_dupper) / (eps * eps);
+  EXPECT_EQ(n, static_cast<int64_t>(std::ceil(expected)));
+}
+
+TEST(DeviationTest, PValueFormula) {
+  // log p = |VX| log 2 - eps^2 n / 2, capped at 0.
+  const double lp = LogDeviationPValue(0.1, 5000, 24);
+  EXPECT_NEAR(lp, 24 * kLog2 - 0.01 * 5000 / 2, 1e-9);
+}
+
+TEST(DeviationTest, PValueCappedAtOne) {
+  // Tiny n: the bound exceeds 1 and must cap at log(1) = 0.
+  EXPECT_DOUBLE_EQ(LogDeviationPValue(0.1, 1, 24), 0.0);
+}
+
+TEST(DeviationTest, NonPositiveEpsilonCannotReject) {
+  EXPECT_DOUBLE_EQ(LogDeviationPValue(0.0, 100000, 24), 0.0);
+  EXPECT_DOUBLE_EQ(LogDeviationPValue(-0.5, 100000, 24), 0.0);
+}
+
+TEST(DeviationTest, InfiniteEpsilonIsFreeRejection) {
+  // Encodes the vacuous null of Algorithm 1 line 22 (s - eps/2 < 0).
+  const double lp = LogDeviationPValue(
+      std::numeric_limits<double>::infinity(), 10, 24);
+  EXPECT_EQ(lp, -std::numeric_limits<double>::infinity());
+}
+
+TEST(DeviationTest, PValueDecreasesWithSamplesAndEpsilon) {
+  EXPECT_GT(LogDeviationPValue(0.05, 1000, 24),
+            LogDeviationPValue(0.05, 100000, 24));
+  EXPECT_GT(LogDeviationPValue(0.02, 100000, 24),
+            LogDeviationPValue(0.08, 100000, 24));
+}
+
+TEST(DeviationTest, Stage3SamplesMatchesAlgorithmLine26) {
+  // ni >= 2/eps^2 (|VX| log 2 + log(3k/delta))
+  const double eps = 0.04;
+  const int64_t vx = 24, k = 10;
+  const double delta = 0.01;
+  const double expected =
+      2.0 / (eps * eps) * (vx * kLog2 + std::log(3.0 * k / delta));
+  EXPECT_EQ(Stage3Samples(eps, vx, k, delta),
+            static_cast<int64_t>(std::ceil(expected)));
+  // Paper-scale sanity: ~30k samples for the flights-q1 configuration.
+  EXPECT_GT(Stage3Samples(0.04, 24, 10, 0.01), 25000);
+  EXPECT_LT(Stage3Samples(0.04, 24, 10, 0.01), 40000);
+}
+
+TEST(DeviationTest, Stage3GrowsWithKAndShrinksWithDelta) {
+  EXPECT_LT(Stage3Samples(0.04, 24, 5, 0.01), Stage3Samples(0.04, 24, 50, 0.01));
+  EXPECT_GT(Stage3Samples(0.04, 24, 10, 0.001),
+            Stage3Samples(0.04, 24, 10, 0.1));
+}
+
+TEST(DeviationTest, EmpiricalCoverage) {
+  // Draw n samples from a known discrete distribution; the empirical l1
+  // deviation must be below DeviationEpsilon(n, vx, log delta) in (far)
+  // more than 1 - delta of trials. This exercises the bound end to end.
+  const int vx = 8;
+  const double probs[vx] = {0.3, 0.2, 0.15, 0.1, 0.1, 0.08, 0.05, 0.02};
+  uint64_t state = 777;
+  auto next_uniform = [&]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  };
+  const int64_t n = 2000;
+  const double delta = 0.05;
+  const double eps = DeviationEpsilon(n, vx, std::log(delta));
+  int violations = 0;
+  const int kTrials = 300;
+  for (int t = 0; t < kTrials; ++t) {
+    int counts[vx] = {0};
+    for (int64_t i = 0; i < n; ++i) {
+      double u = next_uniform(), acc = 0;
+      for (int j = 0; j < vx; ++j) {
+        acc += probs[j];
+        if (u < acc || j == vx - 1) {
+          counts[j]++;
+          break;
+        }
+      }
+    }
+    double l1 = 0;
+    for (int j = 0; j < vx; ++j) {
+      l1 += std::fabs(static_cast<double>(counts[j]) / n - probs[j]);
+    }
+    if (l1 >= eps) ++violations;
+  }
+  // The bound is loose in practice; even 5% violations would be shocking.
+  EXPECT_LE(violations, kTrials / 20);
+}
+
+}  // namespace
+}  // namespace fastmatch

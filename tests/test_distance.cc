@@ -1,0 +1,111 @@
+#include "core/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace fastmatch {
+namespace {
+
+Distribution RandomDistribution(int n, Rng* rng) {
+  std::vector<double> w(static_cast<size_t>(n));
+  for (auto& x : w) x = rng->NextDouble() + 1e-3;
+  return Normalize(w);
+}
+
+TEST(DistanceTest, L1KnownValues) {
+  EXPECT_DOUBLE_EQ(L1Distance({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(L1Distance({1.0, 0.0}, {0.0, 1.0}), 2.0);
+  EXPECT_NEAR(L1Distance({0.6, 0.4}, {0.4, 0.6}), 0.4, 1e-12);
+}
+
+TEST(DistanceTest, L2KnownValues) {
+  EXPECT_DOUBLE_EQ(L2Distance({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_NEAR(L2Distance({1.0, 0.0}, {0.0, 1.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(DistanceTest, MetricAxiomsOnRandomDistributions) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    Distribution a = RandomDistribution(10, &rng);
+    Distribution b = RandomDistribution(10, &rng);
+    Distribution c = RandomDistribution(10, &rng);
+    for (Metric m : {Metric::kL1, Metric::kL2}) {
+      const double dab = HistDistance(m, a, b);
+      const double dba = HistDistance(m, b, a);
+      const double dac = HistDistance(m, a, c);
+      const double dcb = HistDistance(m, c, b);
+      EXPECT_DOUBLE_EQ(dab, dba);                    // symmetry
+      EXPECT_GE(dab, 0.0);                           // non-negativity
+      EXPECT_LE(dab, dac + dcb + 1e-12);             // triangle
+      EXPECT_NEAR(HistDistance(m, a, a), 0.0, 1e-12);  // identity
+    }
+  }
+}
+
+TEST(DistanceTest, L1BoundedByTwo) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Distribution a = RandomDistribution(24, &rng);
+    Distribution b = RandomDistribution(24, &rng);
+    EXPECT_LE(L1Distance(a, b), 2.0 + 1e-12);
+  }
+}
+
+TEST(DistanceTest, L2LowerBoundsL1) {
+  // ||x||_2 <= ||x||_1: the fact that lets the l2 metric reuse the l1
+  // deviation bound (Appendix A.2.2).
+  Rng rng(55);
+  for (int trial = 0; trial < 50; ++trial) {
+    Distribution a = RandomDistribution(16, &rng);
+    Distribution b = RandomDistribution(16, &rng);
+    EXPECT_LE(L2Distance(a, b), L1Distance(a, b) + 1e-12);
+  }
+}
+
+TEST(DistanceTest, PaperSection2L2Criticism) {
+  // Section 2.1: l2 can be small for distributions with (nearly) disjoint
+  // support, while l1 reports them far apart. A spread-out pair of
+  // disjoint distributions has l1 = 2 but l2 -> 0 as support grows.
+  const int n = 50;
+  Distribution a(n * 2, 0.0), b(n * 2, 0.0);
+  for (int i = 0; i < n; ++i) a[static_cast<size_t>(i)] = 1.0 / n;
+  for (int i = n; i < 2 * n; ++i) b[static_cast<size_t>(i)] = 1.0 / n;
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 2.0);
+  EXPECT_LT(L2Distance(a, b), 0.25);
+}
+
+TEST(DistanceTest, KLDivergence) {
+  EXPECT_NEAR(KLDivergence({0.5, 0.5}, {0.5, 0.5}), 0.0, 1e-12);
+  // Infinite when q has zero mass where p does not (the Section 2
+  // drawback that rules KL out).
+  EXPECT_TRUE(std::isinf(KLDivergence({0.5, 0.5}, {1.0, 0.0})));
+  // Asymmetric in general.
+  const double kl_pq = KLDivergence({0.7, 0.3}, {0.4, 0.6});
+  const double kl_qp = KLDivergence({0.4, 0.6}, {0.7, 0.3});
+  EXPECT_GT(kl_pq, 0);
+  EXPECT_NE(kl_pq, kl_qp);
+}
+
+TEST(DistanceTest, EmptyDistributionGetsMaxDistance) {
+  Distribution empty;
+  Distribution d = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(HistDistance(Metric::kL1, empty, d), 2.0);
+  EXPECT_DOUBLE_EQ(HistDistance(Metric::kL1, d, empty), 2.0);
+  EXPECT_DOUBLE_EQ(HistDistance(Metric::kL2, empty, d), std::sqrt(2.0));
+}
+
+TEST(DistanceTest, MaxDistanceConstants) {
+  EXPECT_DOUBLE_EQ(MaxDistance(Metric::kL1), 2.0);
+  EXPECT_DOUBLE_EQ(MaxDistance(Metric::kL2), std::sqrt(2.0));
+}
+
+TEST(DistanceTest, MetricNames) {
+  EXPECT_EQ(MetricName(Metric::kL1), "l1");
+  EXPECT_EQ(MetricName(Metric::kL2), "l2");
+}
+
+}  // namespace
+}  // namespace fastmatch

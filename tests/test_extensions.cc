@@ -1,0 +1,184 @@
+// Appendix A extensions, end to end.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/verify.h"
+#include "engine/executor.h"
+#include "engine/measure_biased.h"
+#include "test_helpers.h"
+#include "util/random.h"
+
+namespace fastmatch {
+namespace {
+
+using testing_util::MakeExactStore;
+using testing_util::PlantedDistributions;
+
+TEST(ExtensionsTest, CompositeGroupByThroughEngine) {
+  // A.1.3: two grouping attributes; |VX| = 4 * 3 = 12.
+  std::vector<Value> z, x1, x2;
+  Rng rng(1);
+  for (int i = 0; i < 60000; ++i) {
+    const Value zi = static_cast<Value>(rng.Uniform(4));
+    z.push_back(zi);
+    // Candidate 0 and 1 share a joint (x1, x2) shape; 2 and 3 differ.
+    if (zi < 2) {
+      x1.push_back(static_cast<Value>(rng.Uniform(2)));
+      x2.push_back(static_cast<Value>(rng.Uniform(2)));
+    } else {
+      x1.push_back(static_cast<Value>(2 + rng.Uniform(2)));
+      x2.push_back(static_cast<Value>(rng.Uniform(3)));
+    }
+  }
+  auto store = ColumnStore::FromColumns(
+                   Schema({{"Z", 4}, {"X1", 4}, {"X2", 3}}),
+                   {std::move(z), std::move(x1), std::move(x2)})
+                   .value();
+  auto exact = ComputeExactCounts(*store, 0, {1, 2}).value();
+  ASSERT_EQ(exact.num_groups(), 12);
+
+  BoundQuery q;
+  q.store = store;
+  q.z_index = BitmapIndex::Build(*store, 0).value();
+  q.z_attr = 0;
+  q.x_attrs = {1, 2};
+  q.target = exact.NormalizedRow(0);  // candidate 0's joint histogram
+  q.params.k = 2;
+  q.params.epsilon = 0.1;
+  q.params.delta = 0.05;
+  q.params.sigma = 0;
+  q.params.stage1_samples = 5000;
+  auto out = RunQuery(q, Approach::kFastMatch);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  std::set<int> got(out->match.topk.begin(), out->match.topk.end());
+  EXPECT_EQ(got, (std::set<int>{0, 1}));
+}
+
+TEST(ExtensionsTest, L2MetricEndToEnd) {
+  // A.2.2: the l2 metric with guarantees inherited from the l1 bound.
+  std::vector<double> offsets = {0.0, 0.01, 0.15, 0.2, 0.25};
+  auto store = MakeExactStore(std::vector<int64_t>(5, 20000),
+                              PlantedDistributions(5, 8, offsets), 2, 50);
+  BoundQuery q;
+  q.store = store;
+  q.z_index = BitmapIndex::Build(*store, 0).value();
+  q.z_attr = 0;
+  q.x_attrs = {1};
+  q.target = UniformDistribution(8);
+  q.params.k = 2;
+  q.params.metric = Metric::kL2;
+  q.params.epsilon = 0.05;
+  q.params.delta = 0.05;
+  q.params.sigma = 0;
+  q.params.stage1_samples = 5000;
+  auto out = RunQuery(q, Approach::kFastMatch);
+  ASSERT_TRUE(out.ok());
+  std::set<int> got(out->match.topk.begin(), out->match.topk.end());
+  EXPECT_EQ(got, (std::set<int>{0, 1}));
+}
+
+TEST(ExtensionsTest, SumAggregationViaMeasureBiasedSample) {
+  // A.1.1 end to end: find candidates whose SUM(Y) histogram matches a
+  // target by running COUNT matching over the measure-biased sample.
+  std::vector<Value> z, x, y;
+  Rng rng(3);
+  for (int i = 0; i < 80000; ++i) {
+    const Value zi = static_cast<Value>(rng.Uniform(4));
+    const Value xi = static_cast<Value>(rng.Uniform(4));
+    z.push_back(zi);
+    x.push_back(xi);
+    // Candidates 0/1: revenue concentrated on bin x (weights x+1);
+    // candidates 2/3: reversed.
+    const Value yi = zi < 2 ? (xi + 1) : (4 - xi);
+    y.push_back(yi);
+  }
+  auto store = ColumnStore::FromColumns(
+                   Schema({{"Z", 4}, {"X", 4}, {"Y", 8}}),
+                   {std::move(z), std::move(x), std::move(y)})
+                   .value();
+
+  // Exact SUM(Y) histogram of candidate 0 is the target.
+  std::vector<double> sum0(4, 0);
+  for (RowId r = 0; r < store->num_rows(); ++r) {
+    if (store->column(0).Get(r) == 0) {
+      sum0[store->column(1).Get(r)] +=
+          static_cast<double>(store->column(2).Get(r));
+    }
+  }
+  const Distribution target = Normalize(sum0);
+
+  auto sample = BuildMeasureBiasedSample(*store, 2, 60000, 17).value();
+  BoundQuery q;
+  q.store = sample;
+  q.z_index = BitmapIndex::Build(*sample, 0).value();
+  q.z_attr = 0;
+  q.x_attrs = {1};
+  q.target = target;
+  q.params.k = 2;
+  q.params.epsilon = 0.08;
+  q.params.delta = 0.05;
+  q.params.sigma = 0;
+  q.params.stage1_samples = 5000;
+  auto out = RunQuery(q, Approach::kFastMatch);
+  ASSERT_TRUE(out.ok());
+  std::set<int> got(out->match.topk.begin(), out->match.topk.end());
+  EXPECT_EQ(got, (std::set<int>{0, 1}));
+}
+
+TEST(ExtensionsTest, SeparateEpsilonsThroughExecutor) {
+  // A.2.1: a loose separation bound with a tight reconstruction bound.
+  std::vector<double> offsets = {0.0, 0.02, 0.2, 0.25, 0.3};
+  auto store = MakeExactStore(std::vector<int64_t>(5, 30000),
+                              PlantedDistributions(5, 8, offsets), 4, 50);
+  auto exact = ComputeExactCounts(*store, 0, {1}).value();
+  BoundQuery q;
+  q.store = store;
+  q.z_index = BitmapIndex::Build(*store, 0).value();
+  q.z_attr = 0;
+  q.x_attrs = {1};
+  q.target = UniformDistribution(8);
+  q.params.k = 2;
+  q.params.eps_separation = 0.15;
+  q.params.eps_reconstruction = 0.04;
+  q.params.epsilon = 0.15;
+  q.params.delta = 0.05;
+  q.params.sigma = 0;
+  q.params.stage1_samples = 5000;
+  auto out = RunQuery(q, Approach::kFastMatch);
+  ASSERT_TRUE(out.ok());
+  for (int i : out->match.topk) {
+    const double err =
+        HistDistance(Metric::kL1, out->match.counts.NormalizedRow(i),
+                     exact.NormalizedRow(i));
+    EXPECT_LT(err, 0.04) << "candidate " << i;
+  }
+}
+
+TEST(ExtensionsTest, KRangeThroughExecutor) {
+  // A.2.3: k in [2, 6] with a planted gap after the 4th candidate.
+  std::vector<double> offsets = {0.0, 0.01, 0.02, 0.03,
+                                 0.3, 0.32, 0.34, 0.36};
+  auto store = MakeExactStore(std::vector<int64_t>(8, 20000),
+                              PlantedDistributions(8, 8, offsets), 5, 50);
+  BoundQuery q;
+  q.store = store;
+  q.z_index = BitmapIndex::Build(*store, 0).value();
+  q.z_attr = 0;
+  q.x_attrs = {1};
+  q.target = UniformDistribution(8);
+  q.params.k = 2;
+  q.params.k_hi = 6;
+  q.params.epsilon = 0.05;
+  q.params.delta = 0.05;
+  q.params.sigma = 0;
+  q.params.stage1_samples = 5000;
+  auto out = RunQuery(q, Approach::kFastMatch);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->match.diag.chosen_k, 4);
+  EXPECT_EQ(out->match.topk.size(), 4u);
+}
+
+}  // namespace
+}  // namespace fastmatch

@@ -1,0 +1,176 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/verify.h"
+
+namespace fastmatch {
+namespace {
+
+TEST(GeneratorBlocksTest, LogNormalWeightsPositive) {
+  Rng rng(1);
+  auto w = LogNormalWeights(100, 1.0, &rng);
+  ASSERT_EQ(w.size(), 100u);
+  for (double x : w) EXPECT_GT(x, 0);
+}
+
+TEST(GeneratorBlocksTest, PrototypesAreDistributions) {
+  Rng rng(2);
+  auto protos = MakePrototypes(5, 24, 1.0, &rng);
+  ASSERT_EQ(protos.size(), 5u);
+  for (const auto& p : protos) {
+    ASSERT_EQ(p.size(), 24u);
+    double total = 0;
+    for (double x : p) {
+      EXPECT_GE(x, 0);
+      total += x;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(GeneratorBlocksTest, ClusterMatesAreCloserThanStrangers) {
+  Rng rng(3);
+  auto protos = MakePrototypes(4, 24, 1.2, &rng);
+  std::vector<int> clusters = {0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3};
+  auto cond = MakeConditionals(clusters, protos, 0.15, &rng);
+  // Average within-cluster l1 distance must be well below between-cluster.
+  double within = 0, between = 0;
+  int nw = 0, nb = 0;
+  for (size_t i = 0; i < cond.size(); ++i) {
+    for (size_t j = i + 1; j < cond.size(); ++j) {
+      const double d = L1Distance(cond[i], cond[j]);
+      if (clusters[i] == clusters[j]) {
+        within += d;
+        ++nw;
+      } else {
+        between += d;
+        ++nb;
+      }
+    }
+  }
+  EXPECT_LT(within / nw, 0.5 * between / nb);
+}
+
+TEST(GeneratorBlocksTest, GenerateRowsRespectsMarginals) {
+  Rng rng(4);
+  std::vector<GenAttr> attrs(2);
+  attrs[0] = {"Z", 4, -1, {0.1, 0.2, 0.3, 0.4}, {}};
+  attrs[1] = {"X", 2, 0, {},
+              {Distribution{0.9, 0.1}, Distribution{0.1, 0.9},
+               Distribution{0.5, 0.5}, Distribution{0.3, 0.7}}};
+  auto store = GenerateRows("test", attrs, 40000, &rng);
+  ASSERT_EQ(store->num_rows(), 40000);
+  auto exact = ComputeExactCounts(*store, 0, {1}).value();
+  // Marginal check.
+  EXPECT_NEAR(exact.RowTotal(0) / 40000.0, 0.1, 0.01);
+  EXPECT_NEAR(exact.RowTotal(3) / 40000.0, 0.4, 0.01);
+  // Conditional check for candidate 0: P(X=0 | Z=0) = 0.9.
+  const Distribution d0 = exact.NormalizedRow(0);
+  EXPECT_NEAR(d0[0], 0.9, 0.03);
+  // Candidate 1 mirrored.
+  const Distribution d1 = exact.NormalizedRow(1);
+  EXPECT_NEAR(d1[1], 0.9, 0.03);
+}
+
+class DatasetShapeTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kRows = 120000;
+};
+
+TEST_F(DatasetShapeTest, FlightsSchemaAndPlants) {
+  auto ds = MakeFlightsLike(kRows, 42);
+  ASSERT_NE(ds.store, nullptr);
+  EXPECT_EQ(ds.store->num_rows(), kRows);
+  EXPECT_EQ(ds.store->schema().num_attributes(), 7);
+  EXPECT_EQ(ds.store->schema().FindAttribute("Origin").value(), 0);
+  EXPECT_EQ(ds.store->schema().attribute(0).cardinality, 347u);
+  EXPECT_EQ(
+      ds.store->schema()
+          .attribute(ds.store->schema().FindAttribute("Dest").value())
+          .cardinality,
+      351u);
+
+  // The hub dominates; the rare block is present but much smaller.
+  auto exact = ComputeExactCounts(
+                   *ds.store, 0,
+                   {ds.store->schema().FindAttribute("DepartureHour").value()})
+                   .value();
+  int64_t max_rows = 0;
+  for (int i = 0; i < 347; ++i) max_rows = std::max(max_rows, exact.RowTotal(i));
+  EXPECT_EQ(exact.RowTotal(static_cast<int>(ds.hub_candidate)), max_rows);
+  const int64_t rare = exact.RowTotal(static_cast<int>(ds.rare_candidate));
+  EXPECT_GT(rare, kRows / 500);  // above the sigma=0.0008 threshold
+  EXPECT_LT(rare, max_rows / 3);
+}
+
+TEST_F(DatasetShapeTest, FlightsRareClusterHasNearMatches) {
+  auto ds = MakeFlightsLike(kRows, 43);
+  const int x = ds.store->schema().FindAttribute("DepartureHour").value();
+  auto exact = ComputeExactCounts(*ds.store, 0, {x}).value();
+  const Distribution target =
+      exact.NormalizedRow(static_cast<int>(ds.rare_candidate));
+  // The rare candidate's cluster mates (ids 300..307) are close to it.
+  // At this reduced scale each rare candidate only has ~1500 rows, so the
+  // empirical histograms carry ~0.2 of sampling noise on top of the
+  // planted ~0.3 cluster spread.
+  int close = 0;
+  for (int i = 300; i < 308; ++i) {
+    if (i == static_cast<int>(ds.rare_candidate)) continue;
+    if (L1Distance(exact.NormalizedRow(i), target) < 0.5) ++close;
+  }
+  EXPECT_GE(close, 5);
+}
+
+TEST_F(DatasetShapeTest, TaxiHeavyTail) {
+  auto ds = MakeTaxiLike(kRows, 44);
+  EXPECT_EQ(ds.store->schema().attribute(0).cardinality, 7641u);
+  auto exact = ComputeExactCounts(
+                   *ds.store, 0,
+                   {ds.store->schema().FindAttribute("HourOfDay").value()})
+                   .value();
+  int near_empty = 0, well_populated = 0;
+  for (int i = 0; i < 7641; ++i) {
+    const int64_t n = exact.RowTotal(i);
+    if (n < 10) ++near_empty;
+    if (n > kRows / 200) ++well_populated;
+  }
+  // The paper: "more than 3000 candidates have fewer than 10 datapoints".
+  EXPECT_GT(near_empty, 3000);
+  // And a healthy set of hubs for the top-k.
+  EXPECT_GE(well_populated, 12);
+}
+
+TEST_F(DatasetShapeTest, PoliceSchema) {
+  auto ds = MakePoliceLike(kRows, 45);
+  EXPECT_EQ(ds.store->schema().num_attributes(), 10);
+  EXPECT_EQ(ds.store->schema().attribute(
+                            ds.store->schema().FindAttribute("Violation")
+                                .value())
+                .cardinality,
+            2110u);
+  EXPECT_EQ(ds.store->schema()
+                .attribute(
+                    ds.store->schema().FindAttribute("DriverGender").value())
+                .cardinality,
+            2u);
+}
+
+TEST_F(DatasetShapeTest, GenerationIsSeedDeterministic) {
+  auto a = MakeFlightsLike(20000, 7);
+  auto b = MakeFlightsLike(20000, 7);
+  for (RowId r = 0; r < 200; ++r) {
+    EXPECT_EQ(a.store->column(0).Get(r), b.store->column(0).Get(r));
+    EXPECT_EQ(a.store->column(2).Get(r), b.store->column(2).Get(r));
+  }
+  auto c = MakeFlightsLike(20000, 8);
+  bool differs = false;
+  for (RowId r = 0; r < 200 && !differs; ++r) {
+    differs = a.store->column(0).Get(r) != c.store->column(0).Get(r);
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace fastmatch

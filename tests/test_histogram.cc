@@ -1,0 +1,100 @@
+#include "core/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace fastmatch {
+namespace {
+
+TEST(CountMatrixTest, AddAndRowAccess) {
+  CountMatrix m(3, 4);
+  m.Add(0, 1);
+  m.Add(0, 1);
+  m.Add(0, 3);
+  m.Add(2, 0);
+  EXPECT_EQ(m.At(0, 1), 2);
+  EXPECT_EQ(m.At(0, 3), 1);
+  EXPECT_EQ(m.At(0, 0), 0);
+  EXPECT_EQ(m.RowTotal(0), 3);
+  EXPECT_EQ(m.RowTotal(1), 0);
+  EXPECT_EQ(m.RowTotal(2), 1);
+  auto row = m.Row(0);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[1], 2);
+}
+
+TEST(CountMatrixTest, MergeAddsCellwise) {
+  CountMatrix a(2, 2), b(2, 2);
+  a.Add(0, 0);
+  a.Add(1, 1);
+  b.Add(0, 0);
+  b.Add(0, 1);
+  a.Merge(b);
+  EXPECT_EQ(a.At(0, 0), 2);
+  EXPECT_EQ(a.At(0, 1), 1);
+  EXPECT_EQ(a.At(1, 1), 1);
+  EXPECT_EQ(a.RowTotal(0), 3);
+  EXPECT_EQ(a.RowTotal(1), 1);
+}
+
+TEST(CountMatrixTest, ResetZeroesEverything) {
+  CountMatrix m(2, 2);
+  m.Add(1, 0);
+  m.Reset();
+  EXPECT_EQ(m.At(1, 0), 0);
+  EXPECT_EQ(m.RowTotal(1), 0);
+  EXPECT_EQ(m.num_candidates(), 2);
+  EXPECT_EQ(m.num_groups(), 2);
+}
+
+TEST(CountMatrixTest, NormalizedRow) {
+  CountMatrix m(2, 4);
+  m.Add(0, 0);
+  m.Add(0, 0);
+  m.Add(0, 2);
+  m.Add(0, 3);
+  Distribution d = m.NormalizedRow(0);
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d[0], 0.5);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], 0.25);
+  EXPECT_DOUBLE_EQ(d[3], 0.25);
+}
+
+TEST(CountMatrixTest, NormalizedRowEmptyWhenZero) {
+  CountMatrix m(2, 4);
+  EXPECT_TRUE(m.NormalizedRow(1).empty());
+}
+
+TEST(NormalizeTest, IntCountsSumToOne) {
+  std::vector<int64_t> counts = {1, 2, 3, 4};
+  Distribution d = Normalize(std::span<const int64_t>(counts));
+  double total = 0;
+  for (double x : d) total += x;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d[3], 0.4);
+}
+
+TEST(NormalizeTest, WeightsHandleZeros) {
+  EXPECT_TRUE(Normalize(std::vector<double>{0, 0}).empty());
+  Distribution d = Normalize(std::vector<double>{0, 2, 2});
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.5);
+}
+
+TEST(NormalizeTest, PaperFigure3Property) {
+  // The paper's Figure 3: a scaled copy of a histogram is identical
+  // post-normalization.
+  std::vector<int64_t> base = {10, 20, 5, 15};
+  std::vector<int64_t> scaled = {100, 200, 50, 150};
+  EXPECT_EQ(Normalize(std::span<const int64_t>(base)),
+            Normalize(std::span<const int64_t>(scaled)));
+}
+
+TEST(UniformDistributionTest, SumsToOne) {
+  Distribution u = UniformDistribution(7);
+  ASSERT_EQ(u.size(), 7u);
+  for (double x : u) EXPECT_DOUBLE_EQ(x, 1.0 / 7);
+}
+
+}  // namespace
+}  // namespace fastmatch

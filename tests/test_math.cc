@@ -1,0 +1,87 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fastmatch {
+namespace {
+
+TEST(LogChooseTest, SmallValuesExact) {
+  EXPECT_NEAR(std::exp(LogChoose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogChoose(10, 3)), 120.0, 1e-7);
+  EXPECT_NEAR(std::exp(LogChoose(6, 6)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(LogChoose(6, 0)), 1.0, 1e-12);
+}
+
+TEST(LogChooseTest, Symmetry) {
+  for (int n = 1; n <= 30; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_NEAR(LogChoose(n, k), LogChoose(n, n - k), 1e-9);
+    }
+  }
+}
+
+TEST(LogChooseTest, PascalRecurrence) {
+  // C(n, k) = C(n-1, k-1) + C(n-1, k), checked in log space.
+  for (int n = 2; n <= 40; ++n) {
+    for (int k = 1; k < n; ++k) {
+      const double lhs = LogChoose(n, k);
+      const double rhs = LogAdd(LogChoose(n - 1, k - 1), LogChoose(n - 1, k));
+      EXPECT_NEAR(lhs, rhs, 1e-8) << n << " " << k;
+    }
+  }
+}
+
+TEST(LogChooseTest, LargeValuesFinite) {
+  const double v = LogChoose(600000000, 500000);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0);
+}
+
+TEST(LogAddTest, BasicIdentities) {
+  EXPECT_NEAR(LogAdd(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_NEAR(LogAdd(0.0, 0.0), std::log(2.0), 1e-12);
+}
+
+TEST(LogAddTest, NegInfIsIdentity) {
+  EXPECT_DOUBLE_EQ(LogAdd(NegInf(), 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(LogAdd(1.5, NegInf()), 1.5);
+  EXPECT_EQ(LogAdd(NegInf(), NegInf()), NegInf());
+}
+
+TEST(LogAddTest, ExtremeMagnitudesDoNotOverflow) {
+  const double big = 700.0;  // exp(700) overflows a double
+  EXPECT_NEAR(LogAdd(big, big), big + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogAdd(big, -big), big, 1e-9);
+}
+
+TEST(LogSumExpTest, MatchesDirectComputation) {
+  std::vector<double> v = {std::log(1.0), std::log(2.0), std::log(3.0)};
+  EXPECT_NEAR(LogSumExp(v), std::log(6.0), 1e-12);
+}
+
+TEST(LogSumExpTest, EmptyIsNegInf) {
+  EXPECT_EQ(LogSumExp({}), NegInf());
+}
+
+TEST(ClampTest, Clamps) {
+  EXPECT_EQ(Clamp(5, 0, 1), 1);
+  EXPECT_EQ(Clamp(-5, 0, 1), 0);
+  EXPECT_EQ(Clamp(0.5, 0, 1), 0.5);
+}
+
+TEST(MeanStdDevTest, KnownValues) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(Mean(v), 5.0, 1e-12);
+  EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(MeanStdDevTest, DegenerateSizes) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({}), 0.0);
+  EXPECT_EQ(StdDev({3.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace fastmatch

@@ -1,0 +1,105 @@
+#include "engine/measure_biased.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/verify.h"
+#include "util/random.h"
+
+namespace fastmatch {
+namespace {
+
+/// Store with Z(2), X(3), Y(8): Y is the measure attribute whose
+/// dictionary code doubles as its magnitude.
+std::shared_ptr<ColumnStore> MeasureStore(uint64_t seed) {
+  std::vector<Value> z, x, y;
+  Rng rng(seed);
+  for (int i = 0; i < 30000; ++i) {
+    const Value zi = static_cast<Value>(rng.Uniform(2));
+    const Value xi = static_cast<Value>(rng.Uniform(3));
+    // Y depends on (z, x) so SUM histograms differ from COUNT histograms.
+    const Value yi = static_cast<Value>(1 + (zi == 0 ? xi * 2 : (2 - xi)) +
+                                        rng.Uniform(2));
+    z.push_back(zi);
+    x.push_back(xi);
+    y.push_back(yi);
+  }
+  return ColumnStore::FromColumns(Schema({{"Z", 2}, {"X", 3}, {"Y", 8}}),
+                                  {std::move(z), std::move(x), std::move(y)})
+      .value();
+}
+
+/// Exact SUM(Y) GROUP BY X per candidate.
+std::vector<Distribution> ExactSumHistograms(const ColumnStore& store) {
+  std::vector<std::vector<double>> sums(2, std::vector<double>(3, 0));
+  for (RowId r = 0; r < store.num_rows(); ++r) {
+    sums[store.column(0).Get(r)][store.column(1).Get(r)] +=
+        static_cast<double>(store.column(2).Get(r));
+  }
+  return {Normalize(sums[0]), Normalize(sums[1])};
+}
+
+TEST(MeasureBiasedTest, SampleHasRequestedSize) {
+  auto store = MeasureStore(1);
+  auto sample = BuildMeasureBiasedSample(*store, 2, 5000, 7).value();
+  EXPECT_EQ(sample->num_rows(), 5000);
+  EXPECT_EQ(sample->schema().num_attributes(), 3);
+}
+
+TEST(MeasureBiasedTest, CountOnSampleEstimatesSumHistogram) {
+  // The core Appendix A.1.1 claim: COUNT(*) histograms on the biased
+  // sample converge to the SUM(Y) histograms of the original.
+  auto store = MeasureStore(2);
+  auto truth = ExactSumHistograms(*store);
+  auto sample = BuildMeasureBiasedSample(*store, 2, 60000, 11).value();
+  auto counts = ComputeExactCounts(*sample, 0, {1}).value();
+  for (int zi = 0; zi < 2; ++zi) {
+    const Distribution est = counts.NormalizedRow(zi);
+    const double err = L1Distance(est, truth[static_cast<size_t>(zi)]);
+    EXPECT_LT(err, 0.03) << "candidate " << zi;
+  }
+}
+
+TEST(MeasureBiasedTest, ZeroMeasureRowsNeverSampled) {
+  std::vector<Value> z = {0, 0, 1, 1}, x = {0, 1, 0, 1}, y = {0, 5, 0, 5};
+  auto store = ColumnStore::FromColumns(Schema({{"Z", 2}, {"X", 3}, {"Y", 8}}),
+                                        {std::move(z), std::move(x),
+                                         std::move(y)})
+                   .value();
+  auto sample = BuildMeasureBiasedSample(*store, 2, 1000, 13).value();
+  // Only rows with Y = 5 (x = 1) can appear.
+  for (RowId r = 0; r < sample->num_rows(); ++r) {
+    EXPECT_EQ(sample->column(1).Get(r), 1u);
+    EXPECT_EQ(sample->column(2).Get(r), 5u);
+  }
+}
+
+TEST(MeasureBiasedTest, Validation) {
+  auto store = MeasureStore(3);
+  EXPECT_FALSE(BuildMeasureBiasedSample(*store, -1, 100, 1).ok());
+  EXPECT_FALSE(BuildMeasureBiasedSample(*store, 9, 100, 1).ok());
+  EXPECT_FALSE(BuildMeasureBiasedSample(*store, 2, 0, 1).ok());
+
+  // All-zero measure attribute.
+  std::vector<Value> z = {0, 1}, x = {0, 1}, y = {0, 0};
+  auto zero = ColumnStore::FromColumns(Schema({{"Z", 2}, {"X", 3}, {"Y", 8}}),
+                                       {std::move(z), std::move(x),
+                                        std::move(y)})
+                  .value();
+  EXPECT_EQ(BuildMeasureBiasedSample(*zero, 2, 100, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MeasureBiasedTest, DeterministicUnderSeed) {
+  auto store = MeasureStore(4);
+  auto s1 = BuildMeasureBiasedSample(*store, 2, 1000, 99).value();
+  auto s2 = BuildMeasureBiasedSample(*store, 2, 1000, 99).value();
+  for (RowId r = 0; r < 1000; ++r) {
+    EXPECT_EQ(s1->column(0).Get(r), s2->column(0).Get(r));
+    EXPECT_EQ(s1->column(1).Get(r), s2->column(1).Get(r));
+  }
+}
+
+}  // namespace
+}  // namespace fastmatch

@@ -1,0 +1,110 @@
+#include "stats/multiple_testing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace fastmatch {
+namespace {
+
+std::vector<double> Logs(std::vector<double> p) {
+  for (auto& x : p) x = std::log(x);
+  return p;
+}
+
+TEST(HolmBonferroniTest, TextbookExample) {
+  // Four P-values at alpha = 0.05: thresholds 0.0125, 0.0167, 0.025, 0.05.
+  // Sorted p: 0.005 <= 0.0125 (reject), 0.011 <= 0.0167 (reject),
+  // 0.02 <= 0.025 (reject), 0.1 > 0.05 (retain).
+  auto rejected =
+      HolmBonferroniReject(Logs({0.02, 0.005, 0.1, 0.011}), std::log(0.05));
+  std::sort(rejected.begin(), rejected.end());
+  EXPECT_EQ(rejected, (std::vector<int>{0, 1, 3}));
+}
+
+TEST(HolmBonferroniTest, StepDownStopsAtFirstFailure) {
+  // Sorted: 0.001 (reject at 0.05/3), 0.04 > 0.05/2 = 0.025 (stop).
+  // The third p = 0.045 <= 0.05 individually but must NOT be rejected.
+  auto rejected =
+      HolmBonferroniReject(Logs({0.045, 0.001, 0.04}), std::log(0.05));
+  EXPECT_EQ(rejected, (std::vector<int>{1}));
+}
+
+TEST(HolmBonferroniTest, RejectsAllWhenAllTiny) {
+  auto rejected =
+      HolmBonferroniReject(Logs({1e-10, 1e-12, 1e-11}), std::log(0.05));
+  EXPECT_EQ(rejected.size(), 3u);
+}
+
+TEST(HolmBonferroniTest, RejectsNoneWhenAllLarge) {
+  auto rejected = HolmBonferroniReject(Logs({0.5, 0.9, 0.7}), std::log(0.05));
+  EXPECT_TRUE(rejected.empty());
+}
+
+TEST(HolmBonferroniTest, EmptyFamily) {
+  EXPECT_TRUE(HolmBonferroniReject({}, std::log(0.05)).empty());
+}
+
+TEST(HolmBonferroniTest, UniformlyMorePowerfulThanBonferroni) {
+  // Any Bonferroni rejection is also a Holm rejection (the paper's stated
+  // reason for preferring Holm).
+  const std::vector<double> ps = Logs({0.012, 0.002, 0.3, 0.04, 0.018});
+  const double log_alpha = std::log(0.05);
+  auto bonf = BonferroniReject(ps, log_alpha);
+  auto holm = HolmBonferroniReject(ps, log_alpha);
+  for (int idx : bonf) {
+    EXPECT_NE(std::find(holm.begin(), holm.end(), idx), holm.end())
+        << "Bonferroni rejected " << idx << " but Holm did not";
+  }
+  // And in this instance Holm rejects strictly more.
+  EXPECT_GT(holm.size(), bonf.size());
+}
+
+TEST(BonferroniTest, ThresholdIsAlphaOverN) {
+  // alpha=0.05, n=5 -> threshold 0.01.
+  auto rejected =
+      BonferroniReject(Logs({0.009, 0.011, 0.01, 0.5, 1e-5}), std::log(0.05));
+  std::sort(rejected.begin(), rejected.end());
+  EXPECT_EQ(rejected, (std::vector<int>{0, 2, 4}));
+}
+
+TEST(SimultaneousTest, AllOrNothing) {
+  const double log_alpha = std::log(0.01);
+  EXPECT_TRUE(SimultaneousReject(Logs({0.005, 0.0001, 0.01}), log_alpha));
+  EXPECT_FALSE(SimultaneousReject(Logs({0.005, 0.02, 0.0001}), log_alpha));
+}
+
+TEST(SimultaneousTest, EmptyFamilyRejectsVacuously) {
+  EXPECT_TRUE(SimultaneousReject({}, std::log(0.01)));
+}
+
+TEST(SimultaneousTest, HandlesNegInfPValues) {
+  std::vector<double> ps = {-std::numeric_limits<double>::infinity(), -50.0};
+  EXPECT_TRUE(SimultaneousReject(ps, std::log(1e-20)));
+}
+
+TEST(HolmBonferroniTest, FamilyWiseErrorSimulation) {
+  // All nulls true with uniform P-values: the probability of >= 1
+  // rejection must be <= alpha. Simulate and bound empirically.
+  uint64_t state = 12345;
+  auto next_uniform = [&]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>((state >> 11) + 1) * 0x1.0p-53;
+  };
+  const double alpha = 0.05;
+  int families_with_rejection = 0;
+  const int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> ps(20);
+    for (auto& p : ps) p = std::log(next_uniform());
+    if (!HolmBonferroniReject(ps, std::log(alpha)).empty()) {
+      ++families_with_rejection;
+    }
+  }
+  // Expected <= 100; allow ~3.5 sigma of slack above alpha * kTrials.
+  EXPECT_LT(families_with_rejection, 135);
+}
+
+}  // namespace
+}  // namespace fastmatch

@@ -1,0 +1,93 @@
+#include "workload/queries.h"
+
+#include <gtest/gtest.h>
+
+namespace fastmatch {
+namespace {
+
+TEST(PaperQueriesTest, AllNineQueriesPresent) {
+  auto queries = PaperQueries();
+  ASSERT_EQ(queries.size(), 9u);
+  EXPECT_EQ(queries[0].id, "flights-q1");
+  EXPECT_EQ(queries[8].id, "police-q3");
+  // Table 3 k values.
+  EXPECT_EQ(queries[2].k, 5);  // flights-q3
+  EXPECT_EQ(queries[8].k, 5);  // police-q3
+  for (const auto& q : queries) {
+    EXPECT_FALSE(q.z_attr.empty());
+    EXPECT_FALSE(q.x_attr.empty());
+    EXPECT_GE(q.k, 1);
+  }
+}
+
+TEST(PrepareQueryTest, BindsFlightsQ1) {
+  auto ds = MakeFlightsLike(60000, 11);
+  HistSimParams params;
+  params.stage1_samples = 5000;
+  auto prepared = PrepareQuery(ds, PaperQueries()[0], params, nullptr);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ(prepared->bound.z_attr, 0);
+  ASSERT_EQ(prepared->bound.x_attrs.size(), 1u);
+  EXPECT_EQ(prepared->bound.params.k, 10);
+  // Target = hub candidate's exact histogram.
+  const Distribution expect =
+      prepared->exact.NormalizedRow(static_cast<int>(ds.hub_candidate));
+  EXPECT_EQ(prepared->bound.target, expect);
+  // Index built on demand.
+  ASSERT_NE(prepared->bound.z_index, nullptr);
+  EXPECT_EQ(prepared->bound.z_index->attribute(), 0);
+  // Ground truth ranks the hub itself first (distance 0).
+  ASSERT_FALSE(prepared->truth.topk.empty());
+  EXPECT_EQ(prepared->truth.topk[0], static_cast<int>(ds.hub_candidate));
+}
+
+TEST(PrepareQueryTest, ExplicitQ3Target) {
+  auto ds = MakeFlightsLike(60000, 12);
+  HistSimParams params;
+  auto prepared = PrepareQuery(ds, PaperQueries()[2], params, nullptr);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_EQ(prepared->bound.target.size(), 7u);
+  EXPECT_DOUBLE_EQ(prepared->bound.target[0], 0.25);
+  EXPECT_DOUBLE_EQ(prepared->bound.target[1], 0.125);
+  EXPECT_EQ(prepared->bound.params.k, 5);
+}
+
+TEST(PrepareQueryTest, ClosestToUniformTargetIsARealCandidate) {
+  auto ds = MakePoliceLike(60000, 13);
+  HistSimParams params;
+  auto prepared = PrepareQuery(ds, PaperQueries()[6], params, nullptr);
+  ASSERT_TRUE(prepared.ok());
+  // The resolved target must coincide with some candidate's histogram.
+  bool found = false;
+  for (int i = 0; i < prepared->exact.num_candidates() && !found; ++i) {
+    found = prepared->exact.NormalizedRow(i) == prepared->bound.target;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PrepareQueryTest, ReusesProvidedIndex) {
+  auto ds = MakeFlightsLike(30000, 14);
+  auto index = BitmapIndex::Build(*ds.store, 0).value();
+  HistSimParams params;
+  auto prepared = PrepareQuery(ds, PaperQueries()[0], params, index);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->bound.z_index.get(), index.get());
+}
+
+TEST(PrepareQueryTest, MakeTruthTracksParams) {
+  auto ds = MakeFlightsLike(60000, 15);
+  HistSimParams params;
+  auto prepared = PrepareQuery(ds, PaperQueries()[0], params, nullptr);
+  ASSERT_TRUE(prepared.ok());
+  HistSimParams strict = prepared->bound.params;
+  strict.sigma = 0.05;  // much stricter selectivity
+  GroundTruth t = MakeTruth(*prepared, strict);
+  int eligible = 0;
+  for (bool e : t.eligible) eligible += e;
+  int eligible_default = 0;
+  for (bool e : prepared->truth.eligible) eligible_default += e;
+  EXPECT_LT(eligible, eligible_default);
+}
+
+}  // namespace
+}  // namespace fastmatch

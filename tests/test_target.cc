@@ -1,0 +1,82 @@
+#include "core/target.h"
+
+#include <gtest/gtest.h>
+
+namespace fastmatch {
+namespace {
+
+CountMatrix ExampleCounts() {
+  // 3 candidates x 4 groups.
+  CountMatrix m(3, 4);
+  // Candidate 0: uniform-ish.
+  for (int g = 0; g < 4; ++g) {
+    m.Add(0, g);
+    m.Add(0, g);
+  }
+  // Candidate 1: peaked on group 0.
+  for (int i = 0; i < 10; ++i) m.Add(1, 0);
+  m.Add(1, 1);
+  // Candidate 2: empty.
+  return m;
+}
+
+TEST(TargetTest, ExplicitNormalizedAndChecked) {
+  auto m = ExampleCounts();
+  auto d = ResolveTarget(TargetSpec::Explicit({2, 1, 1, 0}), m, Metric::kL1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ((*d)[0], 0.5);
+  EXPECT_DOUBLE_EQ((*d)[3], 0.0);
+
+  auto wrong_size =
+      ResolveTarget(TargetSpec::Explicit({1, 1}), m, Metric::kL1);
+  EXPECT_EQ(wrong_size.status().code(), StatusCode::kInvalidArgument);
+
+  auto zero = ResolveTarget(TargetSpec::Explicit({0, 0, 0, 0}), m,
+                            Metric::kL1);
+  EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TargetTest, CandidateUsesExactRow) {
+  auto m = ExampleCounts();
+  auto d = ResolveTarget(TargetSpec::Candidate(1), m, Metric::kL1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR((*d)[0], 10.0 / 11, 1e-12);
+  EXPECT_NEAR((*d)[1], 1.0 / 11, 1e-12);
+}
+
+TEST(TargetTest, EmptyCandidateRejected) {
+  auto m = ExampleCounts();
+  auto d = ResolveTarget(TargetSpec::Candidate(2), m, Metric::kL1);
+  EXPECT_EQ(d.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TargetTest, OutOfRangeCandidateRejected) {
+  auto m = ExampleCounts();
+  auto d = ResolveTarget(TargetSpec::Candidate(9), m, Metric::kL1);
+  EXPECT_EQ(d.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TargetTest, ClosestToUniformPicksUniformCandidate) {
+  auto m = ExampleCounts();
+  auto d = ResolveTarget(TargetSpec::ClosestToUniform(), m, Metric::kL1);
+  ASSERT_TRUE(d.ok());
+  // Candidate 0 is exactly uniform; the resolved target is its histogram.
+  for (double x : *d) EXPECT_DOUBLE_EQ(x, 0.25);
+}
+
+TEST(TargetTest, ClosestToUniformSkipsEmptyCandidates) {
+  CountMatrix m(2, 2);
+  m.Add(1, 0);  // candidate 0 empty; candidate 1 = [1, 0]
+  auto d = ResolveTarget(TargetSpec::ClosestToUniform(), m, Metric::kL1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ((*d)[0], 1.0);
+}
+
+TEST(TargetTest, AllEmptyFails) {
+  CountMatrix m(2, 2);
+  auto d = ResolveTarget(TargetSpec::ClosestToUniform(), m, Metric::kL1);
+  EXPECT_EQ(d.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace fastmatch
