@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Builds the Release bench binaries and runs each one, writing a
+# BENCH_<name>.json result file per binary to seed the perf trajectory
+# tracked in ROADMAP.md.
+#
+# Scale knobs (defaults are deliberately small so a laptop run finishes
+# in minutes; set FASTMATCH_ROWS=0 to use the paper-scale datasets —
+# the bench harness treats 0/absent as "paper defaults", 16-24M rows):
+#   FASTMATCH_ROWS   rows per synthetic dataset   (default 200000)
+#   FASTMATCH_RUNS   timed runs per configuration (default 2)
+#   BUILD_DIR        cmake build tree             (default build-bench)
+#   OUT_DIR          where BENCH_*.json land      (default bench-results)
+#   BENCH_FILTER     regex of bench names to run  (default: all)
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${ROOT}/build-bench}"
+OUT_DIR="${OUT_DIR:-${ROOT}/bench-results}"
+BENCH_FILTER="${BENCH_FILTER:-.}"
+
+export FASTMATCH_ROWS="${FASTMATCH_ROWS:-200000}"
+export FASTMATCH_RUNS="${FASTMATCH_RUNS:-2}"
+
+command -v jq >/dev/null || { echo "run_benches.sh: jq is required" >&2; exit 1; }
+
+cmake -B "${BUILD_DIR}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DFASTMATCH_BUILD_TESTS=OFF \
+  -DFASTMATCH_BUILD_EXAMPLES=OFF
+cmake --build "${BUILD_DIR}" -j --target benches
+
+mkdir -p "${OUT_DIR}"
+
+status=0
+for exe in "${BUILD_DIR}"/bench/bench_*; do
+  [[ -f "${exe}" && -x "${exe}" ]] || continue
+  name="$(basename "${exe}")"
+  [[ "${name}" =~ ${BENCH_FILTER} ]] || continue
+  out_json="${OUT_DIR}/BENCH_${name#bench_}.json"
+  echo "=== ${name} -> ${out_json}"
+
+  if [[ "${name}" == "bench_micro_substrate" ]]; then
+    # Google Benchmark binary: native JSON reporter.
+    if ! "${exe}" --benchmark_format=json \
+        --benchmark_out="${out_json}" --benchmark_out_format=json; then
+      echo "run_benches.sh: ${name} FAILED" >&2
+      status=1
+    fi
+    continue
+  fi
+
+  start="$(date +%s.%N)"
+  if output="$("${exe}" 2>&1)"; then exit_code=0; else exit_code=$?; fi
+  end="$(date +%s.%N)"
+
+  jq -n \
+    --arg bench "${name}" \
+    --arg timestamp "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg rows "${FASTMATCH_ROWS}" \
+    --arg runs "${FASTMATCH_RUNS}" \
+    --argjson seconds "$(echo "${end} ${start}" | awk '{printf "%.3f", $1-$2}')" \
+    --argjson exit_code "${exit_code}" \
+    --arg output "${output}" \
+    '{bench: $bench, timestamp: $timestamp,
+      env: {FASTMATCH_ROWS: $rows, FASTMATCH_RUNS: $runs},
+      wall_seconds: $seconds, exit_code: $exit_code,
+      output_lines: ($output | split("\n"))}' > "${out_json}"
+
+  if [[ "${exit_code}" -ne 0 ]]; then
+    echo "run_benches.sh: ${name} exited ${exit_code}" >&2
+    status=1
+  fi
+done
+
+echo "Results in ${OUT_DIR}/"
+exit "${status}"

@@ -89,8 +89,12 @@ TEST(PredicateTest, BlockEstimatesBoundTruth) {
     const int est_or = EstimateBlockMatches(either, *map_a, map_b.get(), blk);
     EXPECT_GE(est_and, std::min(true_and, 255));
     EXPECT_GE(est_or, std::min(true_or, 255));
-    if (est_and == 0) EXPECT_EQ(true_and, 0);
-    if (est_or == 0) EXPECT_EQ(true_or, 0);
+    if (est_and == 0) {
+      EXPECT_EQ(true_and, 0);
+    }
+    if (est_or == 0) {
+      EXPECT_EQ(true_or, 0);
+    }
   }
 }
 
