@@ -24,6 +24,18 @@ export FASTMATCH_RUNS="${FASTMATCH_RUNS:-2}"
 
 command -v jq >/dev/null || { echo "run_benches.sh: jq is required" >&2; exit 1; }
 
+# Host/build provenance stamped into every BENCH_*.json, so the perf
+# trajectory stays attributable across PRs and machines.
+GIT_SHA="$(git -C "${ROOT}" rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+if [[ -n "$(git -C "${ROOT}" status --porcelain 2>/dev/null)" ]]; then
+  GIT_DIRTY=true
+else
+  GIT_DIRTY=false
+fi
+CPU_MODEL="$(awk -F': *' '/model name/{print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+[[ -n "${CPU_MODEL}" ]] || CPU_MODEL=unknown  # e.g. ARM /proc/cpuinfo
+THREADS="$(nproc 2>/dev/null || echo 1)"
+
 cmake -B "${BUILD_DIR}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=Release \
   -DFASTMATCH_BUILD_TESTS=OFF \
@@ -41,11 +53,23 @@ for exe in "${BUILD_DIR}"/bench/bench_*; do
   echo "=== ${name} -> ${out_json}"
 
   if [[ "${name}" == "bench_micro_substrate" ]]; then
-    # Google Benchmark binary: native JSON reporter.
+    # Google Benchmark binary: native JSON reporter, provenance grafted in.
     if ! "${exe}" --benchmark_format=json \
         --benchmark_out="${out_json}" --benchmark_out_format=json; then
       echo "run_benches.sh: ${name} FAILED" >&2
       status=1
+    fi
+    # A truncated JSON (crashed bench) must not abort the sweep: keep the
+    # raw file and move on, like every other bench failure.
+    if [[ -s "${out_json}" ]] && jq --arg git_sha "${GIT_SHA}" \
+         --argjson git_dirty "${GIT_DIRTY}" \
+         --arg cpu_model "${CPU_MODEL}" --argjson threads "${THREADS}" \
+         '. + {provenance: {git_sha: $git_sha, git_dirty: $git_dirty,
+               cpu_model: $cpu_model, threads: $threads}}' \
+         "${out_json}" > "${out_json}.tmp" 2>/dev/null; then
+      mv "${out_json}.tmp" "${out_json}"
+    else
+      rm -f "${out_json}.tmp"
     fi
     continue
   fi
@@ -59,11 +83,17 @@ for exe in "${BUILD_DIR}"/bench/bench_*; do
     --arg timestamp "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     --arg rows "${FASTMATCH_ROWS}" \
     --arg runs "${FASTMATCH_RUNS}" \
+    --arg git_sha "${GIT_SHA}" \
+    --argjson git_dirty "${GIT_DIRTY}" \
+    --arg cpu_model "${CPU_MODEL}" \
+    --argjson threads "${THREADS}" \
     --argjson seconds "$(echo "${end} ${start}" | awk '{printf "%.3f", $1-$2}')" \
     --argjson exit_code "${exit_code}" \
     --arg output "${output}" \
     '{bench: $bench, timestamp: $timestamp,
       env: {FASTMATCH_ROWS: $rows, FASTMATCH_RUNS: $runs},
+      provenance: {git_sha: $git_sha, git_dirty: $git_dirty,
+                   cpu_model: $cpu_model, threads: $threads},
       wall_seconds: $seconds, exit_code: $exit_code,
       output_lines: ($output | split("\n"))}' > "${out_json}"
 

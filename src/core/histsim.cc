@@ -9,7 +9,6 @@
 #include "stats/hypergeometric.h"
 #include "stats/multiple_testing.h"
 #include "util/logging.h"
-#include "util/timer.h"
 
 namespace fastmatch {
 
@@ -17,23 +16,387 @@ namespace {
 
 constexpr double kLog2 = 0.6931471805599453;
 
-/// Working state of one run, kept off the HistSim object so Run() is
-/// re-entrant.
-struct RunState {
-  int vz = 0;
-  int vx = 0;
-  int64_t n_total = 0;  // N, total datapoints
-
-  CountMatrix total;  // cumulative counts across stages/rounds
-  CountMatrix round;  // fresh counts of the current stage-2/3 phase
-
-  std::vector<bool> pruned;
-  std::vector<bool> exact;
-  std::vector<double> tau;  // estimated distance per candidate
-  std::vector<int> active_set;  // A: non-pruned candidate ids
-};
+/// Multiplies a sample count by a slack factor without overflowing past
+/// the deviation formulas' saturation sentinel.
+int64_t SaturatingScale(int64_t n, int64_t factor) {
+  return n > kSampleCountSaturated / factor ? kSampleCountSaturated
+                                            : n * factor;
+}
 
 }  // namespace
+
+HistSimMachine::HistSimMachine(HistSimParams params, Distribution target)
+    : params_(std::move(params)), target_(std::move(target)) {}
+
+void HistSimMachine::RefreshTau(int i) {
+  Distribution d = total_.NormalizedRow(i);
+  tau_[i] = HistDistance(params_.metric, d, target_);
+}
+
+Status HistSimMachine::Begin(int num_candidates, int num_groups,
+                             int64_t total_rows) {
+  if (phase_ != Phase::kCreated) {
+    return Status::FailedPrecondition("HistSimMachine::Begin called twice");
+  }
+  phase_ = Phase::kFailed;  // until every validation below passes
+  FASTMATCH_RETURN_IF_ERROR(params_.Validate());
+  vz_ = num_candidates;
+  vx_ = num_groups;
+  n_total_ = total_rows;
+  if (vz_ <= 0 || vx_ <= 0) {
+    return Status::InvalidArgument("sampler reports empty domain");
+  }
+  if (static_cast<int>(target_.size()) != vx_) {
+    return Status::InvalidArgument("target has wrong number of groups");
+  }
+  if (n_total_ <= 0) {
+    return Status::FailedPrecondition("relation is empty");
+  }
+
+  eps_sep_ = params_.SeparationEps();
+  log_delta_third_ = std::log(params_.delta / 3.0);
+
+  // The deviation-bound inversions saturate at int64 max instead of
+  // overflowing; a saturated requirement means the parameters demand more
+  // samples than any relation can hold, so reject them up front. Checked
+  // at the stage-3 target and at the round-1 stage-2 worst case
+  // (eps'_i >= eps/2 by construction of the split point).
+  if (Stage3Samples(params_.ReconstructionEps(), vx_,
+                    std::max(params_.k, params_.k_hi), params_.delta) ==
+          kSampleCountSaturated ||
+      DeviationSamples(eps_sep_ / 2, vx_, log_delta_third_ - kLog2) ==
+          kSampleCountSaturated) {
+    return Status::InvalidArgument(
+        "epsilon too small: the required sample count overflows int64");
+  }
+
+  total_ = CountMatrix(vz_, vx_);
+  round_ = CountMatrix(vz_, vx_);
+  pruned_.assign(vz_, false);
+  exact_.assign(vz_, false);
+  tau_.assign(vz_, MaxDistance(params_.metric));
+
+  demand_.kind = SampleDemand::Kind::kRows;
+  demand_.rows = params_.stage1_samples;
+  demand_.targets.clear();
+  phase_ = Phase::kStage1;
+  stage_timer_.Restart();
+  return Status::OK();
+}
+
+Status HistSimMachine::Supply(const CountMatrix& fresh,
+                              const std::vector<bool>& exhausted,
+                              bool all_consumed, int64_t rows_drawn) {
+  if (phase_ != Phase::kStage1 && phase_ != Phase::kStage2 &&
+      phase_ != Phase::kStage3) {
+    return Status::FailedPrecondition(
+        "HistSimMachine::Supply: no demand outstanding");
+  }
+  FASTMATCH_CHECK_EQ(fresh.num_candidates(), vz_);
+  FASTMATCH_CHECK_EQ(fresh.num_groups(), vx_);
+  FASTMATCH_CHECK_EQ(static_cast<int>(exhausted.size()), vz_);
+
+  data_exhausted_ = all_consumed;
+  if (all_consumed) {
+    std::fill(exact_.begin(), exact_.end(), true);
+  } else {
+    for (int i = 0; i < vz_; ++i) {
+      if (exhausted[i]) exact_[i] = true;
+    }
+  }
+
+  Status status;
+  switch (phase_) {
+    case Phase::kStage1:
+      status = FinishStage1(fresh, rows_drawn);
+      break;
+    case Phase::kStage2:
+      status = FinishStage2Round(fresh, rows_drawn);
+      break;
+    default:
+      status = FinishStage3(fresh, rows_drawn);
+      break;
+  }
+  if (!status.ok()) {
+    phase_ = Phase::kFailed;
+    demand_ = SampleDemand{};
+  }
+  return status;
+}
+
+Status HistSimMachine::FinishStage1(const CountMatrix& fresh,
+                                    int64_t rows_drawn) {
+  total_.Merge(fresh);
+  diag_.stage1_samples = rows_drawn;
+
+  // Under-representation test (null: N_i >= sigma * N) only when a
+  // pruning threshold was requested and sampling was partial.
+  const int64_t k_rare = static_cast<int64_t>(
+      std::ceil(params_.sigma * static_cast<double>(n_total_)));
+  if (params_.sigma > 0 && k_rare >= 1 && rows_drawn > 0 &&
+      !data_exhausted_) {
+    int64_t max_ni = 0;
+    for (int i = 0; i < vz_; ++i) {
+      max_ni = std::max(max_ni, total_.RowTotal(i));
+    }
+    HypergeomCdfTable table(n_total_, k_rare, rows_drawn, max_ni);
+    std::vector<double> log_pvalues(vz_);
+    for (int i = 0; i < vz_; ++i) {
+      log_pvalues[i] = table.LogCdf(total_.RowTotal(i));
+    }
+    for (int i : HolmBonferroniReject(log_pvalues, log_delta_third_)) {
+      pruned_[i] = true;
+    }
+  } else if (data_exhausted_ && params_.sigma > 0) {
+    // Complete data: prune by exact selectivity (Scan's behaviour).
+    for (int i = 0; i < vz_; ++i) {
+      if (static_cast<double>(total_.RowTotal(i)) <
+          params_.sigma * static_cast<double>(n_total_)) {
+        pruned_[i] = true;
+      }
+    }
+  }
+
+  for (int i = 0; i < vz_; ++i) {
+    if (!pruned_[i]) active_set_.push_back(i);
+    RefreshTau(i);
+  }
+  diag_.pruned_candidates = vz_ - static_cast<int>(active_set_.size());
+  diag_.stage1_seconds = stage_timer_.Seconds();
+  stage_timer_.Restart();
+
+  if (active_set_.empty()) {
+    return Status::FailedPrecondition(
+        "all candidates were pruned as rare; lower sigma or raise "
+        "stage1_samples");
+  }
+
+  // Effective k: cannot return more candidates than survive pruning.
+  k_eff_ = std::min<int>(params_.k, static_cast<int>(active_set_.size()));
+  diag_.chosen_k = k_eff_;
+  need_stage2_ = static_cast<int>(active_set_.size()) > k_eff_;
+  chose_k_ = params_.k_hi <= 0;
+  log_dupper_ = log_delta_third_;
+  round_t_ = 0;
+  phase_ = Phase::kStage2;
+  return PrepareStage2RoundOrAdvance();
+}
+
+Status HistSimMachine::PrepareStage2RoundOrAdvance() {
+  if (!need_stage2_) return BeginStage3();
+
+  ++round_t_;
+  log_dupper_ -= kLog2;  // delta/3 / 2^t at round t
+
+  // Fold the previous round's samples into the totals (Alg. 1 l.15-16)
+  // and refresh distance estimates.
+  total_.Merge(round_);
+  round_.Reset();
+  for (int i : active_set_) RefreshTau(i);
+
+  std::vector<int> order = active_set_;
+  std::sort(order.begin(), order.end(),
+            [this](int a, int b) { return TauLess(a, b); });
+
+  // Appendix A.2.3: given a k-range [k, k_hi], pick the boundary with
+  // the widest distance gap once initial estimates exist.
+  if (!chose_k_) {
+    const int hi =
+        std::min<int>(params_.k_hi, static_cast<int>(order.size()) - 1);
+    double best_gap = -1;
+    for (int kk = params_.k; kk <= hi; ++kk) {
+      const double gap = tau_[order[kk]] - tau_[order[kk - 1]];
+      if (gap > best_gap) {
+        best_gap = gap;
+        k_eff_ = kk;
+      }
+    }
+    diag_.chosen_k = k_eff_;
+    chose_k_ = true;
+  }
+
+  matching_.assign(order.begin(), order.begin() + k_eff_);
+  const double max_m_tau = tau_[matching_.back()];
+  const double min_rest_tau = tau_[order[k_eff_]];
+  split_s_ = 0.5 * (max_m_tau + min_rest_tau);
+  in_m_.assign(vz_, false);
+  for (int i : matching_) in_m_[i] = true;
+
+  // All-exact shortcut: every remaining estimate is exact, so the
+  // separation is exact and no further samples can help.
+  bool all_exact = true;
+  for (int i : active_set_) {
+    if (!exact_[i]) {
+      all_exact = false;
+      break;
+    }
+  }
+  if (all_exact) return BeginStage3();
+
+  // Per-candidate fresh-sample targets for this round (Equation 1),
+  // assuming tau_i is correct: the round must reconstruct candidate i
+  // to within eps'_i for its test to reject.
+  //
+  // Equation 1 alone makes the round's P-value land exactly at
+  // delta_upper when the observed round distance equals the estimate,
+  // i.e. each test rejects with only ~50% probability (less for
+  // i in M, since the empirical l1 distance is biased upward). The
+  // paper's system oversampled implicitly -- whole blocks feed every
+  // candidate, so all but the scan-length-limiting candidate receive
+  // far more than n'_i -- and reports termination "within 4 or 5
+  // iterations". We make the slack explicit with a 2x factor, which
+  // drives the design-point P-value to ~delta_upper^2 * 2^-|VX| and
+  // keeps round counts small even when targets are hit exactly.
+  // Correctness is unaffected (extra samples never hurt the test).
+  constexpr int64_t kRoundSafetyFactor = 2;
+  std::vector<int64_t> targets(vz_, -1);
+  for (int i : active_set_) {
+    if (exact_[i]) continue;
+    const double eps_prime = in_m_[i]
+                                 ? (split_s_ + eps_sep_ / 2 - tau_[i])
+                                 : (tau_[i] - (split_s_ - eps_sep_ / 2));
+    // eps'_i >= eps/2 holds by construction of s; guard anyway against
+    // floating-point equality corner cases.
+    const double eps_safe = std::max(eps_prime, eps_sep_ / 2);
+    targets[i] = SaturatingScale(DeviationSamples(eps_safe, vx_, log_dupper_),
+                                 kRoundSafetyFactor);
+  }
+  demand_.kind = SampleDemand::Kind::kTargets;
+  demand_.rows = 0;
+  demand_.targets = std::move(targets);
+  return Status::OK();
+}
+
+Status HistSimMachine::FinishStage2Round(const CountMatrix& fresh,
+                                         int64_t rows_drawn) {
+  round_.Merge(fresh);
+  diag_.stage2_samples += rows_drawn;
+
+  // The multiple hypothesis test of Lemma 4 over fresh samples.
+  std::vector<double> log_pvalues;
+  log_pvalues.reserve(active_set_.size());
+  for (int i : active_set_) {
+    double lp;
+    if (exact_[i]) {
+      // Fully enumerated candidate: its true distance is known, so the
+      // null is simply true or false. A true null can never be
+      // rejected; a false null is rejected error-free.
+      const auto total_row = total_.Row(i);
+      const auto round_row = round_.Row(i);
+      std::vector<int64_t> merged(vx_);
+      for (int g = 0; g < vx_; ++g) {
+        merged[g] = total_row[g] + round_row[g];
+      }
+      Distribution nd = Normalize(merged);
+      const double tau_exact = HistDistance(params_.metric, nd, target_);
+      const bool null_true = in_m_[i]
+                                 ? (tau_exact >= split_s_ + eps_sep_ / 2)
+                                 : (tau_exact <= split_s_ - eps_sep_ / 2);
+      lp = null_true ? 0.0 : -std::numeric_limits<double>::infinity();
+    } else {
+      const Distribution d_round = round_.NormalizedRow(i);
+      const double tau_round = HistDistance(params_.metric, d_round, target_);
+      double eps_i;
+      if (in_m_[i]) {
+        eps_i = split_s_ + eps_sep_ / 2 - tau_round;
+      } else if (split_s_ - eps_sep_ / 2 >= 0) {
+        eps_i = tau_round - (split_s_ - eps_sep_ / 2);
+      } else {
+        eps_i = std::numeric_limits<double>::infinity();
+      }
+      lp = LogDeviationPValue(eps_i, round_.RowTotal(i), vx_);
+    }
+    log_pvalues.push_back(lp);
+  }
+
+  if (SimultaneousReject(log_pvalues, log_dupper_)) {
+    total_.Merge(round_);
+    round_.Reset();
+    for (int i : active_set_) RefreshTau(i);
+    return BeginStage3();
+  }
+  return PrepareStage2RoundOrAdvance();
+}
+
+Status HistSimMachine::BeginStage3() {
+  if (!need_stage2_ || matching_.empty()) {
+    // Everything left is a winner (|A| <= k), or stage 2 never assigned:
+    // recompute from current estimates.
+    std::vector<int> order = active_set_;
+    std::sort(order.begin(), order.end(),
+              [this](int a, int b) { return TauLess(a, b); });
+    matching_.assign(
+        order.begin(),
+        order.begin() + std::min<size_t>(order.size(),
+                                         static_cast<size_t>(k_eff_)));
+  }
+  diag_.rounds = round_t_;
+  diag_.stage2_seconds = stage_timer_.Seconds();
+  stage_timer_.Restart();
+
+  const int64_t needed = Stage3Samples(params_.ReconstructionEps(), vx_,
+                                       k_eff_, params_.delta);
+  std::vector<int64_t> targets(vz_, -1);
+  bool any = false;
+  for (int i : matching_) {
+    if (exact_[i]) continue;
+    const int64_t missing = needed - total_.RowTotal(i);
+    if (missing > 0) {
+      targets[i] = missing;
+      any = true;
+    }
+  }
+  if (any) {
+    round_.Reset();
+    demand_.kind = SampleDemand::Kind::kTargets;
+    demand_.rows = 0;
+    demand_.targets = std::move(targets);
+    phase_ = Phase::kStage3;
+    return Status::OK();
+  }
+  return Finalize();
+}
+
+Status HistSimMachine::FinishStage3(const CountMatrix& fresh,
+                                    int64_t rows_drawn) {
+  round_.Merge(fresh);
+  diag_.stage3_samples = rows_drawn;
+  total_.Merge(round_);
+  round_.Reset();
+  for (int i : matching_) RefreshTau(i);
+  return Finalize();
+}
+
+Status HistSimMachine::Finalize() {
+  diag_.stage3_seconds = stage_timer_.Seconds();
+
+  std::sort(matching_.begin(), matching_.end(),
+            [this](int a, int b) { return TauLess(a, b); });
+  result_.topk = matching_;
+  result_.topk_distances.clear();
+  result_.topk_distances.reserve(matching_.size());
+  for (int i : matching_) result_.topk_distances.push_back(tau_[i]);
+  result_.distances = tau_;
+  result_.counts = std::move(total_);
+  result_.pruned = std::move(pruned_);
+  result_.exact = exact_;
+  diag_.exact_candidates = static_cast<int>(
+      std::count(exact_.begin(), exact_.end(), true));
+  diag_.data_exhausted = data_exhausted_;
+  result_.diag = diag_;
+
+  phase_ = Phase::kDone;
+  demand_ = SampleDemand{};
+  return Status::OK();
+}
+
+MatchResult HistSimMachine::TakeResult() {
+  FASTMATCH_CHECK(phase_ == Phase::kDone)
+      << "HistSimMachine::TakeResult before completion";
+  return std::move(result_);
+}
+
+// --------------------------------------------------------------- HistSim
 
 HistSim::HistSim(HistSimParams params, Distribution target)
     : params_(std::move(params)), target_(std::move(target)) {}
@@ -44,301 +407,30 @@ Result<MatchResult> HistSim::Run(Sampler* sampler) {
     return Status::InvalidArgument("HistSim::Run: null sampler");
   }
 
-  RunState st;
-  st.vz = sampler->num_candidates();
-  st.vx = sampler->num_groups();
-  st.n_total = sampler->total_rows();
-  if (st.vz <= 0 || st.vx <= 0) {
-    return Status::InvalidArgument("sampler reports empty domain");
-  }
-  if (static_cast<int>(target_.size()) != st.vx) {
-    return Status::InvalidArgument("target has wrong number of groups");
-  }
-  if (st.n_total <= 0) {
-    return Status::FailedPrecondition("relation is empty");
-  }
+  HistSimMachine machine(params_, target_);
+  FASTMATCH_RETURN_IF_ERROR(machine.Begin(sampler->num_candidates(),
+                                          sampler->num_groups(),
+                                          sampler->total_rows()));
 
-  st.total = CountMatrix(st.vz, st.vx);
-  st.round = CountMatrix(st.vz, st.vx);
-  st.pruned.assign(st.vz, false);
-  st.exact.assign(st.vz, false);
-  st.tau.assign(st.vz, MaxDistance(params_.metric));
-
-  MatchResult result;
-  HistSimDiagnostics& diag = result.diag;
-
-  const double eps_sep = params_.SeparationEps();
-  const double log_delta_third = std::log(params_.delta / 3.0);
-
-  auto refresh_tau = [&](int i) {
-    Distribution d = st.total.NormalizedRow(i);
-    st.tau[i] = HistDistance(params_.metric, d, target_);
-  };
-
-  auto mark_exhausted = [&](const std::vector<bool>& exhausted) {
-    for (int i = 0; i < st.vz; ++i) {
-      if (exhausted[i]) st.exact[i] = true;
-    }
-  };
-
-  // ---------------------------------------------------------------- stage 1
-  {
-    WallTimer timer;
-    const int64_t drawn =
-        sampler->SampleRows(params_.stage1_samples, &st.total);
-    diag.stage1_samples = drawn;
-    if (sampler->AllConsumed()) {
-      std::fill(st.exact.begin(), st.exact.end(), true);
-    }
-
-    // Under-representation test (null: N_i >= sigma * N) only when a
-    // pruning threshold was requested and sampling was partial.
-    const int64_t k_rare =
-        static_cast<int64_t>(std::ceil(params_.sigma * st.n_total));
-    if (params_.sigma > 0 && k_rare >= 1 && drawn > 0 &&
-        !sampler->AllConsumed()) {
-      int64_t max_ni = 0;
-      for (int i = 0; i < st.vz; ++i) {
-        max_ni = std::max(max_ni, st.total.RowTotal(i));
-      }
-      HypergeomCdfTable table(st.n_total, k_rare, drawn, max_ni);
-      std::vector<double> log_pvalues(st.vz);
-      for (int i = 0; i < st.vz; ++i) {
-        log_pvalues[i] = table.LogCdf(st.total.RowTotal(i));
-      }
-      for (int i : HolmBonferroniReject(log_pvalues, log_delta_third)) {
-        st.pruned[i] = true;
-      }
-    } else if (sampler->AllConsumed() && params_.sigma > 0) {
-      // Complete data: prune by exact selectivity (Scan's behaviour).
-      for (int i = 0; i < st.vz; ++i) {
-        if (static_cast<double>(st.total.RowTotal(i)) <
-            params_.sigma * static_cast<double>(st.n_total)) {
-          st.pruned[i] = true;
-        }
-      }
-    }
-
-    for (int i = 0; i < st.vz; ++i) {
-      if (!st.pruned[i]) st.active_set.push_back(i);
-      refresh_tau(i);
-    }
-    diag.pruned_candidates =
-        st.vz - static_cast<int>(st.active_set.size());
-    diag.stage1_seconds = timer.Seconds();
-  }
-
-  if (st.active_set.empty()) {
-    return Status::FailedPrecondition(
-        "all candidates were pruned as rare; lower sigma or raise "
-        "stage1_samples");
-  }
-
-  // Effective k: cannot return more candidates than survive pruning.
-  int k_eff = std::min<int>(params_.k, static_cast<int>(st.active_set.size()));
-  diag.chosen_k = k_eff;
-
-  const auto tau_less = [&](int a, int b) {
-    return st.tau[a] < st.tau[b] || (st.tau[a] == st.tau[b] && a < b);
-  };
-
-  // ---------------------------------------------------------------- stage 2
-  std::vector<int> matching;  // M: current top-k guess
-  {
-    WallTimer timer;
-    const bool need_stage2 =
-        static_cast<int>(st.active_set.size()) > k_eff;
-
-    double log_dupper = log_delta_third;
-    int round_t = 0;
-    bool chose_k = params_.k_hi <= 0;
-
-    while (need_stage2) {
-      ++round_t;
-      log_dupper -= kLog2;  // delta/3 / 2^t at round t
-
-      // Fold the previous round's samples into the totals (Alg. 1 l.15-16)
-      // and refresh distance estimates.
-      st.total.Merge(st.round);
-      st.round.Reset();
-      for (int i : st.active_set) refresh_tau(i);
-
-      std::vector<int> order = st.active_set;
-      std::sort(order.begin(), order.end(), tau_less);
-
-      // Appendix A.2.3: given a k-range [k, k_hi], pick the boundary with
-      // the widest distance gap once initial estimates exist.
-      if (!chose_k) {
-        const int hi =
-            std::min<int>(params_.k_hi, static_cast<int>(order.size()) - 1);
-        double best_gap = -1;
-        for (int kk = params_.k; kk <= hi; ++kk) {
-          const double gap = st.tau[order[kk]] - st.tau[order[kk - 1]];
-          if (gap > best_gap) {
-            best_gap = gap;
-            k_eff = kk;
-          }
-        }
-        diag.chosen_k = k_eff;
-        chose_k = true;
-      }
-
-      matching.assign(order.begin(), order.begin() + k_eff);
-      const double max_m_tau = st.tau[matching.back()];
-      const double min_rest_tau = st.tau[order[k_eff]];
-      const double s = 0.5 * (max_m_tau + min_rest_tau);
-
-      std::vector<bool> in_m(st.vz, false);
-      for (int i : matching) in_m[i] = true;
-
-      // All-exact shortcut: every remaining estimate is exact, so the
-      // separation is exact and no further samples can help.
-      bool all_exact = true;
-      for (int i : st.active_set) {
-        if (!st.exact[i]) {
-          all_exact = false;
-          break;
-        }
-      }
-      if (all_exact) break;
-
-      // Per-candidate fresh-sample targets for this round (Equation 1),
-      // assuming tau_i is correct: the round must reconstruct candidate i
-      // to within eps'_i for its test to reject.
-      //
-      // Equation 1 alone makes the round's P-value land exactly at
-      // delta_upper when the observed round distance equals the estimate,
-      // i.e. each test rejects with only ~50% probability (less for
-      // i in M, since the empirical l1 distance is biased upward). The
-      // paper's system oversampled implicitly -- whole blocks feed every
-      // candidate, so all but the scan-length-limiting candidate receive
-      // far more than n'_i -- and reports termination "within 4 or 5
-      // iterations". We make the slack explicit with a 2x factor, which
-      // drives the design-point P-value to ~delta_upper^2 * 2^-|VX| and
-      // keeps round counts small even when targets are hit exactly.
-      // Correctness is unaffected (extra samples never hurt the test).
-      constexpr int64_t kRoundSafetyFactor = 2;
-      std::vector<int64_t> targets(st.vz, -1);
-      for (int i : st.active_set) {
-        if (st.exact[i]) continue;
-        const double eps_prime =
-            in_m[i] ? (s + eps_sep / 2 - st.tau[i])
-                    : (st.tau[i] - (s - eps_sep / 2));
-        // eps'_i >= eps/2 holds by construction of s; guard anyway against
-        // floating-point equality corner cases.
-        const double eps_safe = std::max(eps_prime, eps_sep / 2);
-        targets[i] =
-            kRoundSafetyFactor * DeviationSamples(eps_safe, st.vx, log_dupper);
-      }
-
+  const int vz = sampler->num_candidates();
+  const int vx = sampler->num_groups();
+  CountMatrix fresh(vz, vx);
+  while (!machine.done()) {
+    const SampleDemand& demand = machine.demand();
+    fresh.Reset();
+    std::vector<bool> exhausted(vz, false);
+    int64_t drawn;
+    if (demand.kind == SampleDemand::Kind::kRows) {
+      drawn = sampler->SampleRows(demand.rows, &fresh);
+    } else {
       const int64_t consumed_before = sampler->rows_consumed();
-      std::vector<bool> exhausted(st.vz, false);
-      sampler->SampleUntilTargets(targets, &st.round, &exhausted);
-      diag.stage2_samples += sampler->rows_consumed() - consumed_before;
-      mark_exhausted(exhausted);
-
-      // The multiple hypothesis test of Lemma 4 over fresh samples.
-      std::vector<double> log_pvalues;
-      log_pvalues.reserve(st.active_set.size());
-      for (int i : st.active_set) {
-        double lp;
-        if (st.exact[i]) {
-          // Fully enumerated candidate: its true distance is known, so the
-          // null is simply true or false. A true null can never be
-          // rejected; a false null is rejected error-free.
-          Distribution d_exact(st.vx);
-          const auto total_row = st.total.Row(i);
-          const auto round_row = st.round.Row(i);
-          std::vector<int64_t> merged(st.vx);
-          for (int g = 0; g < st.vx; ++g) {
-            merged[g] = total_row[g] + round_row[g];
-          }
-          Distribution nd = Normalize(merged);
-          const double tau_exact =
-              HistDistance(params_.metric, nd, target_);
-          const bool null_true = in_m[i] ? (tau_exact >= s + eps_sep / 2)
-                                         : (tau_exact <= s - eps_sep / 2);
-          lp = null_true ? 0.0 : -std::numeric_limits<double>::infinity();
-        } else {
-          const Distribution d_round = st.round.NormalizedRow(i);
-          const double tau_round =
-              HistDistance(params_.metric, d_round, target_);
-          double eps_i;
-          if (in_m[i]) {
-            eps_i = s + eps_sep / 2 - tau_round;
-          } else if (s - eps_sep / 2 >= 0) {
-            eps_i = tau_round - (s - eps_sep / 2);
-          } else {
-            eps_i = std::numeric_limits<double>::infinity();
-          }
-          lp = LogDeviationPValue(eps_i, st.round.RowTotal(i), st.vx);
-        }
-        log_pvalues.push_back(lp);
-      }
-
-      if (SimultaneousReject(log_pvalues, log_dupper)) {
-        st.total.Merge(st.round);
-        st.round.Reset();
-        for (int i : st.active_set) refresh_tau(i);
-        break;
-      }
+      sampler->SampleUntilTargets(demand.targets, &fresh, &exhausted);
+      drawn = sampler->rows_consumed() - consumed_before;
     }
-
-    if (!need_stage2 || matching.empty()) {
-      // Everything left is a winner (|A| <= k), or the loop broke on the
-      // all-exact path before assigning: recompute from current estimates.
-      std::vector<int> order = st.active_set;
-      std::sort(order.begin(), order.end(), tau_less);
-      matching.assign(order.begin(),
-                      order.begin() + std::min<size_t>(order.size(), k_eff));
-    }
-    diag.rounds = round_t;
-    diag.stage2_seconds = timer.Seconds();
+    FASTMATCH_RETURN_IF_ERROR(
+        machine.Supply(fresh, exhausted, sampler->AllConsumed(), drawn));
   }
-
-  // ---------------------------------------------------------------- stage 3
-  {
-    WallTimer timer;
-    const int64_t needed = Stage3Samples(params_.ReconstructionEps(), st.vx,
-                                         k_eff, params_.delta);
-    std::vector<int64_t> targets(st.vz, -1);
-    bool any = false;
-    for (int i : matching) {
-      if (st.exact[i]) continue;
-      const int64_t missing = needed - st.total.RowTotal(i);
-      if (missing > 0) {
-        targets[i] = missing;
-        any = true;
-      }
-    }
-    if (any) {
-      const int64_t consumed_before = sampler->rows_consumed();
-      std::vector<bool> exhausted(st.vz, false);
-      st.round.Reset();
-      sampler->SampleUntilTargets(targets, &st.round, &exhausted);
-      diag.stage3_samples = sampler->rows_consumed() - consumed_before;
-      mark_exhausted(exhausted);
-      st.total.Merge(st.round);
-      st.round.Reset();
-      for (int i : matching) refresh_tau(i);
-    }
-    diag.stage3_seconds = timer.Seconds();
-  }
-
-  // ------------------------------------------------------------------ output
-  std::sort(matching.begin(), matching.end(), tau_less);
-  result.topk = matching;
-  result.topk_distances.reserve(matching.size());
-  for (int i : matching) result.topk_distances.push_back(st.tau[i]);
-  result.distances = st.tau;
-  result.counts = std::move(st.total);
-  result.pruned = std::move(st.pruned);
-  result.exact = std::move(st.exact);
-  diag.exact_candidates =
-      static_cast<int>(std::count(result.exact.begin(), result.exact.end(),
-                                  true));
-  diag.data_exhausted = sampler->AllConsumed();
-  return result;
+  return machine.TakeResult();
 }
 
 }  // namespace fastmatch

@@ -13,9 +13,15 @@
 //   Stage 3  reconstruct: top up winners to
 //            n_i >= 2/eps^2 (|VX| log 2 + log(3k/delta)).
 //
-// The class is deliberately ignorant of where samples come from: it talks
-// to a core/sampler.h Sampler (row-level reference implementation, or the
-// block-based FastMatch engine).
+// The algorithm lives in HistSimMachine, a resumable state machine that
+// is deliberately ignorant of where samples come from: it publishes a
+// SampleDemand (stage-1 row count or stage-2/3 per-candidate targets),
+// the caller obtains the samples however it likes and feeds them back
+// through Supply(), and the machine advances to the next demand. This
+// inversion is what lets the batch executor interleave N query runs over
+// one shared scan. HistSim is the single-query driver: it satisfies each
+// demand from a core/sampler.h Sampler (row-level reference
+// implementation, or the block-based FastMatch engine).
 
 #ifndef FASTMATCH_CORE_HISTSIM_H_
 #define FASTMATCH_CORE_HISTSIM_H_
@@ -26,6 +32,7 @@
 #include "core/params.h"
 #include "core/sampler.h"
 #include "util/result.h"
+#include "util/timer.h"
 
 namespace fastmatch {
 
@@ -39,6 +46,11 @@ struct HistSimDiagnostics {
   int exact_candidates = 0;     // fully enumerated (exhausted) candidates
   bool data_exhausted = false;  // the whole relation was consumed
   int chosen_k = 0;             // k actually returned (k-range extension)
+  // Wall time between the stage's phase boundaries (demand issue to final
+  // Supply). Under the single-query driver this is the stage's cost;
+  // under the batch executor it includes the shared scan's work for
+  // co-scheduled queries, so per-query stage times must not be summed
+  // across a batch (use BatchItem::wall_seconds / BatchStats instead).
   double stage1_seconds = 0;
   double stage2_seconds = 0;
   double stage3_seconds = 0;
@@ -62,12 +74,113 @@ struct MatchResult {
   HistSimDiagnostics diag;
 };
 
-/// \brief One top-k-similar query execution over a Sampler.
-class HistSim {
+/// \brief What the algorithm needs next from the data layer.
+struct SampleDemand {
+  enum class Kind {
+    kNone,     // nothing outstanding (machine finished or not begun)
+    kRows,     // stage 1: `rows` fresh tuples, uniform without replacement
+    kTargets,  // stage 2/3: per-candidate fresh-sample targets
+  };
+  Kind kind = Kind::kNone;
+  int64_t rows = 0;
+  /// Per-candidate fresh-sample targets; -1 means no requirement.
+  std::vector<int64_t> targets;
+};
+
+/// \brief One HistSim run as a resumable state machine.
+///
+/// Protocol: Begin() once, then alternate demand() / Supply() until
+/// done(), then TakeResult(). A demand may legally be over-satisfied
+/// (block granularity and shared scans deliver more rows than asked;
+/// extra uniform samples never hurt the statistics) — Supply() takes
+/// whatever was actually consumed for the phase.
+class HistSimMachine {
  public:
-  /// \param params problem parameters (validated in Run)
+  /// \param params problem parameters (validated in Begin)
   /// \param target resolved target distribution q, |VX| entries summing
   ///        to 1
+  HistSimMachine(HistSimParams params, Distribution target);
+
+  /// \brief Validates parameters against the sampling domain and issues
+  /// the stage-1 demand.
+  Status Begin(int num_candidates, int num_groups, int64_t total_rows);
+
+  /// \brief True once the run completed; TakeResult() is then valid.
+  bool done() const { return phase_ == Phase::kDone; }
+
+  /// \brief True when Begin or Supply returned an error; the machine is
+  /// then dead and must be discarded.
+  bool failed() const { return phase_ == Phase::kFailed; }
+
+  /// \brief The outstanding demand (Kind::kNone iff done or failed).
+  const SampleDemand& demand() const { return demand_; }
+
+  /// \brief Feeds the samples that satisfied the current demand and
+  /// advances to the next demand (or to completion).
+  ///
+  /// `fresh` holds every tuple consumed for this phase; `exhausted[i]`
+  /// marks candidate i fully enumerated (its cumulative counts are
+  /// exact); `all_consumed` marks the whole relation consumed;
+  /// `rows_drawn` is the fresh-tuple count behind `fresh`.
+  Status Supply(const CountMatrix& fresh, const std::vector<bool>& exhausted,
+                bool all_consumed, int64_t rows_drawn);
+
+  /// \brief Moves the finished result out. Requires done(); valid once.
+  MatchResult TakeResult();
+
+ private:
+  enum class Phase { kCreated, kStage1, kStage2, kStage3, kDone, kFailed };
+
+  void RefreshTau(int i);
+  bool TauLess(int a, int b) const {
+    return tau_[a] < tau_[b] || (tau_[a] == tau_[b] && a < b);
+  }
+
+  Status FinishStage1(const CountMatrix& fresh, int64_t rows_drawn);
+  /// Merges the previous round, picks M and the split point, and either
+  /// issues the round's targets demand or falls through to stage 3 when
+  /// every remaining estimate is exact.
+  Status PrepareStage2RoundOrAdvance();
+  Status FinishStage2Round(const CountMatrix& fresh, int64_t rows_drawn);
+  Status BeginStage3();
+  Status FinishStage3(const CountMatrix& fresh, int64_t rows_drawn);
+  Status Finalize();
+
+  HistSimParams params_;
+  Distribution target_;
+  Phase phase_ = Phase::kCreated;
+  SampleDemand demand_;
+  MatchResult result_;
+  HistSimDiagnostics diag_;
+  WallTimer stage_timer_;
+
+  int vz_ = 0;
+  int vx_ = 0;
+  int64_t n_total_ = 0;
+  double eps_sep_ = 0;
+  double log_delta_third_ = 0;
+
+  CountMatrix total_;  // cumulative counts across stages/rounds
+  CountMatrix round_;  // fresh counts of the current stage-2/3 phase
+  std::vector<bool> pruned_;
+  std::vector<bool> exact_;
+  std::vector<double> tau_;     // estimated distance per candidate
+  std::vector<int> active_set_;  // A: non-pruned candidate ids
+  std::vector<int> matching_;    // M: current top-k guess
+  std::vector<bool> in_m_;
+  double split_s_ = 0;
+  int k_eff_ = 0;
+  bool chose_k_ = false;
+  bool need_stage2_ = false;
+  double log_dupper_ = 0;
+  int round_t_ = 0;
+  bool data_exhausted_ = false;
+};
+
+/// \brief One top-k-similar query execution over a Sampler (the
+/// single-query driver around HistSimMachine).
+class HistSim {
+ public:
   HistSim(HistSimParams params, Distribution target);
 
   /// \brief Runs all three stages to completion against `sampler`.

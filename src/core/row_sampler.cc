@@ -77,10 +77,10 @@ void RowSampler::SampleUntilTargets(const std::vector<int64_t>& targets,
   FASTMATCH_CHECK_EQ(static_cast<int>(targets.size()), num_candidates_);
   FASTMATCH_CHECK_EQ(static_cast<int>(exhausted->size()), num_candidates_);
 
-  // Fresh counts of this call, per candidate, starting from what `out`
-  // already holds (normally zero).
-  std::vector<int64_t> fresh(num_candidates_);
-  for (int i = 0; i < num_candidates_; ++i) fresh[i] = out->RowTotal(i);
+  // Fresh counts of this call only: targets demand newly drawn samples.
+  // Seeding from out->RowTotal would conflate earlier rounds' samples
+  // with this call's when the caller reuses one matrix across rounds.
+  std::vector<int64_t> fresh(num_candidates_, 0);
 
   int64_t unmet = 0;
   for (int i = 0; i < num_candidates_; ++i) {

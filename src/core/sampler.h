@@ -40,9 +40,12 @@ class Sampler {
   virtual int64_t SampleRows(int64_t m, CountMatrix* out) = 0;
 
   /// \brief Stage-2/3 style sampling: draw fresh tuples until every
-  /// candidate i with targets[i] >= 0 has accumulated >= targets[i]
-  /// samples *within `out`*, or until that candidate's tuples are
-  /// exhausted. targets[i] < 0 means "no requirement for i".
+  /// candidate i with targets[i] >= 0 has received >= targets[i] samples
+  /// *drawn during this call*, or until that candidate's tuples are
+  /// exhausted. targets[i] < 0 means "no requirement for i". `out` may
+  /// already hold counts from earlier phases (callers legally accumulate
+  /// several rounds into one matrix); pre-existing counts never satisfy
+  /// a target.
   ///
   /// `exhausted` (size |VZ|) is set true for every candidate known to be
   /// fully enumerated across the sampler's lifetime (all its tuples have

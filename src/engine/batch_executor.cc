@@ -1,0 +1,329 @@
+#include "engine/batch_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/block_policy.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace fastmatch {
+
+BatchExecutor::BatchExecutor(std::shared_ptr<const ColumnStore> store,
+                             BatchOptions options)
+    : store_(std::move(store)),
+      options_(options),
+      num_blocks_(store_->num_blocks()),
+      consumed_(num_blocks_) {}
+
+Result<std::unique_ptr<BatchExecutor>> BatchExecutor::Create(
+    const std::vector<BoundQuery>& queries, BatchOptions options) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("batch has no queries");
+  }
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (options.chunk_blocks < 1) {
+    return Status::InvalidArgument("chunk_blocks must be >= 1");
+  }
+  const std::shared_ptr<const ColumnStore>& store = queries.front().store;
+  if (store == nullptr) {
+    return Status::InvalidArgument("query has no store");
+  }
+  for (const BoundQuery& q : queries) {
+    if (q.store.get() != store.get()) {
+      return Status::InvalidArgument(
+          "batch queries must share one ColumnStore");
+    }
+  }
+  if (store->num_rows() == 0) {
+    return Status::FailedPrecondition("empty store");
+  }
+
+  auto executor =
+      std::unique_ptr<BatchExecutor>(new BatchExecutor(store, options));
+  for (const BoundQuery& q : queries) executor->AddQuery(q);
+  executor->stats_.num_templates =
+      static_cast<int>(executor->templates_.size());
+  return executor;
+}
+
+void BatchExecutor::AddQuery(const BoundQuery& query) {
+  QueryState qs(HistSimMachine(query.params, query.target));
+  const Status status = BindQuery(query, &qs);
+  if (!status.ok()) {
+    qs.status = status;
+    qs.active = false;
+  }
+  queries_.push_back(std::move(qs));
+}
+
+Status BatchExecutor::BindQuery(const BoundQuery& query, QueryState* qs) {
+  if (query.x_attrs.empty()) {
+    return Status::InvalidArgument("query has no x attributes");
+  }
+  size_t t = 0;
+  for (; t < templates_.size(); ++t) {
+    if (templates_[t].z_attr == query.z_attr &&
+        templates_[t].x_attrs == query.x_attrs) {
+      break;
+    }
+  }
+  if (t == templates_.size()) {
+    FASTMATCH_ASSIGN_OR_RETURN(
+        auto io, IoManager::Create(store_, query.z_attr, query.x_attrs));
+    TemplateState ts;
+    ts.z_attr = query.z_attr;
+    ts.x_attrs = query.x_attrs;
+    ts.cum = CountMatrix(io->num_candidates(), io->num_groups());
+    ts.exhausted.assign(io->num_candidates(), false);
+    ts.unmet_seen.assign(io->num_candidates(), false);
+    ts.io = std::move(io);
+    templates_.push_back(std::move(ts));
+  }
+  TemplateState& ts = templates_[t];
+  // Validate every supplied index (not just the first bound one), so a
+  // malformed index is rejected regardless of the query's batch position.
+  if (query.z_index != nullptr) {
+    if (query.z_index->attribute() != query.z_attr) {
+      return Status::InvalidArgument(
+          "bitmap index was built for a different attribute");
+    }
+    if (query.z_index->num_blocks() != store_->num_blocks()) {
+      return Status::InvalidArgument(
+          "bitmap index block count does not match store");
+    }
+    if (ts.index == nullptr) ts.index = query.z_index;
+  }
+  qs->tmpl = t;
+  FASTMATCH_RETURN_IF_ERROR(qs->machine.Begin(
+      ts.io->num_candidates(), ts.io->num_groups(), store_->num_rows()));
+  qs->snapshot = CountMatrix(ts.io->num_candidates(), ts.io->num_groups());
+  qs->active = true;
+  return Status::OK();
+}
+
+bool BatchExecutor::AnyActive() const {
+  for (const QueryState& q : queries_) {
+    if (q.active) return true;
+  }
+  return false;
+}
+
+bool BatchExecutor::DemandSatisfied(const QueryState& q,
+                                    bool all_consumed) const {
+  // Full consumption makes every cumulative count exact, which completes
+  // any phase (the machine observes all_consumed and finishes).
+  if (all_consumed) return true;
+  const TemplateState& ts = templates_[q.tmpl];
+  const SampleDemand& demand = q.machine.demand();
+  if (demand.kind == SampleDemand::Kind::kRows) {
+    return ts.rows_cum - q.snap_rows >= demand.rows;
+  }
+  for (size_t i = 0; i < demand.targets.size(); ++i) {
+    if (demand.targets[i] < 0 || ts.exhausted[i]) continue;
+    const int c = static_cast<int>(i);
+    if (ts.cum.RowTotal(c) - q.snapshot.RowTotal(c) < demand.targets[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BatchExecutor::SupplyPhase(QueryState* q, bool all_consumed,
+                                const WallTimer& timer) {
+  TemplateState& ts = templates_[q->tmpl];
+  CountMatrix fresh = ts.cum;
+  fresh.Subtract(q->snapshot);
+  const int64_t drawn = ts.rows_cum - q->snap_rows;
+  const Status status =
+      q->machine.Supply(fresh, ts.exhausted, all_consumed, drawn);
+  if (!status.ok()) {
+    q->status = status;
+    q->active = false;
+    q->wall_seconds = timer.Seconds();
+  } else if (q->machine.done()) {
+    q->match = q->machine.TakeResult();
+    q->active = false;
+    q->wall_seconds = timer.Seconds();
+  } else {
+    q->snapshot = ts.cum;
+    q->snap_rows = ts.rows_cum;
+  }
+}
+
+void BatchExecutor::Settle(const WallTimer& timer) {
+  const bool all_consumed = consumed_blocks_ == num_blocks_;
+  for (QueryState& q : queries_) {
+    // One supply may immediately issue a demand that is already satisfied
+    // (exhausted candidates, zero targets): loop to fixpoint. Each pass
+    // either finishes the machine or issues a demand needing fresh
+    // samples of a non-exhausted candidate, so the loop terminates.
+    while (q.active && DemandSatisfied(q, all_consumed)) {
+      SupplyPhase(&q, all_consumed, timer);
+    }
+  }
+}
+
+void BatchExecutor::ReadChunk(int64_t* streak) {
+  const BlockId start = cursor_;
+  const int count = static_cast<int>(
+      std::min<int64_t>(options_.chunk_blocks, num_blocks_ - start));
+  cursor_ += count;
+  if (cursor_ >= num_blocks_) cursor_ = 0;
+  ++stats_.chunks;
+
+  // Gather the chunk's demand: per-template union of unmet candidates
+  // over outstanding targets demands; a rows demand (stage 1), or a
+  // targets demand on an index-less template, forces sequential
+  // consumption of the whole window.
+  bool read_all = false;
+  for (TemplateState& ts : templates_) {
+    ts.demand.unmet.clear();
+    ts.demand.scan_all = false;
+    ts.has_active = false;
+    std::fill(ts.unmet_seen.begin(), ts.unmet_seen.end(), false);
+  }
+  for (const QueryState& q : queries_) {
+    if (!q.active) continue;
+    TemplateState& ts = templates_[q.tmpl];
+    ts.has_active = true;
+    const SampleDemand& demand = q.machine.demand();
+    if (demand.kind == SampleDemand::Kind::kRows || ts.index == nullptr) {
+      read_all = true;
+      continue;
+    }
+    for (size_t i = 0; i < demand.targets.size(); ++i) {
+      if (demand.targets[i] < 0 || ts.exhausted[i] || ts.unmet_seen[i]) {
+        continue;
+      }
+      const int c = static_cast<int>(i);
+      if (ts.cum.RowTotal(c) - q.snapshot.RowTotal(c) >= demand.targets[i]) {
+        continue;
+      }
+      ts.unmet_seen[i] = true;
+      ts.demand.unmet.push_back(c);
+    }
+  }
+
+  // Mark the window: a block is read iff some template's union demand
+  // wants it (OR across templates).
+  std::vector<BlockId> to_read;
+  if (read_all) {
+    for (int i = 0; i < count; ++i) {
+      const BlockId b = start + i;
+      if (!consumed_.Get(b)) to_read.push_back(b);
+    }
+  } else {
+    marked_.assign(static_cast<size_t>(count), 0);
+    for (TemplateState& ts : templates_) {
+      if (ts.demand.unmet.empty()) continue;
+      MarkAnyActiveLookahead(*ts.index, ts.demand.unmet, start, count,
+                             &ts.scratch, &ts.marks);
+      for (int i = 0; i < count; ++i) {
+        marked_[static_cast<size_t>(i)] |= ts.marks[static_cast<size_t>(i)];
+      }
+    }
+    for (int i = 0; i < count; ++i) {
+      const BlockId b = start + i;
+      if (consumed_.Get(b)) continue;
+      if (marked_[static_cast<size_t>(i)]) {
+        to_read.push_back(b);
+      } else {
+        ++stats_.blocks_skipped;
+      }
+    }
+  }
+
+  if (to_read.empty()) {
+    *streak += count;
+    if (*streak >= num_blocks_) {
+      // One full cursor cycle without a read: no unconsumed block holds
+      // any currently-unmet candidate, so each one is fully enumerated
+      // (the single-query engine's exhaustion rule). The unmet sets are
+      // stable across the cycle because counts only change on reads.
+      for (TemplateState& ts : templates_) {
+        for (int c : ts.demand.unmet) ts.exhausted[c] = true;
+      }
+      *streak = 0;
+    }
+    return;
+  }
+  *streak = 0;
+
+  // Shared read: one pass over the chunk's blocks feeds every template
+  // that still has a live query. Worker slots scan contiguous slices into
+  // private shards; the merge below is an integer sum, so the cumulative
+  // matrix is identical for every pool size.
+  const size_t num_reads = to_read.size();
+  const size_t slots = static_cast<size_t>(pool_->size());
+  pool_->ParallelFor(static_cast<int64_t>(slots), [&](int64_t w) {
+    const size_t begin = num_reads * static_cast<size_t>(w) / slots;
+    const size_t end = num_reads * (static_cast<size_t>(w) + 1) / slots;
+    if (begin == end) return;
+    for (TemplateState& ts : templates_) {
+      if (!ts.has_active) continue;
+      ts.io->ReadBlocks(to_read, begin, end,
+                        &ts.shards[static_cast<size_t>(w)]);
+    }
+  });
+
+  int64_t rows = 0;
+  for (BlockId b : to_read) {
+    RowId row_begin, row_end;
+    store_->BlockRowRange(b, &row_begin, &row_end);
+    rows += row_end - row_begin;
+    consumed_.Set(b);
+  }
+  consumed_blocks_ += static_cast<int64_t>(num_reads);
+  stats_.blocks_read += static_cast<int64_t>(num_reads);
+  stats_.rows_read += rows;
+
+  for (TemplateState& ts : templates_) {
+    if (!ts.has_active) continue;
+    for (CountMatrix& shard : ts.shards) {
+      ts.cum.Merge(shard);
+      shard.Reset();
+    }
+    ts.rows_cum += rows;
+    stats_.block_scans += static_cast<int64_t>(num_reads);
+  }
+}
+
+std::vector<BatchItem> BatchExecutor::Run() {
+  FASTMATCH_CHECK(!ran_) << "BatchExecutor::Run called twice";
+  ran_ = true;
+  WallTimer timer;
+
+  pool_ = std::make_unique<WorkerPool>(options_.num_threads);
+  for (TemplateState& ts : templates_) {
+    ts.shards.assign(
+        static_cast<size_t>(pool_->size()),
+        CountMatrix(ts.io->num_candidates(), ts.io->num_groups()));
+  }
+  Rng rng(options_.seed);
+  cursor_ =
+      static_cast<BlockId>(rng.Uniform(static_cast<uint64_t>(num_blocks_)));
+
+  int64_t streak = 0;
+  Settle(timer);
+  while (AnyActive()) {
+    ReadChunk(&streak);
+    Settle(timer);
+  }
+  pool_.reset();
+
+  std::vector<BatchItem> items;
+  items.reserve(queries_.size());
+  for (QueryState& q : queries_) {
+    BatchItem item;
+    item.status = q.status;
+    item.match = std::move(q.match);
+    item.wall_seconds = q.wall_seconds;
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace fastmatch

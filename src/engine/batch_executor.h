@@ -1,0 +1,178 @@
+// Shared-scan batch execution: N concurrent queries, one scan.
+//
+// A single FastMatch run reads blocks for one query; concurrent queries
+// over the same store each re-read the same blocks. Under dashboard-style
+// traffic (many users probing one relation) that is the dominant waste,
+// and shared scans are the classic fix: touch each datum once for many
+// consumers. The batch executor drives N HistSim state machines
+// (core/histsim.h, HistSimMachine) round-robin and services all of their
+// outstanding sample demands from ONE shared scan cursor, so a block read
+// once feeds every query that needs it.
+//
+// Queries are grouped by (z_attr, x_attrs) "template". Queries sharing a
+// template also share cumulative counts: a query's per-phase fresh counts
+// are cumulative-minus-snapshot, where the snapshot is taken when the
+// phase's demand is issued. Every query therefore folds a prefix of the
+// shared block stream, which preserves the without-replacement sampling
+// model per query (the store is pre-shuffled; the stream visits each
+// block at most once).
+//
+// Per chunk (a window of `chunk_blocks` cursor positions):
+//   1. union the unmet candidates of every outstanding targets demand per
+//      template and mark the window with AnyActive (Algorithm 3's
+//      word-wise marking, OR-ed across templates); any rows demand
+//      (stage 1) — or a targets demand on an index-less template — forces
+//      plain sequential consumption of the window;
+//   2. read the marked, unconsumed blocks with the worker pool: each
+//      worker slot scans a contiguous slice of the chunk into thread-
+//      local CountMatrix shards (one per template), merged into the
+//      template's cumulative matrix after the join. Counts are integer
+//      sums over a deterministic block set, so results are bit-for-bit
+//      identical for every thread count;
+//   3. complete every phase whose demand is now satisfied (or whose
+//      candidates are exhausted) and collect the next demands.
+//
+// Exhaustion mirrors the single-query engine: all blocks consumed =>
+// every candidate's counts are exact; a full cursor cycle with zero reads
+// => no unconsumed block contains any currently-unmet candidate, so those
+// candidates are fully enumerated.
+//
+// Correctness of cross-query block sharing: for a candidate c that is
+// unmet for some query, every block containing c is marked (c is in the
+// union), so c's fresh samples arrive in cursor order — uniform without
+// replacement, exactly as in the single-query engine. Blocks read for
+// *other* queries' candidates add rows of already-satisfied candidates
+// only, which the statistics tolerate by design (extra uniform samples
+// never hurt; the single-query engine over-delivers the same way at
+// block granularity).
+
+#ifndef FASTMATCH_ENGINE_BATCH_EXECUTOR_H_
+#define FASTMATCH_ENGINE_BATCH_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/histsim.h"
+#include "engine/block_policy.h"
+#include "engine/executor.h"
+#include "engine/io_manager.h"
+#include "index/bitmap_index.h"
+#include "index/bitvector.h"
+#include "storage/column_store.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace fastmatch {
+
+/// Batch executor knobs.
+struct BatchOptions {
+  /// Block-reader worker threads (the WorkerPool size).
+  int num_threads = 4;
+  /// Shared-scan window: cursor positions marked and read per chunk.
+  /// Plays the role of the single-query engine's lookahead batch.
+  int chunk_blocks = 1024;
+  /// Seed; chooses the shared cursor's random start position.
+  uint64_t seed = 42;
+};
+
+/// I/O accounting for one batch run. `blocks_read` counts unique stream
+/// blocks (the shared-scan win: B identical queries cost one read per
+/// block, not B); `block_scans` counts block x template kernel passes.
+struct BatchStats {
+  int64_t blocks_read = 0;
+  int64_t block_scans = 0;
+  int64_t rows_read = 0;
+  int64_t blocks_skipped = 0;  // unconsumed window positions left unread
+  int64_t chunks = 0;          // scan rounds executed
+  int num_templates = 0;
+};
+
+/// \brief Per-query outcome of a batch run (same order as the input).
+struct BatchItem {
+  /// Per-query status: one query failing (bad parameters, everything
+  /// pruned) never sinks the rest of the batch.
+  Status status;
+  /// Valid when status.ok().
+  MatchResult match;
+  /// Seconds from batch start until this query completed.
+  double wall_seconds = 0;
+};
+
+class BatchExecutor {
+ public:
+  /// \brief Creates an executor for one batch. All queries must share one
+  /// ColumnStore (shared-scan batching is per store; route queries over
+  /// different stores to different batches). Structural problems (empty
+  /// batch, mixed stores, invalid index) fail here; per-query problems
+  /// (bad parameters, wrong target size) surface as per-item statuses.
+  static Result<std::unique_ptr<BatchExecutor>> Create(
+      const std::vector<BoundQuery>& queries, BatchOptions options);
+
+  /// \brief Runs every query to completion. Call exactly once.
+  std::vector<BatchItem> Run();
+
+  const BatchStats& stats() const { return stats_; }
+
+ private:
+  /// Per-(z_attr, x_attrs) shared state: one scan kernel, one cumulative
+  /// count matrix, sticky exhaustion, and per-worker shards.
+  struct TemplateState {
+    int z_attr = -1;
+    std::vector<int> x_attrs;
+    std::unique_ptr<IoManager> io;
+    std::shared_ptr<const BitmapIndex> index;  // null => no block skipping
+    CountMatrix cum;
+    int64_t rows_cum = 0;
+    std::vector<bool> exhausted;  // sticky: candidate fully enumerated
+    std::vector<CountMatrix> shards;  // one per worker slot
+    std::vector<uint64_t> scratch;
+    std::vector<uint8_t> marks;
+    BlockDemand demand;            // per-chunk union of unmet candidates
+    std::vector<bool> unmet_seen;  // per-chunk dedup scratch
+    bool has_active = false;       // any live query this chunk
+  };
+
+  struct QueryState {
+    explicit QueryState(HistSimMachine m) : machine(std::move(m)) {}
+    HistSimMachine machine;
+    size_t tmpl = 0;
+    CountMatrix snapshot;  // cumulative counts at current phase start
+    int64_t snap_rows = 0;
+    bool active = false;
+    Status status;
+    MatchResult match;
+    double wall_seconds = 0;
+  };
+
+  BatchExecutor(std::shared_ptr<const ColumnStore> store,
+                BatchOptions options);
+
+  void AddQuery(const BoundQuery& query);
+  Status BindQuery(const BoundQuery& query, QueryState* qs);
+  bool AnyActive() const;
+  /// Completes every phase whose demand is satisfied, to fixpoint.
+  void Settle(const WallTimer& timer);
+  bool DemandSatisfied(const QueryState& q, bool all_consumed) const;
+  void SupplyPhase(QueryState* q, bool all_consumed, const WallTimer& timer);
+  /// Marks and reads one shared-scan window; maintains the zero-read
+  /// streak that drives the exhaustion rule.
+  void ReadChunk(int64_t* streak);
+
+  std::shared_ptr<const ColumnStore> store_;
+  BatchOptions options_;
+  int64_t num_blocks_ = 0;
+  BlockId cursor_ = 0;
+  BitVector consumed_;
+  int64_t consumed_blocks_ = 0;
+  std::vector<TemplateState> templates_;
+  std::vector<QueryState> queries_;
+  std::unique_ptr<WorkerPool> pool_;
+  std::vector<uint8_t> marked_;  // per-chunk OR of template marks
+  BatchStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_ENGINE_BATCH_EXECUTOR_H_

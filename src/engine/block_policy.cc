@@ -56,4 +56,26 @@ void MarkAnyActiveLookahead(const BitmapIndex& index,
   }
 }
 
+int64_t CollectBlockDemand(const BitmapIndex* index, const BlockDemand& demand,
+                           BlockId start, int count, const BitVector& consumed,
+                           std::vector<uint64_t>* scratch,
+                           std::vector<uint8_t>* marks,
+                           std::vector<BlockId>* reads) {
+  const bool scan_all = demand.scan_all || index == nullptr;
+  if (!scan_all) {
+    MarkAnyActiveLookahead(*index, demand.unmet, start, count, scratch, marks);
+  }
+  int64_t skipped = 0;
+  for (int i = 0; i < count; ++i) {
+    const BlockId b = start + i;
+    if (consumed.Get(b)) continue;
+    if (scan_all || (*marks)[static_cast<size_t>(i)]) {
+      reads->push_back(b);
+    } else {
+      ++skipped;
+    }
+  }
+  return skipped;
+}
+
 }  // namespace fastmatch

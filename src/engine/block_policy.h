@@ -22,8 +22,21 @@
 #include <vector>
 
 #include "index/bitmap_index.h"
+#include "index/bitvector.h"
 
 namespace fastmatch {
+
+/// \brief One window of block demand from a sampling phase: which
+/// candidates still need fresh samples, and whether marking may be
+/// bypassed entirely. This is the unit both the single-query engine's
+/// lookahead marker and the batch executor's shared-scan chunks consume.
+struct BlockDemand {
+  /// Candidates whose fresh-sample targets are unmet (drives AnyActive).
+  std::vector<int> unmet;
+  /// Read every unconsumed block regardless of `unmet`: stage-1 style
+  /// sequential consumption, or no bitmap index available.
+  bool scan_all = false;
+};
 
 /// \brief Algorithm 2: per-block candidate probing.
 ///
@@ -42,6 +55,19 @@ void MarkAnyActiveLookahead(const BitmapIndex& index,
                             const std::vector<int>& active, BlockId start,
                             int count, std::vector<uint64_t>* scratch,
                             std::vector<uint8_t>* marks);
+
+/// \brief The reusable mark/consume step: applies AnyActive lookahead
+/// marking for `demand` over the window [start, start + count) and
+/// appends every block that must be read — not in `consumed`, and marked
+/// (or every unconsumed block when demand.scan_all or `index` is null) —
+/// to `reads`, in block order. Returns the number of unconsumed window
+/// blocks the policy skipped. `scratch`/`marks` are caller-provided so
+/// repeated calls do not allocate.
+int64_t CollectBlockDemand(const BitmapIndex* index, const BlockDemand& demand,
+                           BlockId start, int count, const BitVector& consumed,
+                           std::vector<uint64_t>* scratch,
+                           std::vector<uint8_t>* marks,
+                           std::vector<BlockId>* reads);
 
 }  // namespace fastmatch
 

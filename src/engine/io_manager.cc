@@ -86,6 +86,16 @@ int64_t IoManager::ReadBlockGeneric(BlockId b, CountMatrix* out,
   return end - begin;
 }
 
+int64_t IoManager::ReadBlocks(const std::vector<BlockId>& blocks,
+                              size_t begin, size_t end,
+                              CountMatrix* shard) const {
+  int64_t rows = 0;
+  for (size_t i = begin; i < end; ++i) {
+    rows += ReadBlock(blocks[i], shard, nullptr);
+  }
+  return rows;
+}
+
 int64_t IoManager::ReadBlock(BlockId b, CountMatrix* out,
                              std::atomic<int64_t>* fresh_counts) const {
   if (x_attrs_.size() != 1) return ReadBlockGeneric(b, out, fresh_counts);

@@ -31,8 +31,19 @@ class IoManager {
   /// `fresh_counts` is non-null, each candidate's per-call total is also
   /// incremented there (relaxed; read by the marking thread).
   /// Returns the number of rows scanned.
+  ///
+  /// Thread safety: ReadBlock/ReadBlocks are const and touch only the
+  /// immutable store, so concurrent calls are safe as long as each call
+  /// targets a distinct `out` matrix. The batch executor exploits this by
+  /// fanning a chunk's blocks across workers, one CountMatrix shard per
+  /// worker, and merging the shards after the join.
   int64_t ReadBlock(BlockId b, CountMatrix* out,
                     std::atomic<int64_t>* fresh_counts) const;
+
+  /// \brief Shard read: scans blocks[begin, end) into `shard` (no fresh
+  /// counters). Returns the number of rows scanned.
+  int64_t ReadBlocks(const std::vector<BlockId>& blocks, size_t begin,
+                     size_t end, CountMatrix* shard) const;
 
   int num_candidates() const { return num_candidates_; }
   int num_groups() const { return num_groups_; }

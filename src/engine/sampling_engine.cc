@@ -139,9 +139,12 @@ void SamplingEngine::SampleUntilTargets(const std::vector<int64_t>& targets,
   FASTMATCH_CHECK_EQ(static_cast<int>(exhausted->size()), vz);
 
   // Per-call fresh counters (shared with the marker thread in lookahead
-  // mode). Seeded from `out`, which is normally empty.
+  // mode). Targets demand samples drawn during this call, so the
+  // counters start at zero regardless of what `out` already holds
+  // (seeding from out->RowTotal conflated earlier rounds' samples with
+  // this call's whenever a caller reused one matrix across rounds).
   for (int i = 0; i < vz; ++i) {
-    fresh_[i].store(out->RowTotal(i), std::memory_order_relaxed);
+    fresh_[i].store(0, std::memory_order_relaxed);
   }
 
   switch (options_.policy) {
@@ -289,19 +292,14 @@ void SamplingEngine::RunLookahead(const std::vector<int64_t>& targets,
 
       const int count = static_cast<int>(std::min<int64_t>(
           options_.lookahead, num_blocks_ - marker_cursor));
-      MarkAnyActiveLookahead(*index_, unmet, marker_cursor, count, &scratch,
-                             &marks);
       MarkBatch batch;
-      for (int i = 0; i < count; ++i) {
-        const BlockId b = marker_cursor + i;
-        if (virtual_consumed.Get(b)) continue;
-        if (marks[static_cast<size_t>(i)]) {
-          virtual_consumed.Set(b);
-          ++virtual_count;
-          batch.reads.push_back(b);
-        } else {
-          ++marker_skipped;
-        }
+      marker_skipped +=
+          CollectBlockDemand(index_.get(), BlockDemand{std::move(unmet), false},
+                             marker_cursor, count, virtual_consumed, &scratch,
+                             &marks, &batch.reads);
+      for (BlockId b : batch.reads) {
+        virtual_consumed.Set(b);
+        ++virtual_count;
       }
       marker_cursor += count;
       if (marker_cursor >= num_blocks_) marker_cursor = 0;

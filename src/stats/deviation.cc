@@ -8,7 +8,20 @@
 namespace fastmatch {
 
 namespace {
+
 constexpr double kLog2 = 0.6931471805599453;
+
+/// ceil with a saturating cast: casting a double >= 2^63 to int64_t is
+/// undefined behaviour, and tiny eps (or huge |VX|) pushes the sample
+/// bounds there. 2^63 is exactly representable as a double, so the
+/// comparison below is exact; +inf (eps denormal enough that eps*eps
+/// underflows to 0) also lands in the saturated branch.
+int64_t SaturatingCeil(double n) {
+  const double c = std::ceil(n);
+  if (c >= 9223372036854775808.0 /* 2^63 */) return kSampleCountSaturated;
+  return static_cast<int64_t>(c);
+}
+
 }  // namespace
 
 double DeviationEpsilon(int64_t n, int64_t vx, double log_delta) {
@@ -25,7 +38,7 @@ int64_t DeviationSamples(double eps, int64_t vx, double log_delta) {
   FASTMATCH_CHECK_LE(log_delta, 0.0);
   const double n =
       2.0 * (static_cast<double>(vx) * kLog2 - log_delta) / (eps * eps);
-  return static_cast<int64_t>(std::ceil(n));
+  return SaturatingCeil(n);
 }
 
 double LogDeviationPValue(double eps, int64_t n, int64_t vx) {
@@ -53,7 +66,7 @@ int64_t Stage3Samples(double eps, int64_t vx, int64_t k, double delta) {
   const double n = 2.0 / (eps * eps) *
                    (static_cast<double>(vx) * kLog2 +
                     std::log(3.0 * static_cast<double>(k) / delta));
-  return static_cast<int64_t>(std::ceil(n));
+  return SaturatingCeil(n);
 }
 
 }  // namespace fastmatch

@@ -15,8 +15,18 @@
 #define FASTMATCH_STATS_DEVIATION_H_
 
 #include <cstdint>
+#include <limits>
 
 namespace fastmatch {
+
+/// \brief Sentinel returned by the sample-size inversions when the
+/// real-valued requirement exceeds int64 (e.g. eps ~ 1e-10, where
+/// 2/eps^2 alone is ~2e19). The formulas saturate here instead of
+/// invoking undefined behaviour in the float->int cast; callers must
+/// treat it as "more samples than any relation holds" — HistSim rejects
+/// such parameter regimes with InvalidArgument up front.
+inline constexpr int64_t kSampleCountSaturated =
+    std::numeric_limits<int64_t>::max();
 
 /// \brief eps such that n samples give eps-deviation w.p. > 1 - delta.
 ///
@@ -28,7 +38,8 @@ double DeviationEpsilon(int64_t n, int64_t vx, double log_delta);
 
 /// \brief Minimal n with eps-deviation w.p. > 1 - delta (Equation 1).
 ///
-/// n = ceil( 2 * (|VX| log 2 - log_delta) / eps^2 ).
+/// n = ceil( 2 * (|VX| log 2 - log_delta) / eps^2 ), saturating at
+/// kSampleCountSaturated when the bound exceeds int64.
 int64_t DeviationSamples(double eps, int64_t vx, double log_delta);
 
 /// \brief log P-value of observing deviation >= eps after n samples:
@@ -36,7 +47,8 @@ int64_t DeviationSamples(double eps, int64_t vx, double log_delta);
 double LogDeviationPValue(double eps, int64_t n, int64_t vx);
 
 /// \brief Stage-3 per-winner sample target:
-/// ceil( (2/eps^2) * (|VX| log 2 + log(3k/delta)) )  (Algorithm 1 line 26).
+/// ceil( (2/eps^2) * (|VX| log 2 + log(3k/delta)) )  (Algorithm 1 line 26),
+/// saturating at kSampleCountSaturated when the bound exceeds int64.
 int64_t Stage3Samples(double eps, int64_t vx, int64_t k, double delta);
 
 }  // namespace fastmatch

@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace fastmatch {
+
+WorkerPool::WorkerPool(int num_threads) {
+  const int n = std::max(num_threads, 1);
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop requested and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::Submit(std::function<void()> fn) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    FASTMATCH_CHECK(!stop_) << "Submit on a stopping WorkerPool";
+    tasks_.push_back(std::move(fn));
+    ++pending_;
+  }
+  cv_task_.notify_one();
+}
+
+void WorkerPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void WorkerPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  const int fanout = static_cast<int>(std::min<int64_t>(n, size()));
+  if (fanout <= 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Fork-join state private to this call, so concurrent ParallelFors (or
+  // unrelated Submits) never observe each other's completion.
+  std::atomic<int64_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = fanout;
+  auto body = [&] {
+    int64_t i;
+    while ((i = next.fetch_add(1, std::memory_order_relaxed)) < n) fn(i);
+    std::unique_lock<std::mutex> lock(mu);
+    if (--remaining == 0) cv.notify_one();
+  };
+  for (int w = 0; w < fanout; ++w) Submit(body);
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return remaining == 0; });
+}
+
+}  // namespace fastmatch

@@ -1,0 +1,67 @@
+// A fixed-size worker pool for CPU-parallel block scanning.
+//
+// Deliberately minimal: tasks are std::function thunks pushed through one
+// mutex-guarded deque (queue contention is irrelevant at block-scan
+// granularity — each task scans hundreds of blocks), and ParallelFor is a
+// blocking fork-join over an atomic index, the shape the batch executor's
+// per-chunk shard reads want.
+//
+// Determinism note: ParallelFor guarantees each index runs exactly once
+// but on an unspecified thread. Callers that need reproducible output
+// must make per-index results order-independent — the batch executor's
+// shard merges are integer count sums, which commute, so its results are
+// bit-for-bit identical for every pool size.
+
+#ifndef FASTMATCH_UTIL_THREAD_POOL_H_
+#define FASTMATCH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fastmatch {
+
+class WorkerPool {
+ public:
+  /// \brief Spawns `num_threads` workers (clamped to >= 1).
+  explicit WorkerPool(int num_threads);
+
+  /// \brief Drains every outstanding task, then joins the workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// \brief Enqueues one task for asynchronous execution.
+  void Submit(std::function<void()> fn);
+
+  /// \brief Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// \brief Runs fn(i) for every i in [0, n), distributing indices over
+  /// the workers, and blocks until all calls return. fn must be safe to
+  /// call concurrently. Runs inline on the caller when the pool has one
+  /// worker (or n == 1). Must not be called from inside a pool task.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;  // workers wait for tasks or stop
+  std::condition_variable cv_idle_;  // Wait() waits for pending_ == 0
+  std::deque<std::function<void()>> tasks_;
+  int64_t pending_ = 0;  // queued + running tasks
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_UTIL_THREAD_POOL_H_

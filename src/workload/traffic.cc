@@ -1,0 +1,54 @@
+#include "workload/traffic.h"
+
+#include <utility>
+
+#include "core/verify.h"
+#include "util/random.h"
+
+namespace fastmatch {
+
+Result<std::vector<BoundQuery>> MakeQueryBatch(
+    std::shared_ptr<const ColumnStore> store,
+    std::shared_ptr<const BitmapIndex> index, int z_attr,
+    std::vector<int> x_attrs, const TrafficOptions& options) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  if (options.num_queries < 1) {
+    return Status::InvalidArgument("num_queries must be >= 1");
+  }
+  FASTMATCH_RETURN_IF_ERROR(options.params.Validate());
+
+  FASTMATCH_ASSIGN_OR_RETURN(CountMatrix exact,
+                             ComputeExactCounts(*store, z_attr, x_attrs));
+  const int vz = exact.num_candidates();
+  const int vx = exact.num_groups();
+
+  Rng rng(options.seed);
+  std::vector<BoundQuery> batch;
+  batch.reserve(static_cast<size_t>(options.num_queries));
+  for (int q = 0; q < options.num_queries; ++q) {
+    BoundQuery query;
+    query.store = store;
+    query.z_index = index;
+    query.z_attr = z_attr;
+    query.x_attrs = x_attrs;
+    query.params = options.params;
+    query.params.seed = options.seed + static_cast<uint64_t>(q) + 1;
+    if (options.identical_targets) {
+      query.target = UniformDistribution(vx);
+    } else {
+      // "Find candidates similar to this one": target the exact histogram
+      // of a random non-empty candidate.
+      Distribution target;
+      for (int attempt = 0; attempt < vz && target.empty(); ++attempt) {
+        const int c = static_cast<int>(rng.Uniform(static_cast<uint64_t>(vz)));
+        target = exact.NormalizedRow(c);
+      }
+      if (target.empty()) target = UniformDistribution(vx);
+      query.target = std::move(target);
+    }
+    batch.push_back(std::move(query));
+  }
+  return batch;
+}
+
+}  // namespace fastmatch

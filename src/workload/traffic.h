@@ -1,0 +1,53 @@
+// Multi-query traffic generation: batches of bound queries standing in
+// for concurrent dashboard users probing one store.
+//
+// The paper's workload is a single interactive user; the ROADMAP's is
+// heavy traffic from many. This module bridges them: it stamps out N
+// BoundQuerys over one (store, z_attr, x_attrs) triple whose targets are
+// either identical (the pure shared-scan regime: N users asking the same
+// question) or drawn from the store's own per-candidate histograms
+// ("find candidates similar to this one" — distinct work per user, still
+// amortizable because every query marks blocks of the same relation).
+
+#ifndef FASTMATCH_WORKLOAD_TRAFFIC_H_
+#define FASTMATCH_WORKLOAD_TRAFFIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/executor.h"
+#include "index/bitmap_index.h"
+#include "storage/column_store.h"
+#include "util/result.h"
+
+namespace fastmatch {
+
+/// Traffic shape knobs.
+struct TrafficOptions {
+  int num_queries = 8;
+  /// Base algorithm parameters applied to every query.
+  HistSimParams params;
+  /// When true, every query gets the same target distribution (uniform):
+  /// the pure shared-scan case. Otherwise each query targets the exact
+  /// histogram of a randomly drawn candidate.
+  bool identical_targets = false;
+  /// Seeds the target draws, and stamps distinct per-query params.seed
+  /// values. Note: params.seed only drives scan-start randomness when a
+  /// query is run individually through RunQuery; the batch executor uses
+  /// one shared cursor seeded by BatchOptions.seed for the whole batch.
+  uint64_t seed = 1;
+};
+
+/// \brief Builds a batch of `options.num_queries` engine-ready queries
+/// over `store`, all on (z_attr, x_attrs), sharing `index` (which may be
+/// null: the batch executor then degrades to sequential consumption).
+/// Candidate-histogram targets come from one exact-count scan
+/// (preprocessing, like index construction).
+Result<std::vector<BoundQuery>> MakeQueryBatch(
+    std::shared_ptr<const ColumnStore> store,
+    std::shared_ptr<const BitmapIndex> index, int z_attr,
+    std::vector<int> x_attrs, const TrafficOptions& options);
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_WORKLOAD_TRAFFIC_H_

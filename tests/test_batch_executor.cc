@@ -1,0 +1,383 @@
+// Tests of the shared-scan batch executor: correctness per query,
+// bit-for-bit determinism across worker counts, shared-read accounting
+// against independent FastMatch runs, degenerate batches, and a
+// concurrency stress for the worker-pool shard-merge path.
+
+#include "engine/batch_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/verify.h"
+#include "engine/executor.h"
+#include "test_helpers.h"
+#include "workload/traffic.h"
+
+namespace fastmatch {
+namespace {
+
+using testing_util::MakeExactStore;
+using testing_util::PlantedDistributions;
+
+struct BatchFixture {
+  std::shared_ptr<ColumnStore> store;
+  std::shared_ptr<const BitmapIndex> index;
+  CountMatrix exact;
+  Distribution target;
+};
+
+/// 12 candidates at staggered distances from uniform (as in the HistSim
+/// scenario) so the true top-3 is {0, 1, 2}.
+BatchFixture MakeBatchFixture(int64_t rows_per_candidate, uint64_t seed,
+                              int rows_per_block = 50) {
+  BatchFixture f;
+  std::vector<double> offsets = {0.0,  0.01, 0.02, 0.06, 0.09, 0.12,
+                                 0.15, 0.17, 0.19, 0.21, 0.23, 0.25};
+  auto dists = PlantedDistributions(12, 8, offsets);
+  f.store = MakeExactStore(std::vector<int64_t>(12, rows_per_candidate),
+                           dists, seed, rows_per_block);
+  f.index = BitmapIndex::Build(*f.store, 0).value();
+  f.exact = ComputeExactCounts(*f.store, 0, {1}).value();
+  f.target = UniformDistribution(8);
+  return f;
+}
+
+HistSimParams BatchParams() {
+  HistSimParams p;
+  p.k = 3;
+  p.epsilon = 0.05;
+  p.delta = 0.05;
+  p.sigma = 0.0;
+  p.stage1_samples = 3000;
+  p.seed = 42;
+  return p;
+}
+
+BoundQuery MakeQuery(const BatchFixture& f, Distribution target,
+                     uint64_t seed = 42) {
+  BoundQuery q;
+  q.store = f.store;
+  q.z_index = f.index;
+  q.z_attr = 0;
+  q.x_attrs = {1};
+  q.target = std::move(target);
+  q.params = BatchParams();
+  q.params.seed = seed;
+  return q;
+}
+
+BatchOptions Options(int threads, uint64_t seed = 7, int chunk = 64) {
+  BatchOptions o;
+  o.num_threads = threads;
+  o.chunk_blocks = chunk;
+  o.seed = seed;
+  return o;
+}
+
+TEST(BatchExecutorTest, CreateValidation) {
+  BatchFixture f = MakeBatchFixture(2000, 1);
+  // Empty batch.
+  EXPECT_FALSE(BatchExecutor::Create({}, Options(2)).ok());
+  // Bad options.
+  EXPECT_FALSE(
+      BatchExecutor::Create({MakeQuery(f, f.target)}, Options(0)).ok());
+  EXPECT_FALSE(
+      BatchExecutor::Create({MakeQuery(f, f.target)}, Options(2, 7, 0)).ok());
+  // Mixed stores are a structural error.
+  BatchFixture g = MakeBatchFixture(2000, 2);
+  EXPECT_FALSE(
+      BatchExecutor::Create({MakeQuery(f, f.target), MakeQuery(g, g.target)},
+                            Options(2))
+          .ok());
+  // A well-formed batch is accepted.
+  EXPECT_TRUE(BatchExecutor::Create({MakeQuery(f, f.target)}, Options(2)).ok());
+}
+
+TEST(BatchExecutorTest, MalformedIndexRejectedRegardlessOfBatchOrder) {
+  // Regression: index validation must apply to every query, not only the
+  // one that first binds an index to the template.
+  BatchFixture f = MakeBatchFixture(2000, 11);
+  auto wrong_index = BitmapIndex::Build(*f.store, 1).value();  // X, not Z
+  BoundQuery good = MakeQuery(f, f.target);
+  BoundQuery bad = MakeQuery(f, f.target);
+  bad.z_index = wrong_index;
+  for (const auto& batch :
+       {std::vector<BoundQuery>{good, bad}, std::vector<BoundQuery>{bad, good}}) {
+    auto executor = BatchExecutor::Create(batch, Options(2)).value();
+    std::vector<BatchItem> items = executor->Run();
+    int ok = 0, invalid = 0;
+    for (const BatchItem& item : items) {
+      if (item.status.ok()) {
+        ++ok;
+      } else if (item.status.code() == StatusCode::kInvalidArgument) {
+        ++invalid;
+      }
+    }
+    EXPECT_EQ(ok, 1);
+    EXPECT_EQ(invalid, 1);
+  }
+}
+
+TEST(BatchExecutorTest, SingleQueryFindsTopK) {
+  BatchFixture f = MakeBatchFixture(20000, 3);
+  auto executor =
+      BatchExecutor::Create({MakeQuery(f, f.target)}, Options(2)).value();
+  std::vector<BatchItem> items = executor->Run();
+  ASSERT_EQ(items.size(), 1u);
+  ASSERT_TRUE(items[0].status.ok()) << items[0].status.ToString();
+  std::set<int> got(items[0].match.topk.begin(), items[0].match.topk.end());
+  EXPECT_EQ(got, (std::set<int>{0, 1, 2}));
+  EXPECT_GT(executor->stats().blocks_read, 0);
+  EXPECT_EQ(executor->stats().num_templates, 1);
+}
+
+TEST(BatchExecutorTest, BitForBitIdenticalAcrossThreadCounts) {
+  BatchFixture f = MakeBatchFixture(20000, 4);
+  TrafficOptions topt;
+  topt.num_queries = 3;
+  topt.params = BatchParams();
+  topt.seed = 11;
+  auto batch = MakeQueryBatch(f.store, f.index, 0, {1}, topt).value();
+
+  std::vector<std::vector<BatchItem>> runs;
+  std::vector<int64_t> blocks;
+  for (int threads : {1, 2, 5}) {
+    auto executor = BatchExecutor::Create(batch, Options(threads)).value();
+    runs.push_back(executor->Run());
+    blocks.push_back(executor->stats().blocks_read);
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(blocks[r], blocks[0]);
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (size_t q = 0; q < runs[r].size(); ++q) {
+      ASSERT_TRUE(runs[r][q].status.ok());
+      EXPECT_EQ(runs[r][q].match.topk, runs[0][q].match.topk);
+      const CountMatrix& a = runs[0][q].match.counts;
+      const CountMatrix& b = runs[r][q].match.counts;
+      for (int i = 0; i < a.num_candidates(); ++i) {
+        for (int g = 0; g < a.num_groups(); ++g) {
+          ASSERT_EQ(a.At(i, g), b.At(i, g))
+              << "thread-count divergence at query " << q << " cell " << i
+              << "," << g;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchExecutorTest, SharedScanReadsFewerBlocksThanIndependentRuns) {
+  // Small store + eps tight enough that winners need (nearly) full
+  // enumeration: a single FastMatch run reads most blocks, so B
+  // independent runs pay ~B x that, while the batch pays it once.
+  BatchFixture f = MakeBatchFixture(2000, 5);
+  const int kBatch = 4;
+
+  BoundQuery single = MakeQuery(f, f.target);
+  single.params.epsilon = 0.04;
+  auto single_out = RunQuery(single, Approach::kFastMatch);
+  ASSERT_TRUE(single_out.ok()) << single_out.status().ToString();
+  const int64_t single_blocks = single_out->stats.engine.blocks_read;
+  ASSERT_GT(single_blocks, 0);
+
+  std::vector<BoundQuery> batch;
+  for (int i = 0; i < kBatch; ++i) {
+    BoundQuery q = MakeQuery(f, f.target, /*seed=*/100 + i);
+    q.params.epsilon = 0.04;
+    batch.push_back(std::move(q));
+  }
+  auto executor = BatchExecutor::Create(batch, Options(2)).value();
+  std::vector<BatchItem> items = executor->Run();
+  for (const BatchItem& item : items) {
+    ASSERT_TRUE(item.status.ok()) << item.status.ToString();
+    std::set<int> got(item.match.topk.begin(), item.match.topk.end());
+    EXPECT_EQ(got, (std::set<int>{0, 1, 2}));
+  }
+  // The acceptance inequality: strictly fewer unique block reads than B
+  // independent runs.
+  EXPECT_LT(executor->stats().blocks_read, kBatch * single_blocks)
+      << "batch=" << executor->stats().blocks_read
+      << " single=" << single_blocks;
+}
+
+TEST(BatchExecutorTest, CandidateTargetQueriesMeetGuarantees) {
+  BatchFixture f = MakeBatchFixture(20000, 6);
+  TrafficOptions topt;
+  topt.num_queries = 4;
+  topt.params = BatchParams();
+  topt.seed = 21;
+  auto batch = MakeQueryBatch(f.store, f.index, 0, {1}, topt).value();
+  auto executor = BatchExecutor::Create(batch, Options(3)).value();
+  std::vector<BatchItem> items = executor->Run();
+  ASSERT_EQ(items.size(), batch.size());
+  int violations = 0;
+  for (size_t q = 0; q < items.size(); ++q) {
+    ASSERT_TRUE(items[q].status.ok()) << items[q].status.ToString();
+    GroundTruth truth =
+        ComputeGroundTruth(f.exact, batch[q].target, batch[q].params.metric,
+                           batch[q].params.sigma, batch[q].params.k);
+    auto check = CheckGuarantees(items[q].match, f.exact, truth,
+                                 batch[q].target, batch[q].params);
+    violations += !check.separation_ok || !check.reconstruction_ok;
+  }
+  // delta = 0.05 per query; the bound is loose in practice, but zero
+  // tolerance over 4 draws would be flaky by design: allow at most 1.
+  EXPECT_LE(violations, 1);
+}
+
+TEST(BatchExecutorTest, MixedTemplatesShareTheScan) {
+  // Three attributes: queries grouping by X1 and by X2 form two
+  // templates; blocks are still read once (block_scans == 2x blocks).
+  std::vector<Value> z, x1, x2;
+  Rng rng(99);
+  for (int i = 0; i < 30000; ++i) {
+    const int c = static_cast<int>(rng.Uniform(3));
+    z.push_back(static_cast<Value>(c));
+    x1.push_back(static_cast<Value>(rng.Uniform(4)));
+    x2.push_back(static_cast<Value>((c + static_cast<int>(rng.Uniform(2))) % 3));
+  }
+  StorageOptions opt;
+  opt.rows_per_block_override = 50;
+  auto store =
+      ColumnStore::FromColumns(Schema({{"Z", 3}, {"X1", 4}, {"X2", 3}}),
+                               {std::move(z), std::move(x1), std::move(x2)},
+                               opt)
+          .value();
+  auto index = BitmapIndex::Build(*store, 0).value();
+
+  HistSimParams p = BatchParams();
+  p.k = 1;
+  p.epsilon = 0.1;
+  BoundQuery qa;
+  qa.store = store;
+  qa.z_index = index;
+  qa.z_attr = 0;
+  qa.x_attrs = {1};
+  qa.target = UniformDistribution(4);
+  qa.params = p;
+  BoundQuery qb = qa;
+  qb.x_attrs = {2};
+  qb.target = UniformDistribution(3);
+
+  auto executor = BatchExecutor::Create({qa, qb}, Options(2)).value();
+  std::vector<BatchItem> items = executor->Run();
+  ASSERT_TRUE(items[0].status.ok()) << items[0].status.ToString();
+  ASSERT_TRUE(items[1].status.ok()) << items[1].status.ToString();
+  EXPECT_EQ(executor->stats().num_templates, 2);
+  // Each unique block read feeds up to both templates (one may finish
+  // first); scans never exceed 2 x unique reads — the amortization.
+  EXPECT_GE(executor->stats().block_scans, executor->stats().blocks_read);
+  EXPECT_LE(executor->stats().block_scans,
+            2 * executor->stats().blocks_read);
+  // Both queries' estimates line up with their template's ground truth.
+  const CountMatrix exact_a = ComputeExactCounts(*store, 0, {1}).value();
+  const CountMatrix exact_b = ComputeExactCounts(*store, 0, {2}).value();
+  GroundTruth truth_a =
+      ComputeGroundTruth(exact_a, qa.target, p.metric, p.sigma, p.k);
+  GroundTruth truth_b =
+      ComputeGroundTruth(exact_b, qb.target, p.metric, p.sigma, p.k);
+  EXPECT_TRUE(CheckGuarantees(items[0].match, exact_a, truth_a, qa.target, p)
+                  .separation_ok);
+  EXPECT_TRUE(CheckGuarantees(items[1].match, exact_b, truth_b, qb.target, p)
+                  .separation_ok);
+}
+
+TEST(BatchExecutorTest, PerQueryFailureDoesNotSinkTheBatch) {
+  BatchFixture f = MakeBatchFixture(20000, 7);
+  BoundQuery good = MakeQuery(f, f.target);
+  BoundQuery bad_target = MakeQuery(f, UniformDistribution(5));  // |VX| is 8
+  BoundQuery all_pruned = MakeQuery(f, f.target);
+  all_pruned.params.sigma = 0.9;  // every candidate is ~1/12 of the data
+  all_pruned.params.stage1_samples = f.store->num_rows();  // exact pruning
+
+  auto executor =
+      BatchExecutor::Create({good, bad_target, all_pruned}, Options(2))
+          .value();
+  std::vector<BatchItem> items = executor->Run();
+  ASSERT_EQ(items.size(), 3u);
+  ASSERT_TRUE(items[0].status.ok()) << items[0].status.ToString();
+  std::set<int> got(items[0].match.topk.begin(), items[0].match.topk.end());
+  EXPECT_EQ(got, (std::set<int>{0, 1, 2}));
+  EXPECT_EQ(items[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(items[2].status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BatchExecutorTest, ExhaustionYieldsExactResultsForEveryQuery) {
+  // Tiny store: every query exhausts the data; all counts must equal the
+  // exact histograms and the top-k must equal ground truth.
+  BatchFixture f = MakeBatchFixture(200, 8, /*rows_per_block=*/25);
+  HistSimParams p = BatchParams();
+  p.k = 2;
+  p.stage1_samples = 100;
+  std::vector<BoundQuery> batch;
+  for (int i = 0; i < 3; ++i) {
+    BoundQuery q = MakeQuery(f, f.target, 50 + i);
+    q.params = p;
+    q.params.seed = 50 + static_cast<uint64_t>(i);
+    batch.push_back(std::move(q));
+  }
+  auto executor = BatchExecutor::Create(batch, Options(2)).value();
+  std::vector<BatchItem> items = executor->Run();
+  for (const BatchItem& item : items) {
+    ASSERT_TRUE(item.status.ok()) << item.status.ToString();
+    EXPECT_TRUE(item.match.diag.data_exhausted);
+    std::set<int> got(item.match.topk.begin(), item.match.topk.end());
+    EXPECT_EQ(got, (std::set<int>{0, 1}));
+    for (int i = 0; i < 12; ++i) {
+      EXPECT_TRUE(item.match.exact[i]);
+      EXPECT_EQ(item.match.counts.RowTotal(i), f.exact.RowTotal(i));
+    }
+  }
+  // The whole store was read exactly once.
+  EXPECT_EQ(executor->stats().blocks_read, f.store->num_blocks());
+  EXPECT_EQ(executor->stats().rows_read, f.store->num_rows());
+}
+
+TEST(BatchExecutorTest, WorksWithoutAnIndex) {
+  // No bitmap index: the executor degrades to sequential consumption
+  // (scan-all), like ScanMatch.
+  BatchFixture f = MakeBatchFixture(20000, 9);
+  BoundQuery q = MakeQuery(f, f.target);
+  q.z_index = nullptr;
+  auto executor = BatchExecutor::Create({q}, Options(2)).value();
+  std::vector<BatchItem> items = executor->Run();
+  ASSERT_TRUE(items[0].status.ok()) << items[0].status.ToString();
+  std::set<int> got(items[0].match.topk.begin(), items[0].match.topk.end());
+  EXPECT_EQ(got, (std::set<int>{0, 1, 2}));
+  EXPECT_EQ(executor->stats().blocks_skipped, 0);
+}
+
+// ------------------------------------------------ concurrency stress
+// The shard-merge path under repeated batches and varying pool sizes
+// (run under FASTMATCH_SANITIZE=thread to certify the WorkerPool and the
+// per-chunk fork-join).
+
+TEST(BatchExecutorStress, RepeatedBatchesKeepResultsConsistent) {
+  BatchFixture f = MakeBatchFixture(8000, 10);
+  TrafficOptions topt;
+  topt.num_queries = 6;
+  topt.params = BatchParams();
+  topt.params.stage1_samples = 2000;
+  for (int trial = 0; trial < 6; ++trial) {
+    topt.seed = 100 + static_cast<uint64_t>(trial);
+    auto batch = MakeQueryBatch(f.store, f.index, 0, {1}, topt).value();
+    auto executor =
+        BatchExecutor::Create(batch, Options(1 + trial % 4, topt.seed))
+            .value();
+    std::vector<BatchItem> items = executor->Run();
+    for (const BatchItem& item : items) {
+      ASSERT_TRUE(item.status.ok()) << "trial " << trial << ": "
+                                    << item.status.ToString();
+      // Counts never exceed the exact histograms (without replacement).
+      for (int i = 0; i < 12; ++i) {
+        ASSERT_LE(item.match.counts.RowTotal(i), f.exact.RowTotal(i));
+      }
+    }
+    ASSERT_LE(executor->stats().blocks_read, f.store->num_blocks());
+    ASSERT_LE(executor->stats().rows_read, f.store->num_rows());
+  }
+}
+
+}  // namespace
+}  // namespace fastmatch

@@ -104,6 +104,32 @@ TEST(DeviationTest, Stage3GrowsWithKAndShrinksWithDelta) {
             Stage3Samples(0.04, 24, 10, 0.1));
 }
 
+TEST(DeviationTest, SamplesSaturateInsteadOfOverflowing) {
+  // Regression: ceil(n) for tiny eps exceeds 2^63; the old direct
+  // static_cast was undefined behaviour. The formula must saturate.
+  EXPECT_EQ(DeviationSamples(1e-12, 24, std::log(0.01)),
+            kSampleCountSaturated);
+  EXPECT_EQ(DeviationSamples(std::numeric_limits<double>::denorm_min(), 2,
+                             std::log(0.5)),
+            kSampleCountSaturated);
+  // Huge support saturates too.
+  EXPECT_EQ(DeviationSamples(0.04, int64_t{1} << 62, std::log(0.01)),
+            kSampleCountSaturated);
+  // Near-boundary values stay positive and unsaturated.
+  const int64_t n = DeviationSamples(1e-8, 24, std::log(0.01));
+  EXPECT_GT(n, 0);
+  EXPECT_LT(n, kSampleCountSaturated);
+}
+
+TEST(DeviationTest, Stage3SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(Stage3Samples(1e-12, 24, 10, 0.01), kSampleCountSaturated);
+  EXPECT_EQ(Stage3Samples(0.04, int64_t{1} << 60, 10, 0.01),
+            kSampleCountSaturated);
+  const int64_t n = Stage3Samples(0.001, 351, 100, 0.001);
+  EXPECT_GT(n, 0);
+  EXPECT_LT(n, kSampleCountSaturated);
+}
+
 TEST(DeviationTest, EmpiricalCoverage) {
   // Draw n samples from a known discrete distribution; the empirical l1
   // deviation must be below DeviationEpsilon(n, vx, log delta) in (far)

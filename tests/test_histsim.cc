@@ -261,6 +261,103 @@ TEST(HistSimTest, L2MetricSupported) {
   EXPECT_EQ(got, (std::set<int>{0, 1, 2}));
 }
 
+TEST(HistSimTest, TinyEpsilonRejectedInsteadOfOverflowing) {
+  // eps = 1e-12 pushes the sample-size formulas past int64: the machine
+  // must reject the parameters instead of running on saturated targets.
+  Scenario s = MakeScenario(1000, 16);
+  auto sampler = RowSampler::Create(s.store, 0, {1}, 59).value();
+  HistSimParams p = TestParams();
+  p.epsilon = 1e-12;
+  auto result = HistSim(p, s.target).Run(sampler.get());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------ machine protocol
+
+TEST(HistSimMachineTest, DrivesToCompletionViaDemands) {
+  Scenario s = MakeScenario(20000, 17);
+  auto sampler = RowSampler::Create(s.store, 0, {1}, 61).value();
+  HistSimMachine machine(TestParams(), s.target);
+  ASSERT_TRUE(machine.Begin(sampler->num_candidates(), sampler->num_groups(),
+                            sampler->total_rows())
+                  .ok());
+  EXPECT_EQ(machine.demand().kind, SampleDemand::Kind::kRows);
+  int phases = 0;
+  while (!machine.done()) {
+    ASSERT_LT(phases++, 100) << "machine does not converge";
+    const SampleDemand& demand = machine.demand();
+    CountMatrix fresh(12, 8);
+    std::vector<bool> exhausted(12, false);
+    int64_t drawn = 0;
+    if (demand.kind == SampleDemand::Kind::kRows) {
+      drawn = sampler->SampleRows(demand.rows, &fresh);
+    } else {
+      const int64_t before = sampler->rows_consumed();
+      sampler->SampleUntilTargets(demand.targets, &fresh, &exhausted);
+      drawn = sampler->rows_consumed() - before;
+    }
+    ASSERT_TRUE(
+        machine.Supply(fresh, exhausted, sampler->AllConsumed(), drawn).ok());
+  }
+  MatchResult result = machine.TakeResult();
+  std::set<int> got(result.topk.begin(), result.topk.end());
+  EXPECT_EQ(got, (std::set<int>{0, 1, 2}));
+}
+
+TEST(HistSimMachineTest, ManualDriveMatchesRunDriver) {
+  // Driving the machine by hand must be byte-equivalent to HistSim::Run
+  // over an identically-seeded sampler (the driver is a thin loop).
+  Scenario s = MakeScenario(20000, 18);
+  HistSimParams p = TestParams();
+  auto s1 = RowSampler::Create(s.store, 0, {1}, 67).value();
+  auto s2 = RowSampler::Create(s.store, 0, {1}, 67).value();
+
+  auto run_result = HistSim(p, s.target).Run(s1.get());
+  ASSERT_TRUE(run_result.ok());
+
+  HistSimMachine machine(p, s.target);
+  ASSERT_TRUE(machine.Begin(s2->num_candidates(), s2->num_groups(),
+                            s2->total_rows())
+                  .ok());
+  while (!machine.done()) {
+    const SampleDemand& demand = machine.demand();
+    CountMatrix fresh(12, 8);
+    std::vector<bool> exhausted(12, false);
+    int64_t drawn = 0;
+    if (demand.kind == SampleDemand::Kind::kRows) {
+      drawn = s2->SampleRows(demand.rows, &fresh);
+    } else {
+      const int64_t before = s2->rows_consumed();
+      s2->SampleUntilTargets(demand.targets, &fresh, &exhausted);
+      drawn = s2->rows_consumed() - before;
+    }
+    ASSERT_TRUE(
+        machine.Supply(fresh, exhausted, s2->AllConsumed(), drawn).ok());
+  }
+  MatchResult manual = machine.TakeResult();
+  EXPECT_EQ(manual.topk, run_result->topk);
+  for (int i = 0; i < 12; ++i) {
+    for (int g = 0; g < 8; ++g) {
+      ASSERT_EQ(manual.counts.At(i, g), run_result->counts.At(i, g));
+    }
+  }
+}
+
+TEST(HistSimMachineTest, BeginRejectsProtocolViolations) {
+  Scenario s = MakeScenario(1000, 19);
+  HistSimMachine machine(TestParams(), s.target);
+  ASSERT_TRUE(machine.Begin(12, 8, s.store->num_rows()).ok());
+  // Begin twice is a protocol error.
+  EXPECT_EQ(machine.Begin(12, 8, s.store->num_rows()).code(),
+            StatusCode::kFailedPrecondition);
+  // Empty domain / empty relation are rejected up front.
+  HistSimMachine m2(TestParams(), s.target);
+  EXPECT_FALSE(m2.Begin(0, 8, 100).ok());
+  HistSimMachine m3(TestParams(), s.target);
+  EXPECT_EQ(m3.Begin(12, 8, 0).code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(HistSimTest, DiagnosticsArePopulated) {
   Scenario s = MakeScenario(20000, 15);
   auto sampler = RowSampler::Create(s.store, 0, {1}, 53).value();

@@ -131,6 +131,24 @@ TEST(RowSamplerTest, CompositeGroupingAttributes) {
   EXPECT_EQ(total, 240);
 }
 
+TEST(RowSamplerTest, SampleUntilTargetsCountsOnlyFreshSamplesPerCall) {
+  // Regression: callers may legally accumulate several rounds into one
+  // matrix. The sampler used to seed its fresh counters from
+  // out->RowTotal, so a second call on a reused matrix returned without
+  // drawing anything. Each call must meet its targets with samples drawn
+  // during that call.
+  auto store =
+      MakeExactStore({5000, 5000}, PlantedDistributions(2, 4, {0, 0.1}), 10);
+  auto sampler = RowSampler::Create(store, 0, {1}, 41).value();
+  CountMatrix out(2, 4);
+  std::vector<bool> exhausted(2, false);
+  sampler->SampleUntilTargets({100, -1}, &out, &exhausted);
+  EXPECT_EQ(out.RowTotal(0), 100);
+  sampler->SampleUntilTargets({100, -1}, &out, &exhausted);
+  EXPECT_EQ(out.RowTotal(0), 200);
+  EXPECT_FALSE(exhausted[0]);
+}
+
 TEST(RowSamplerTest, DeterministicUnderSeed) {
   auto store =
       MakeExactStore({1000, 1000}, PlantedDistributions(2, 4, {0, 0.1}), 9);

@@ -228,6 +228,110 @@ TEST(SamplingEngineTest, SamplesAreUniformPerCandidate) {
   }
 }
 
+TEST(SamplingEngineTest, SampleUntilTargetsCountsOnlyFreshSamplesPerCall) {
+  // Regression (same bug as RowSampler): fresh counters must start at
+  // zero per call, not at out->RowTotal, when the caller reuses one
+  // matrix across rounds.
+  for (BlockSelection policy : kAllPolicies) {
+    auto f = MakeFixture({20000, 20000}, 4, 12);
+    auto engine = MakeEngine(f, policy);
+    CountMatrix out(2, 4);
+    std::vector<bool> exhausted(2, false);
+    engine->SampleUntilTargets({500, -1}, &out, &exhausted);
+    const int64_t after_first = out.RowTotal(0);
+    EXPECT_GE(after_first, 500) << "policy " << static_cast<int>(policy);
+    engine->SampleUntilTargets({500, -1}, &out, &exhausted);
+    EXPECT_GE(out.RowTotal(0), after_first + 500)
+        << "policy " << static_cast<int>(policy);
+  }
+}
+
+// ------------------------------------------------ degenerate stores
+
+TEST(SamplingEngineTest, EmptyStoreRejected) {
+  auto store = std::make_shared<ColumnStore>(Schema({{"Z", 2}, {"X", 4}}));
+  EngineOptions options;
+  options.policy = BlockSelection::kScanAll;
+  auto result = SamplingEngine::Create(store, nullptr, 0, {1}, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SamplingEngineTest, SingleBlockStoreAllPolicies) {
+  // The whole relation fits one (short) block: every policy must consume
+  // it in one read and account for it exactly once.
+  for (BlockSelection policy : kAllPolicies) {
+    auto f = MakeFixture({60, 40}, 4, 13, /*rows_per_block=*/128);
+    ASSERT_EQ(f.store->num_blocks(), 1);
+    auto engine = MakeEngine(f, policy);
+    CountMatrix out(2, 4);
+    EXPECT_EQ(engine->SampleRows(10, &out), 100);  // block granularity
+    EXPECT_TRUE(engine->AllConsumed());
+    EXPECT_EQ(engine->stats().blocks_read, 1);
+    EXPECT_EQ(engine->stats().rows_read, 100);
+    // Every further demand resolves by exhaustion without re-reading.
+    std::vector<bool> exhausted(2, false);
+    engine->SampleUntilTargets({1000, 1000}, &out, &exhausted);
+    EXPECT_TRUE(exhausted[0]);
+    EXPECT_TRUE(exhausted[1]);
+    EXPECT_EQ(engine->stats().blocks_read, 1)
+        << "policy " << static_cast<int>(policy);
+    EXPECT_EQ(engine->rows_consumed(), 100);
+  }
+}
+
+TEST(SamplingEngineTest, SingleBlockImpossibleTargetExhausts) {
+  for (BlockSelection policy : kAllPolicies) {
+    auto f = MakeFixture({60, 40}, 4, 14, /*rows_per_block=*/128);
+    auto engine = MakeEngine(f, policy);
+    CountMatrix out(2, 4);
+    std::vector<bool> exhausted(2, false);
+    engine->SampleUntilTargets({1000, -1}, &out, &exhausted);
+    EXPECT_TRUE(exhausted[0]) << "policy " << static_cast<int>(policy);
+    EXPECT_EQ(out.RowTotal(0), 60);
+    EXPECT_TRUE(engine->AllConsumed());
+    EXPECT_EQ(engine->stats().blocks_read, 1);
+    EXPECT_EQ(engine->stats().rows_read, engine->rows_consumed());
+  }
+}
+
+TEST(SamplingEngineTest, StatsConsistentOnFullConsumption) {
+  // Without-replacement invariant on the counters: at full consumption
+  // every block was read exactly once and rows_read equals the relation.
+  for (BlockSelection policy : kAllPolicies) {
+    auto f = MakeFixture({3000, 2000}, 4, 15);
+    auto engine = MakeEngine(f, policy);
+    CountMatrix out(2, 4);
+    std::vector<bool> exhausted(2, false);
+    engine->SampleUntilTargets({100000, 100000}, &out, &exhausted);
+    EXPECT_TRUE(engine->AllConsumed());
+    EXPECT_EQ(engine->stats().blocks_read, f.store->num_blocks())
+        << "policy " << static_cast<int>(policy);
+    EXPECT_EQ(engine->stats().rows_read, f.store->num_rows());
+    EXPECT_EQ(engine->rows_consumed(), f.store->num_rows());
+  }
+}
+
+TEST(SamplingEngineTest, AllCandidatesPrunedSurfacesErrorWithSaneStats) {
+  // Degenerate query shape: sigma prunes everyone. HistSim fails with
+  // FailedPrecondition and the engine's accounting stays consistent.
+  auto f = MakeFixture({500, 500, 500}, 4, 16);
+  auto engine = MakeEngine(f, BlockSelection::kAnyActiveLookahead);
+  HistSimParams p;
+  p.k = 1;
+  p.epsilon = 0.1;
+  p.delta = 0.05;
+  p.sigma = 0.9;
+  p.stage1_samples = 2000;  // consumes everything: exact pruning path
+  HistSim histsim(p, UniformDistribution(4));
+  auto result = histsim.Run(engine.get());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine->stats().rows_read, engine->rows_consumed());
+  EXPECT_GT(engine->stats().blocks_read, 0);
+  EXPECT_TRUE(engine->AllConsumed());
+}
+
 TEST(SamplingEngineTest, LookaheadSizesAgree) {
   // The lookahead batch size must not change which samples are valid:
   // all sizes must meet targets and stay without-replacement.

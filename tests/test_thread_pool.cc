@@ -1,0 +1,115 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace fastmatch {
+namespace {
+
+TEST(WorkerPoolTest, ClampsThreadCountToAtLeastOne) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  WorkerPool pool2(-3);
+  EXPECT_EQ(pool2.size(), 1);
+}
+
+TEST(WorkerPoolTest, ParallelForCoversEachIndexExactlyOnce) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(WorkerPoolTest, ParallelForHandlesEmptyAndSingleRanges) {
+  WorkerPool pool(3);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // n == 1 runs inline on the caller (no pool thread involved).
+  pool.ParallelFor(1, [&](int64_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(WorkerPoolTest, SingleWorkerPoolRunsParallelForInline) {
+  WorkerPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.ParallelFor(8, [&](int64_t i) {
+    seen[static_cast<size_t>(i)] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(WorkerPoolTest, SubmitWaitCompletesAllTasks) {
+  WorkerPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(WorkerPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> done{0};
+  {
+    WorkerPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(WorkerPoolTest, ParallelForSumMatchesSerial) {
+  WorkerPool pool(4);
+  const int64_t n = 4096;
+  std::vector<int64_t> slot(static_cast<size_t>(n), 0);
+  pool.ParallelFor(n, [&](int64_t i) { slot[static_cast<size_t>(i)] = i * i; });
+  int64_t parallel_sum = 0, serial_sum = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    parallel_sum += slot[static_cast<size_t>(i)];
+    serial_sum += i * i;
+  }
+  EXPECT_EQ(parallel_sum, serial_sum);
+}
+
+// ------------------------------------------------ concurrency stress
+// Repeated fork-joins with shared state shake out races in the queue and
+// the per-call completion latch (run under FASTMATCH_SANITIZE=thread).
+
+TEST(WorkerPoolStress, RepeatedParallelForRounds) {
+  WorkerPool pool(4);
+  std::vector<int64_t> cells(256, 0);
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(256, [&](int64_t i) { ++cells[static_cast<size_t>(i)]; });
+  }
+  for (int64_t c : cells) EXPECT_EQ(c, 200);
+}
+
+TEST(WorkerPoolStress, InterleavedSubmitAndParallelFor) {
+  WorkerPool pool(4);
+  std::atomic<int64_t> submitted{0};
+  std::atomic<int64_t> forked{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit(
+          [&] { submitted.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.ParallelFor(
+        64, [&](int64_t) { forked.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(submitted.load(), 50 * 8);
+  EXPECT_EQ(forked.load(), 50 * 64);
+}
+
+}  // namespace
+}  // namespace fastmatch
