@@ -38,14 +38,14 @@ namespace fastmatch {
 
 /// \brief Counters describing one HistSim run.
 struct HistSimDiagnostics {
-  int64_t stage1_samples = 0;   // fresh tuples drawn in stage 1
-  int64_t stage2_samples = 0;   // fresh tuples drawn across stage-2 rounds
-  int64_t stage3_samples = 0;   // fresh tuples drawn in stage 3
-  int rounds = 0;               // stage-2 rounds executed
-  int pruned_candidates = 0;    // flagged rare in stage 1
-  int exact_candidates = 0;     // fully enumerated (exhausted) candidates
-  bool data_exhausted = false;  // the whole relation was consumed
-  int chosen_k = 0;             // k actually returned (k-range extension)
+  int64_t stage1_samples = 0;   ///< fresh tuples drawn in stage 1
+  int64_t stage2_samples = 0;   ///< fresh tuples drawn across stage-2 rounds
+  int64_t stage3_samples = 0;   ///< fresh tuples drawn in stage 3
+  int rounds = 0;               ///< stage-2 rounds executed
+  int pruned_candidates = 0;    ///< flagged rare in stage 1
+  int exact_candidates = 0;     ///< fully enumerated (exhausted) candidates
+  bool data_exhausted = false;  ///< the whole relation was consumed
+  int chosen_k = 0;             ///< k actually returned (k-range extension)
   // Wall time between the stage's phase boundaries (demand issue to final
   // Supply). Under the single-query driver this is the stage's cost;
   // under the batch executor it includes the shared scan's work for
@@ -75,13 +75,19 @@ struct MatchResult {
 };
 
 /// \brief What the algorithm needs next from the data layer.
+///
+/// Targets follow the per-call fresh-counter rule (core/sampler.h):
+/// a target counts only samples drawn for THIS phase, never counts the
+/// machine already holds from earlier phases — the stage-2 tests are
+/// computed over the round's fresh sample alone.
 struct SampleDemand {
   enum class Kind {
-    kNone,     // nothing outstanding (machine finished or not begun)
-    kRows,     // stage 1: `rows` fresh tuples, uniform without replacement
-    kTargets,  // stage 2/3: per-candidate fresh-sample targets
+    kNone,     ///< nothing outstanding (machine finished or not begun)
+    kRows,     ///< stage 1: `rows` fresh tuples, uniform w/o replacement
+    kTargets,  ///< stage 2/3: per-candidate fresh-sample targets
   };
   Kind kind = Kind::kNone;
+  /// Fresh tuples requested (kRows only).
   int64_t rows = 0;
   /// Per-candidate fresh-sample targets; -1 means no requirement.
   std::vector<int64_t> targets;
@@ -118,10 +124,14 @@ class HistSimMachine {
   /// \brief Feeds the samples that satisfied the current demand and
   /// advances to the next demand (or to completion).
   ///
-  /// `fresh` holds every tuple consumed for this phase; `exhausted[i]`
-  /// marks candidate i fully enumerated (its cumulative counts are
-  /// exact); `all_consumed` marks the whole relation consumed;
-  /// `rows_drawn` is the fresh-tuple count behind `fresh`.
+  /// `fresh` holds every tuple consumed for this phase — and ONLY this
+  /// phase (the per-call fresh-counter rule; callers that keep
+  /// cumulative counts must pass cumulative-minus-phase-snapshot, as
+  /// the batch executor does); `exhausted[i]` marks candidate i fully
+  /// enumerated within the caller's sampling window (its cumulative
+  /// counts are treated as exact); `all_consumed` marks the whole
+  /// window consumed; `rows_drawn` is the fresh-tuple count behind
+  /// `fresh`.
   Status Supply(const CountMatrix& fresh, const std::vector<bool>& exhausted,
                 bool all_consumed, int64_t rows_drawn);
 
@@ -181,6 +191,8 @@ class HistSimMachine {
 /// single-query driver around HistSimMachine).
 class HistSim {
  public:
+  /// \param params problem parameters (validated in Run)
+  /// \param target resolved target distribution q
   HistSim(HistSimParams params, Distribution target);
 
   /// \brief Runs all three stages to completion against `sampler`.

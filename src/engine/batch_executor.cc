@@ -12,7 +12,7 @@ namespace fastmatch {
 BatchExecutor::BatchExecutor(std::shared_ptr<const ColumnStore> store,
                              BatchOptions options)
     : store_(std::move(store)),
-      options_(options),
+      options_(std::move(options)),
       num_blocks_(store_->num_blocks()),
       consumed_(num_blocks_) {}
 
@@ -40,21 +40,64 @@ Result<std::unique_ptr<BatchExecutor>> BatchExecutor::Create(
   if (store->num_rows() == 0) {
     return Status::FailedPrecondition("empty store");
   }
+  if (options.resume.has_value()) {
+    const ScanResume& resume = *options.resume;
+    if (resume.consumed.size() != store->num_blocks()) {
+      return Status::InvalidArgument(
+          "resume consumed bitvector size does not match store block count");
+    }
+    if (resume.cursor < 0 || resume.cursor >= store->num_blocks()) {
+      return Status::InvalidArgument("resume cursor out of range");
+    }
+  }
 
   auto executor =
       std::unique_ptr<BatchExecutor>(new BatchExecutor(store, options));
+  if (executor->options_.resume.has_value()) {
+    executor->consumed_ = executor->options_.resume->consumed;
+    executor->consumed_blocks_ = executor->consumed_.Popcount();
+    if (executor->consumed_blocks_ == executor->num_blocks_) {
+      // Same condition Join() rejects: with no suffix left the machines
+      // would "finish" instantly on zero samples and report fabricated
+      // exact results.
+      return Status::FailedPrecondition(
+          "resume state has no unconsumed blocks; nothing to scan");
+    }
+  }
   for (const BoundQuery& q : queries) executor->AddQuery(q);
+  if (executor->options_.resume.has_value() &&
+      !executor->options_.resume->exhausted.empty()) {
+    // Donor-scan exhaustion knowledge is per candidate of one template;
+    // a multi-template resume has no well-defined recipient.
+    if (executor->templates_.size() != 1) {
+      return Status::InvalidArgument(
+          "resume exhausted flags require a single-template batch");
+    }
+    TemplateState& ts = executor->templates_.front();
+    if (executor->options_.resume->exhausted.size() != ts.exhausted.size()) {
+      return Status::InvalidArgument(
+          "resume exhausted flags do not match the template's candidate "
+          "count");
+    }
+    ts.exhausted = executor->options_.resume->exhausted;
+  }
   executor->stats_.num_templates =
       static_cast<int>(executor->templates_.size());
   return executor;
 }
 
 void BatchExecutor::AddQuery(const BoundQuery& query) {
+  const size_t templates_before = templates_.size();
   QueryState qs(HistSimMachine(query.params, query.target));
   const Status status = BindQuery(query, &qs);
   if (!status.ok()) {
     qs.status = status;
     qs.active = false;
+    // Drop a template created for a query that then failed binding
+    // (index validation, machine Begin): it has no consumer, and its
+    // existence must not change batch-level validation (the
+    // single-template resume rule) or add per-chunk work.
+    if (templates_.size() > templates_before) templates_.pop_back();
   }
   queries_.push_back(std::move(qs));
 }
@@ -80,6 +123,7 @@ Status BatchExecutor::BindQuery(const BoundQuery& query, QueryState* qs) {
     ts.exhausted.assign(io->num_candidates(), false);
     ts.unmet_seen.assign(io->num_candidates(), false);
     ts.io = std::move(io);
+    SizeShards(&ts);  // no-op before Start (pool not yet created)
     templates_.push_back(std::move(ts));
   }
   TemplateState& ts = templates_[t];
@@ -111,6 +155,12 @@ bool BatchExecutor::AnyActive() const {
   return false;
 }
 
+int BatchExecutor::num_active() const {
+  int n = 0;
+  for (const QueryState& q : queries_) n += q.active;
+  return n;
+}
+
 bool BatchExecutor::DemandSatisfied(const QueryState& q,
                                     bool all_consumed) const {
   // Full consumption makes every cumulative count exact, which completes
@@ -131,8 +181,7 @@ bool BatchExecutor::DemandSatisfied(const QueryState& q,
   return true;
 }
 
-void BatchExecutor::SupplyPhase(QueryState* q, bool all_consumed,
-                                const WallTimer& timer) {
+void BatchExecutor::SupplyPhase(QueryState* q, bool all_consumed) {
   TemplateState& ts = templates_[q->tmpl];
   CountMatrix fresh = ts.cum;
   fresh.Subtract(q->snapshot);
@@ -142,18 +191,18 @@ void BatchExecutor::SupplyPhase(QueryState* q, bool all_consumed,
   if (!status.ok()) {
     q->status = status;
     q->active = false;
-    q->wall_seconds = timer.Seconds();
+    q->wall_seconds = timer_.Seconds();
   } else if (q->machine.done()) {
     q->match = q->machine.TakeResult();
     q->active = false;
-    q->wall_seconds = timer.Seconds();
+    q->wall_seconds = timer_.Seconds();
   } else {
     q->snapshot = ts.cum;
     q->snap_rows = ts.rows_cum;
   }
 }
 
-void BatchExecutor::Settle(const WallTimer& timer) {
+void BatchExecutor::Settle() {
   const bool all_consumed = consumed_blocks_ == num_blocks_;
   for (QueryState& q : queries_) {
     // One supply may immediately issue a demand that is already satisfied
@@ -161,12 +210,12 @@ void BatchExecutor::Settle(const WallTimer& timer) {
     // either finishes the machine or issues a demand needing fresh
     // samples of a non-exhausted candidate, so the loop terminates.
     while (q.active && DemandSatisfied(q, all_consumed)) {
-      SupplyPhase(&q, all_consumed, timer);
+      SupplyPhase(&q, all_consumed);
     }
   }
 }
 
-void BatchExecutor::ReadChunk(int64_t* streak) {
+void BatchExecutor::ReadChunk() {
   const BlockId start = cursor_;
   const int count = static_cast<int>(
       std::min<int64_t>(options_.chunk_blocks, num_blocks_ - start));
@@ -237,8 +286,8 @@ void BatchExecutor::ReadChunk(int64_t* streak) {
   }
 
   if (to_read.empty()) {
-    *streak += count;
-    if (*streak >= num_blocks_) {
+    streak_ += count;
+    if (streak_ >= num_blocks_) {
       // One full cursor cycle without a read: no unconsumed block holds
       // any currently-unmet candidate, so each one is fully enumerated
       // (the single-query engine's exhaustion rule). The unmet sets are
@@ -246,11 +295,11 @@ void BatchExecutor::ReadChunk(int64_t* streak) {
       for (TemplateState& ts : templates_) {
         for (int c : ts.demand.unmet) ts.exhausted[c] = true;
       }
-      *streak = 0;
+      streak_ = 0;
     }
     return;
   }
-  *streak = 0;
+  streak_ = 0;
 
   // Shared read: one pass over the chunk's blocks feeds every template
   // that still has a live query. Worker slots scan contiguous slices into
@@ -291,27 +340,101 @@ void BatchExecutor::ReadChunk(int64_t* streak) {
   }
 }
 
-std::vector<BatchItem> BatchExecutor::Run() {
-  FASTMATCH_CHECK(!ran_) << "BatchExecutor::Run called twice";
-  ran_ = true;
-  WallTimer timer;
+void BatchExecutor::SizeShards(TemplateState* ts) {
+  if (pool_ == nullptr) return;
+  ts->shards.assign(
+      static_cast<size_t>(pool_->size()),
+      CountMatrix(ts->io->num_candidates(), ts->io->num_groups()));
+}
+
+void BatchExecutor::Start() {
+  FASTMATCH_CHECK(!started_) << "BatchExecutor::Start called twice";
+  started_ = true;
+  timer_.Restart();
 
   pool_ = std::make_unique<WorkerPool>(options_.num_threads);
-  for (TemplateState& ts : templates_) {
-    ts.shards.assign(
-        static_cast<size_t>(pool_->size()),
-        CountMatrix(ts.io->num_candidates(), ts.io->num_groups()));
+  for (TemplateState& ts : templates_) SizeShards(&ts);
+  if (options_.resume.has_value()) {
+    cursor_ = options_.resume->cursor;
+  } else {
+    Rng rng(options_.seed);
+    cursor_ = static_cast<BlockId>(
+        rng.Uniform(static_cast<uint64_t>(num_blocks_)));
   }
-  Rng rng(options_.seed);
-  cursor_ =
-      static_cast<BlockId>(rng.Uniform(static_cast<uint64_t>(num_blocks_)));
+  streak_ = 0;
+  Settle();
+}
 
-  int64_t streak = 0;
-  Settle(timer);
-  while (AnyActive()) {
-    ReadChunk(&streak);
-    Settle(timer);
+bool BatchExecutor::Step() {
+  FASTMATCH_CHECK(started_) << "BatchExecutor::Step before Start";
+  FASTMATCH_CHECK(!taken_) << "BatchExecutor::Step after TakeItems";
+  if (!AnyActive()) return false;
+  ReadChunk();
+  Settle();
+  return AnyActive();
+}
+
+Result<size_t> BatchExecutor::Join(const BoundQuery& query) {
+  if (!started_) {
+    return Status::FailedPrecondition(
+        "Join before Start: add the query to the Create batch instead");
   }
+  if (taken_) {
+    return Status::FailedPrecondition("batch already finished");
+  }
+  if (query.store.get() != store_.get()) {
+    return Status::InvalidArgument(
+        "joined query must share the batch's ColumnStore");
+  }
+  if (consumed_blocks_ == num_blocks_) {
+    // Nothing left to feed the newcomer: every block is consumed, so its
+    // machine would finish instantly on zero samples. The caller must
+    // route it to a fresh batch.
+    return Status::FailedPrecondition(
+        "scan suffix is empty; route the query to a fresh batch");
+  }
+  const size_t index = queries_.size();
+  AddQuery(query);
+  QueryState& qs = queries_.back();
+  if (!qs.active) {
+    // Failed binding: the query "completed" (as a failure) at join
+    // time, not at batch start — stamp it so item latencies stay
+    // monotone for late arrivals.
+    qs.wall_seconds = timer_.Seconds();
+  }
+  if (qs.active) {
+    TemplateState& ts = templates_[qs.tmpl];
+    // The join snapshot: the machine's fresh counts are cumulative minus
+    // this, so the query is fed from the remaining scan suffix only.
+    qs.snapshot = ts.cum;
+    qs.snap_rows = ts.rows_cum;
+    // The exhaustion rule's "full zero-read cycle" invariant assumes the
+    // unmet sets were stable for the whole streak; admitting a query
+    // invalidates any streak in progress (windows already passed were
+    // never checked against the newcomer's candidates), so restart it.
+    streak_ = 0;
+    ++stats_.joined_queries;
+  }
+  stats_.num_templates = static_cast<int>(templates_.size());
+  return index;
+}
+
+ScanResume BatchExecutor::CaptureScanState() const {
+  ScanResume resume;
+  resume.consumed = consumed_;
+  resume.cursor = cursor_;
+  if (templates_.size() == 1) {
+    resume.exhausted = templates_.front().exhausted;
+  }
+  return resume;
+}
+
+std::vector<BatchItem> BatchExecutor::TakeItems() {
+  FASTMATCH_CHECK(started_) << "BatchExecutor::TakeItems before Start";
+  FASTMATCH_CHECK(!taken_) << "BatchExecutor::TakeItems called twice";
+  FASTMATCH_CHECK(!AnyActive())
+      << "BatchExecutor::TakeItems with active queries";
+  taken_ = true;
   pool_.reset();
 
   std::vector<BatchItem> items;
@@ -324,6 +447,14 @@ std::vector<BatchItem> BatchExecutor::Run() {
     items.push_back(std::move(item));
   }
   return items;
+}
+
+std::vector<BatchItem> BatchExecutor::Run() {
+  FASTMATCH_CHECK(!started_) << "BatchExecutor::Run after Start or Run";
+  Start();
+  while (Step()) {
+  }
+  return TakeItems();
 }
 
 }  // namespace fastmatch

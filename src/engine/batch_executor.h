@@ -45,11 +45,35 @@
 // only, which the statistics tolerate by design (extra uniform samples
 // never hurt; the single-query engine over-delivers the same way at
 // block granularity).
+//
+// Streaming admission (mid-flight Join): a batch need not be closed at
+// Create. A late query may Join() a running scan at any chunk boundary;
+// it snapshots the shared cumulative counts at entry, so its per-phase
+// fresh counts come from the remaining scan suffix only. This is sound
+// for the same reason block-level sampling is sound: the store's rows are
+// pre-shuffled across blocks, so marginally over the shuffle, any scan
+// suffix is still a uniform without-replacement sample of the relation —
+// the joined machine runs against the full-relation population (Begin is
+// given the store's total row count) and simply starts drawing at a later
+// position of the permutation. A joined query is therefore EQUIVALENT to
+// a fresh solo batch resumed from the donor scan's state —
+// *bit-for-bit* when no other query is still active (otherwise
+// concurrent queries' union demand reads extra blocks, over-delivering
+// uniform samples to the joined machine: statistically harmless, but
+// not byte-identical to a solo resume driven by its demand alone) —
+// and CaptureScanState() + BatchOptions::resume exist precisely so
+// tests can assert that equivalence. One caveat is inherited
+// exhaustion: when every block of candidate c is consumed, c is
+// "exhausted" for a joined query too — meaning no further fresh samples
+// of c can ever arrive, so its MatchResult::exact flag reports exactness
+// over the query's own sampling window (the suffix), not over the full
+// relation.
 
 #ifndef FASTMATCH_ENGINE_BATCH_EXECUTOR_H_
 #define FASTMATCH_ENGINE_BATCH_EXECUTOR_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/histsim.h"
@@ -65,53 +89,146 @@
 
 namespace fastmatch {
 
-/// Batch executor knobs.
+/// \brief A scan position to resume from: which blocks a donor scan has
+/// already consumed (they will never be read) and where its cursor
+/// stands. Produced by BatchExecutor::CaptureScanState() and accepted via
+/// BatchOptions::resume; a resumed solo run is the reference semantics of
+/// a mid-flight Join() (bit-for-bit identical, see the header comment).
+struct ScanResume {
+  /// Blocks already consumed by the donor scan; size must equal the
+  /// store's block count.
+  BitVector consumed;
+  /// Cursor position the donor scan would read next; in [0, num_blocks).
+  BlockId cursor = 0;
+  /// Candidate-exhaustion knowledge learned by the donor scan. Optional;
+  /// when non-empty the resumed batch must form exactly one (Z, X)
+  /// template and the size must equal its candidate count.
+  std::vector<bool> exhausted;
+};
+
+/// \brief Batch executor knobs.
 struct BatchOptions {
   /// Block-reader worker threads (the WorkerPool size).
   int num_threads = 4;
   /// Shared-scan window: cursor positions marked and read per chunk.
   /// Plays the role of the single-query engine's lookahead batch.
   int chunk_blocks = 1024;
-  /// Seed; chooses the shared cursor's random start position.
+  /// Seed; chooses the shared cursor's random start position (ignored
+  /// when `resume` is set).
   uint64_t seed = 42;
+  /// When set, the scan continues a donor scan instead of starting
+  /// fresh: pre-consumed blocks are never read and the cursor starts at
+  /// the donor's position. See ScanResume.
+  std::optional<ScanResume> resume;
 };
 
-/// I/O accounting for one batch run. `blocks_read` counts unique stream
-/// blocks (the shared-scan win: B identical queries cost one read per
-/// block, not B); `block_scans` counts block x template kernel passes.
+/// \brief I/O accounting for one batch run. `blocks_read` counts unique
+/// stream blocks (the shared-scan win: B identical queries cost one read
+/// per block, not B); `block_scans` counts block x template kernel
+/// passes.
 struct BatchStats {
+  /// Unique blocks read from the store.
   int64_t blocks_read = 0;
+  /// Block x template kernel passes (>= blocks_read with >1 template).
   int64_t block_scans = 0;
+  /// Rows decoded across all read blocks.
   int64_t rows_read = 0;
-  int64_t blocks_skipped = 0;  // unconsumed window positions left unread
-  int64_t chunks = 0;          // scan rounds executed
+  /// Unconsumed window positions the marking policy left unread.
+  int64_t blocks_skipped = 0;
+  /// Scan rounds (chunks) executed.
+  int64_t chunks = 0;
+  /// Queries admitted mid-flight through Join().
+  int64_t joined_queries = 0;
+  /// Distinct (z_attr, x_attrs) templates in the batch.
   int num_templates = 0;
 };
 
-/// \brief Per-query outcome of a batch run (same order as the input).
+/// \brief Per-query outcome of a batch run (same order as the input;
+/// joined queries follow in Join() order).
 struct BatchItem {
   /// Per-query status: one query failing (bad parameters, everything
   /// pruned) never sinks the rest of the batch.
   Status status;
   /// Valid when status.ok().
   MatchResult match;
-  /// Seconds from batch start until this query completed.
+  /// Seconds from batch start (Start()/Run()) until this query
+  /// completed. For a joined query this still counts from batch start,
+  /// not from its Join().
   double wall_seconds = 0;
 };
 
+/// \brief Shared-scan executor for N concurrent queries over one store.
+///
+/// Two driving protocols:
+///   * closed batch:  Create() then Run() — everything in one call;
+///   * streaming:     Create(), Start(), then Step() until it returns
+///     false, then TakeItems(). Between Step() calls (chunk boundaries)
+///     late queries may be admitted with Join(). This is the protocol the
+///     service-tier QueryScheduler drives.
 class BatchExecutor {
  public:
   /// \brief Creates an executor for one batch. All queries must share one
   /// ColumnStore (shared-scan batching is per store; route queries over
   /// different stores to different batches). Structural problems (empty
-  /// batch, mixed stores, invalid index) fail here; per-query problems
-  /// (bad parameters, wrong target size) surface as per-item statuses.
+  /// batch, mixed stores, invalid index, malformed resume state) fail
+  /// here; per-query problems (bad parameters, wrong target size)
+  /// surface as per-item statuses.
   static Result<std::unique_ptr<BatchExecutor>> Create(
       const std::vector<BoundQuery>& queries, BatchOptions options);
 
-  /// \brief Runs every query to completion. Call exactly once.
+  /// \brief Runs every query to completion and returns the items. Call
+  /// exactly once; mutually exclusive with the Start()/Step() protocol.
   std::vector<BatchItem> Run();
 
+  /// \brief Starts the scan (worker pool, shard matrices, cursor) and
+  /// settles any immediately-satisfiable phases. Call exactly once
+  /// before Step()/Join().
+  void Start();
+
+  /// \brief Executes one shared-scan chunk (mark, read, settle) and
+  /// returns true while any query is still active. Requires Start().
+  /// A false return means every query completed: call TakeItems().
+  bool Step();
+
+  /// \brief Admits a late query into the running scan at the current
+  /// chunk boundary. The query's machine snapshots the template's shared
+  /// cumulative counts at entry, so it is fed exclusively from the
+  /// remaining scan suffix (see the header comment for why that is a
+  /// sound uniform without-replacement sample).
+  ///
+  /// Returns the query's index among TakeItems() on success. Structural
+  /// errors return a Status: Join() before Start() or after TakeItems(),
+  /// a query over a different store, or an empty scan suffix (every
+  /// block already consumed — the caller must fall back to a fresh
+  /// batch). Per-query binding problems are accepted and surface as the
+  /// item's status, exactly as in Create().
+  Result<size_t> Join(const BoundQuery& query);
+
+  /// \brief Moves out the per-query outcomes. Requires Start() and no
+  /// remaining active queries; valid once.
+  std::vector<BatchItem> TakeItems();
+
+  /// \brief True once every admitted query has completed (or failed).
+  bool finished() const { return !AnyActive(); }
+
+  /// \brief Queries still running (admitted minus completed/failed).
+  int num_active() const;
+
+  /// \brief Total queries admitted so far (Create() plus Join()).
+  size_t num_queries() const { return queries_.size(); }
+
+  /// \brief Snapshot of the scan position: consumed blocks, cursor, and
+  /// (single-template batches only) candidate-exhaustion knowledge.
+  /// Feeding this to BatchOptions::resume yields the suffix-only solo
+  /// run a Join() at this boundary is equivalent to.
+  ScanResume CaptureScanState() const;
+
+  /// \brief Unique blocks consumed so far (pre-consumed resume blocks
+  /// included). Equal to the store's block count iff the suffix is
+  /// empty, at which point Join() is rejected.
+  int64_t consumed_blocks() const { return consumed_blocks_; }
+
+  /// \brief I/O accounting so far (final after the last Step()/Run()).
   const BatchStats& stats() const { return stats_; }
 
  private:
@@ -152,12 +269,14 @@ class BatchExecutor {
   Status BindQuery(const BoundQuery& query, QueryState* qs);
   bool AnyActive() const;
   /// Completes every phase whose demand is satisfied, to fixpoint.
-  void Settle(const WallTimer& timer);
+  void Settle();
   bool DemandSatisfied(const QueryState& q, bool all_consumed) const;
-  void SupplyPhase(QueryState* q, bool all_consumed, const WallTimer& timer);
+  void SupplyPhase(QueryState* q, bool all_consumed);
+  /// Sizes a template's per-worker shard matrices (no-op before Start).
+  void SizeShards(TemplateState* ts);
   /// Marks and reads one shared-scan window; maintains the zero-read
   /// streak that drives the exhaustion rule.
-  void ReadChunk(int64_t* streak);
+  void ReadChunk();
 
   std::shared_ptr<const ColumnStore> store_;
   BatchOptions options_;
@@ -165,12 +284,15 @@ class BatchExecutor {
   BlockId cursor_ = 0;
   BitVector consumed_;
   int64_t consumed_blocks_ = 0;
+  int64_t streak_ = 0;  // zero-read cursor positions in a row
   std::vector<TemplateState> templates_;
   std::vector<QueryState> queries_;
   std::unique_ptr<WorkerPool> pool_;
   std::vector<uint8_t> marked_;  // per-chunk OR of template marks
   BatchStats stats_;
-  bool ran_ = false;
+  WallTimer timer_;  // restarted at Start(); item wall_seconds base
+  bool started_ = false;
+  bool taken_ = false;
 };
 
 }  // namespace fastmatch

@@ -1,0 +1,294 @@
+#include "service/query_scheduler.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace fastmatch {
+
+namespace {
+
+double ToSeconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+QueryScheduler::QueryScheduler(SchedulerOptions options)
+    : options_(std::move(options)) {
+  FASTMATCH_CHECK(options_.max_batch_queries >= 1)
+      << "max_batch_queries must be >= 1";
+  FASTMATCH_CHECK(options_.max_pending_per_store >= 1)
+      << "max_pending_per_store must be >= 1";
+  FASTMATCH_CHECK(options_.max_queue_wait_seconds >= 0)
+      << "max_queue_wait_seconds must be >= 0";
+  FASTMATCH_CHECK(options_.min_join_suffix_fraction >= 0 &&
+                  options_.min_join_suffix_fraction <= 1)
+      << "min_join_suffix_fraction must be in [0, 1]";
+}
+
+QueryScheduler::~QueryScheduler() { Shutdown(); }
+
+Result<std::future<SchedulerItem>> QueryScheduler::Submit(BoundQuery query) {
+  if (query.store == nullptr) {
+    return Status::InvalidArgument("query has no store");
+  }
+  Pipeline* pipeline = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("scheduler is shut down");
+    }
+    std::unique_ptr<Pipeline>& slot = pipelines_[query.store.get()];
+    if (slot == nullptr) {
+      slot = std::make_unique<Pipeline>();
+      slot->thread =
+          std::thread(&QueryScheduler::PipelineLoop, this, slot.get());
+      counters_.pipelines.fetch_add(1, std::memory_order_relaxed);
+    }
+    pipeline = slot.get();
+  }
+
+  std::future<SchedulerItem> future;
+  {
+    std::lock_guard<std::mutex> lock(pipeline->mu);
+    // Re-check under the pipeline lock: a Shutdown() racing with this
+    // Submit may have already let the driver thread exit, and a query
+    // enqueued after that would never be answered.
+    if (pipeline->shutdown) {
+      return Status::FailedPrecondition("scheduler is shut down");
+    }
+    if (static_cast<int>(pipeline->pending.size()) >=
+        options_.max_pending_per_store) {
+      counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "store pipeline is saturated (max_pending_per_store); retry "
+          "later");
+    }
+    Pending pend;
+    pend.query = std::move(query);
+    pend.enqueued = Clock::now();
+    future = pend.promise.get_future();
+    pipeline->pending.push_back(std::move(pend));
+    counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  }
+  pipeline->cv.notify_all();
+  return future;
+}
+
+bool QueryScheduler::GatherLaunchBatch(Pipeline* pipeline,
+                                       std::vector<BoundQuery>* queries,
+                                       std::vector<Admitted>* admitted) {
+  std::unique_lock<std::mutex> lock(pipeline->mu);
+  pipeline->cv.wait(
+      lock, [&] { return !pipeline->pending.empty() || pipeline->shutdown; });
+  if (pipeline->pending.empty()) {
+    // Shutdown with nothing left to drain. A deadline alone never gets
+    // here: the batch timer only starts once a query is pending, so an
+    // empty flush cannot launch (or crash) an empty batch.
+    return false;
+  }
+
+  // Batch-boundary policy: wait for a full batch, but never keep the
+  // oldest arrival waiting past max_queue_wait_seconds; shutdown drains
+  // immediately.
+  const auto deadline =
+      pipeline->pending.front().enqueued +
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(options_.max_queue_wait_seconds));
+  pipeline->cv.wait_until(lock, deadline, [&] {
+    return static_cast<int>(pipeline->pending.size()) >=
+               options_.max_batch_queries ||
+           pipeline->shutdown;
+  });
+  if (static_cast<int>(pipeline->pending.size()) <
+          options_.max_batch_queries &&
+      !pipeline->shutdown) {
+    counters_.timeout_flushes.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const Clock::time_point now = Clock::now();
+  while (!pipeline->pending.empty() &&
+         static_cast<int>(queries->size()) < options_.max_batch_queries) {
+    Pending pend = std::move(pipeline->pending.front());
+    pipeline->pending.pop_front();
+    queries->push_back(std::move(pend.query));
+    Admitted a;
+    a.promise = std::move(pend.promise);
+    a.enqueued = pend.enqueued;
+    a.admitted = now;
+    admitted->push_back(std::move(a));
+  }
+  counters_.batches_launched.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
+                              int64_t num_blocks,
+                              std::vector<Admitted>* admitted) {
+  for (;;) {
+    Pending pend;
+    {
+      std::lock_guard<std::mutex> lock(pipeline->mu);
+      if (pipeline->pending.empty() ||
+          executor->num_active() >= options_.max_batch_queries) {
+        return;
+      }
+      const double suffix_fraction =
+          1.0 - static_cast<double>(executor->consumed_blocks()) /
+                    static_cast<double>(num_blocks);
+      if (suffix_fraction < options_.min_join_suffix_fraction ||
+          executor->consumed_blocks() == num_blocks) {
+        // Too little scan left for a statistically useful join: leave
+        // the query queued; it launches in a fresh batch when this one
+        // ends. Counted once per query, not per chunk that re-refuses.
+        Pending& front = pipeline->pending.front();
+        if (!front.join_refusal_counted) {
+          front.join_refusal_counted = true;
+          counters_.join_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        }
+        return;
+      }
+      pend = std::move(pipeline->pending.front());
+      pipeline->pending.pop_front();
+    }
+    // Join (template binding, machine Begin) runs outside the pipeline
+    // lock so Submit callers are never blocked on it; this thread is
+    // the executor's sole driver, so no other synchronization applies.
+    const int64_t bound_before = executor->stats().joined_queries;
+    Result<size_t> joined = executor->Join(pend.query);
+    if (!joined.ok()) {
+      // Defensive (the suffix check above normally fires first): the
+      // executor refused the join; requeue for a fresh batch.
+      std::lock_guard<std::mutex> lock(pipeline->mu);
+      if (!pend.join_refusal_counted) {
+        pend.join_refusal_counted = true;
+        counters_.join_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      }
+      pipeline->pending.push_front(std::move(pend));
+      return;
+    }
+    FASTMATCH_CHECK_EQ(*joined, admitted->size());
+    // A join whose per-query binding failed still occupies an item slot
+    // but never entered the scan: report it as a plain (failed) query,
+    // keeping joined_midflight consistent with the executor's stat.
+    const bool bound = executor->stats().joined_queries > bound_before;
+    Admitted a;
+    a.promise = std::move(pend.promise);
+    a.enqueued = pend.enqueued;
+    a.admitted = Clock::now();
+    a.joined_midflight = bound;
+    admitted->push_back(std::move(a));
+    if (bound) {
+      counters_.joined_midflight.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void QueryScheduler::RunBatch(Pipeline* pipeline,
+                              std::vector<BoundQuery> queries,
+                              std::vector<Admitted> admitted) {
+  const int64_t num_blocks = queries.front().store->num_blocks();
+  Result<std::unique_ptr<BatchExecutor>> create =
+      BatchExecutor::Create(queries, options_.batch);
+  if (!create.ok()) {
+    // Structural failure (e.g. empty store): every query of the batch
+    // learns the same status through its future.
+    counters_.completed.fetch_add(static_cast<int64_t>(admitted.size()),
+                                  std::memory_order_relaxed);
+    for (Admitted& a : admitted) {
+      SchedulerItem item;
+      item.status = create.status();
+      item.queue_seconds = ToSeconds(a.admitted - a.enqueued);
+      item.total_seconds = ToSeconds(Clock::now() - a.enqueued);
+      a.promise.set_value(std::move(item));
+    }
+    return;
+  }
+  std::unique_ptr<BatchExecutor> executor = std::move(*create);
+
+  const Clock::time_point batch_start = Clock::now();
+  executor->Start();
+  for (;;) {
+    // Joins land at chunk boundaries; checking before the finished test
+    // also lets a late arrival revive an executor whose own queries all
+    // completed while scan suffix remains.
+    if (options_.allow_joins) {
+      TryJoins(pipeline, executor.get(), num_blocks, &admitted);
+    }
+    if (executor->finished()) break;
+    executor->Step();
+  }
+
+  std::vector<BatchItem> items = executor->TakeItems();
+  FASTMATCH_CHECK_EQ(items.size(), admitted.size());
+  // Count completions before fulfilling any promise so a caller woken by
+  // future.get() never observes a stats() snapshot missing its query.
+  counters_.completed.fetch_add(static_cast<int64_t>(items.size()),
+                                std::memory_order_relaxed);
+  for (size_t i = 0; i < items.size(); ++i) {
+    Admitted& a = admitted[i];
+    SchedulerItem item;
+    item.status = std::move(items[i].status);
+    item.match = std::move(items[i].match);
+    item.joined_midflight = a.joined_midflight;
+    item.queue_seconds = ToSeconds(a.admitted - a.enqueued);
+    // Per-item completion instant: the executor stamps wall_seconds from
+    // batch start, so batch_start + wall_seconds is when the query
+    // actually finished (promises are all fulfilled later, at batch
+    // end — using "now" would overstate early finishers' latency).
+    const Clock::time_point completion =
+        batch_start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(items[i].wall_seconds));
+    item.total_seconds = ToSeconds(completion - a.enqueued);
+    a.promise.set_value(std::move(item));
+  }
+}
+
+void QueryScheduler::PipelineLoop(Pipeline* pipeline) {
+  for (;;) {
+    std::vector<BoundQuery> queries;
+    std::vector<Admitted> admitted;
+    if (!GatherLaunchBatch(pipeline, &queries, &admitted)) return;
+    RunBatch(pipeline, std::move(queries), std::move(admitted));
+  }
+}
+
+void QueryScheduler::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  std::vector<Pipeline*> pipelines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;  // no new pipelines after this
+    for (auto& [store, pipeline] : pipelines_) {
+      pipelines.push_back(pipeline.get());
+    }
+  }
+  for (Pipeline* pipeline : pipelines) {
+    {
+      std::lock_guard<std::mutex> lock(pipeline->mu);
+      pipeline->shutdown = true;
+    }
+    pipeline->cv.notify_all();
+  }
+  for (Pipeline* pipeline : pipelines) {
+    if (pipeline->thread.joinable()) pipeline->thread.join();
+  }
+}
+
+SchedulerStats QueryScheduler::stats() const {
+  SchedulerStats s;
+  s.submitted = counters_.submitted.load(std::memory_order_relaxed);
+  s.rejected = counters_.rejected.load(std::memory_order_relaxed);
+  s.completed = counters_.completed.load(std::memory_order_relaxed);
+  s.batches_launched =
+      counters_.batches_launched.load(std::memory_order_relaxed);
+  s.timeout_flushes = counters_.timeout_flushes.load(std::memory_order_relaxed);
+  s.joined_midflight =
+      counters_.joined_midflight.load(std::memory_order_relaxed);
+  s.join_fallbacks = counters_.join_fallbacks.load(std::memory_order_relaxed);
+  s.pipelines = counters_.pipelines.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace fastmatch

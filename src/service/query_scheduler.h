@@ -1,0 +1,220 @@
+// Service-tier query scheduling: cross-store batching with streaming
+// admission.
+//
+// engine::BatchExecutor amortizes block reads across queries, but it
+// executes one batch over one ColumnStore. A service endpoint sees an
+// open stream of queries over many stores, so something has to (a) group
+// arrivals by store, (b) decide batch boundaries — the latency/
+// amortization trade-off: waiting longer packs more queries per scan,
+// answering sooner cuts queue time — and (c) push back when the worker
+// pools saturate. QueryScheduler is that tier.
+//
+// One pipeline per ColumnStore, each with its own driver thread:
+//
+//   Submit(query) ──► per-store pending queue (bounded: back-pressure)
+//                          │
+//                          ▼  launch when the batch is full, the oldest
+//                          │  arrival has waited max_queue_wait_seconds,
+//                          │  or the scheduler is draining
+//                          ▼
+//                 BatchExecutor Start/Step loop (shared scan)
+//                          ▲
+//                          │  between chunks: late arrivals Join() the
+//                          │  running scan mid-flight (streaming
+//                          │  admission) instead of waiting for the next
+//                          │  batch
+//
+// Mid-flight joins are sound because a joined query is fed from the scan
+// suffix only, which is still a uniform without-replacement sample of
+// the relation (see engine/batch_executor.h). The quality caveat is
+// suffix size: a query that joins when little data remains can exhaust
+// before meeting its sample targets. min_join_suffix_fraction makes that
+// trade-off an explicit admission knob — below the threshold the query
+// waits for the next fresh batch instead (and a join is always refused
+// once the final chunk has been consumed; the executor enforces that).
+//
+// Threading: Submit may be called from any thread. Each pipeline thread
+// is the only driver of its executors, so BatchExecutor itself needs no
+// locking; the pipeline's pending deque is the sole shared state (one
+// mutex per store). Results are delivered through std::future, fulfilled
+// by the pipeline thread when a batch completes.
+
+#ifndef FASTMATCH_SERVICE_QUERY_SCHEDULER_H_
+#define FASTMATCH_SERVICE_QUERY_SCHEDULER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/batch_executor.h"
+#include "engine/executor.h"
+#include "util/result.h"
+
+namespace fastmatch {
+
+/// \brief Admission and batching policy for the scheduler.
+struct SchedulerOptions {
+  /// Per-batch executor knobs (worker threads, chunk size, seed). Every
+  /// concurrently running store pipeline creates its own WorkerPool of
+  /// batch.num_threads workers.
+  BatchOptions batch;
+  /// Maximum concurrently active queries per executor. A pipeline
+  /// launches as soon as this many are pending, and mid-flight joins are
+  /// admitted only while the live count is below it.
+  int max_batch_queries = 16;
+  /// A pending query waits at most this long for the batch to fill; the
+  /// pipeline then launches a partial batch (never an empty one).
+  double max_queue_wait_seconds = 0.010;
+  /// Back-pressure bound: Submit returns ResourceExhausted once a
+  /// store's pending queue holds this many queries.
+  int max_pending_per_store = 1024;
+  /// Streaming admission: let late arrivals Join() a running scan at
+  /// chunk boundaries. When false every batch is closed at launch
+  /// (PR 2 behaviour) — the baseline bench_scheduler compares against.
+  bool allow_joins = true;
+  /// Refuse mid-flight joins once less than this fraction of the
+  /// store's blocks remains unconsumed; the query waits for a fresh
+  /// batch instead. 0 admits joins until the scan's final chunk.
+  double min_join_suffix_fraction = 0.05;
+};
+
+/// \brief Counters describing scheduler behaviour (monotonic; snapshot
+/// via QueryScheduler::stats()).
+struct SchedulerStats {
+  int64_t submitted = 0;         // accepted by Submit
+  int64_t rejected = 0;          // refused by back-pressure
+  int64_t completed = 0;         // futures fulfilled
+  int64_t batches_launched = 0;  // executors created
+  int64_t timeout_flushes = 0;   // partial batches launched on deadline
+  int64_t joined_midflight = 0;  // queries admitted via Join()
+  int64_t join_fallbacks = 0;    // joins refused (suffix too small/empty)
+  int64_t pipelines = 0;         // distinct stores seen
+};
+
+/// \brief Per-query outcome delivered through the Submit future.
+struct SchedulerItem {
+  /// Per-query status; scheduler-level failures (e.g. the batch's store
+  /// is empty) surface here too.
+  Status status;
+  /// Valid when status.ok().
+  MatchResult match;
+  /// Seconds from Submit until the query entered a scan (queueing).
+  double queue_seconds = 0;
+  /// Seconds from Submit until the query's machine completed (queueing
+  /// + execution). Note this is scheduler-internal completion: futures
+  /// of a batch are all fulfilled when the batch retires, so a caller's
+  /// future.get() can return later than total_seconds suggests (eager
+  /// per-query delivery is a ROADMAP item).
+  double total_seconds = 0;
+  /// True when the query joined a running scan mid-flight.
+  bool joined_midflight = false;
+};
+
+/// \brief Routes a stream of BoundQuerys to per-store shared-scan
+/// pipelines with streaming batch admission.
+class QueryScheduler {
+ public:
+  explicit QueryScheduler(SchedulerOptions options);
+
+  /// \brief Drains and joins every pipeline (Shutdown()).
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// \brief Enqueues a query on its store's pipeline (created on first
+  /// use) and returns a future for its result. Fails fast with
+  /// ResourceExhausted when the store's pending queue is full, with
+  /// InvalidArgument for a query without a store, and with
+  /// FailedPrecondition after Shutdown(). Per-query execution problems
+  /// are NOT Submit errors; they arrive as the future's item status.
+  ///
+  /// Pipelines (queue + thread) live until Shutdown(): one per distinct
+  /// ColumnStore ever submitted, keyed by store pointer. A process that
+  /// churns through many short-lived stores should use one scheduler
+  /// per working set (idle-pipeline reaping is a ROADMAP item).
+  Result<std::future<SchedulerItem>> Submit(BoundQuery query);
+
+  /// \brief Stops accepting queries, drains every pending and running
+  /// batch (all outstanding futures complete), and joins the pipeline
+  /// threads. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// \brief Snapshot of the behaviour counters.
+  SchedulerStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One not-yet-admitted query with its delivery promise.
+  struct Pending {
+    BoundQuery query;
+    std::promise<SchedulerItem> promise;
+    Clock::time_point enqueued;
+    /// Already counted in join_fallbacks (the stat is per refused
+    /// query, not per chunk boundary that re-refuses it).
+    bool join_refusal_counted = false;
+  };
+
+  /// One query admitted into a running executor (same index space as
+  /// BatchExecutor::TakeItems).
+  struct Admitted {
+    std::promise<SchedulerItem> promise;
+    Clock::time_point enqueued;
+    Clock::time_point admitted;
+    bool joined_midflight = false;
+  };
+
+  /// Per-store pipeline: bounded pending queue + driver thread.
+  struct Pipeline {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Pending> pending;
+    bool shutdown = false;
+    std::thread thread;
+  };
+
+  void PipelineLoop(Pipeline* pipeline);
+  /// Pops pending queries into a full-or-flushed launch batch. Returns
+  /// false when the pipeline should exit (shutdown, queue drained).
+  bool GatherLaunchBatch(Pipeline* pipeline, std::vector<BoundQuery>* queries,
+                         std::vector<Admitted>* admitted);
+  /// Runs one executor to completion, admitting joins between chunks.
+  void RunBatch(Pipeline* pipeline, std::vector<BoundQuery> queries,
+                std::vector<Admitted> admitted);
+  /// Admits pending queries into the running scan while policy allows.
+  void TryJoins(Pipeline* pipeline, BatchExecutor* executor,
+                int64_t num_blocks, std::vector<Admitted>* admitted);
+
+  /// Lock-free counters (incremented under assorted mutexes; atomics
+  /// keep stats() safe without a lock-order relationship to them).
+  struct Counters {
+    std::atomic<int64_t> submitted{0};
+    std::atomic<int64_t> rejected{0};
+    std::atomic<int64_t> completed{0};
+    std::atomic<int64_t> batches_launched{0};
+    std::atomic<int64_t> timeout_flushes{0};
+    std::atomic<int64_t> joined_midflight{0};
+    std::atomic<int64_t> join_fallbacks{0};
+    std::atomic<int64_t> pipelines{0};
+  };
+
+  SchedulerOptions options_;
+
+  std::mutex mu_;           // guards pipelines_ map and shutdown_
+  std::mutex shutdown_mu_;  // serializes Shutdown callers end to end
+  std::map<const ColumnStore*, std::unique_ptr<Pipeline>> pipelines_;
+  bool shutdown_ = false;
+  Counters counters_;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_SERVICE_QUERY_SCHEDULER_H_

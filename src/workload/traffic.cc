@@ -1,5 +1,6 @@
 #include "workload/traffic.h"
 
+#include <cmath>
 #include <utility>
 
 #include "core/verify.h"
@@ -49,6 +50,60 @@ Result<std::vector<BoundQuery>> MakeQueryBatch(
     batch.push_back(std::move(query));
   }
   return batch;
+}
+
+Result<std::vector<Arrival>> MakeTrafficStream(
+    const std::vector<StoreTraffic>& stores,
+    const TrafficStreamOptions& options) {
+  if (stores.empty()) return Status::InvalidArgument("no stores");
+  if (options.num_queries < 1) {
+    return Status::InvalidArgument("num_queries must be >= 1");
+  }
+  if (!(options.mean_interarrival_seconds >= 0)) {
+    return Status::InvalidArgument(
+        "mean_interarrival_seconds must be >= 0");
+  }
+  std::vector<double> weights;
+  weights.reserve(stores.size());
+  for (const StoreTraffic& st : stores) {
+    if (st.store == nullptr) return Status::InvalidArgument("null store");
+    if (!(st.weight > 0)) {
+      return Status::InvalidArgument("store weight must be positive");
+    }
+    weights.push_back(st.weight);
+  }
+
+  // Per-store query pools (one exact-count preprocessing scan each);
+  // the stream cycles through its store's pool in arrival order.
+  std::vector<std::vector<BoundQuery>> pools(stores.size());
+  std::vector<size_t> next(stores.size(), 0);
+  for (size_t s = 0; s < stores.size(); ++s) {
+    TrafficOptions topt;
+    topt.num_queries = options.num_queries;
+    topt.params = options.params;
+    topt.identical_targets = options.identical_targets;
+    topt.seed = options.seed + 0x9E3779B9u * static_cast<uint64_t>(s + 1);
+    FASTMATCH_ASSIGN_OR_RETURN(
+        pools[s], MakeQueryBatch(stores[s].store, stores[s].index,
+                                 stores[s].z_attr, stores[s].x_attrs, topt));
+  }
+
+  Rng rng(options.seed);
+  AliasSampler store_picker(weights);
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(static_cast<size_t>(options.num_queries));
+  double clock = 0;
+  for (int q = 0; q < options.num_queries; ++q) {
+    // Exponential gap; 1 - NextDouble() avoids log(0).
+    clock += -options.mean_interarrival_seconds *
+             std::log(1.0 - rng.NextDouble());
+    const size_t s = store_picker.Sample(&rng);
+    Arrival arrival;
+    arrival.at_seconds = clock;
+    arrival.query = pools[s][next[s]++ % pools[s].size()];
+    arrivals.push_back(std::move(arrival));
+  }
+  return arrivals;
 }
 
 }  // namespace fastmatch

@@ -48,6 +48,51 @@ Result<std::vector<BoundQuery>> MakeQueryBatch(
     std::shared_ptr<const BitmapIndex> index, int z_attr,
     std::vector<int> x_attrs, const TrafficOptions& options);
 
+/// \brief One store's query population within a multi-store stream.
+struct StoreTraffic {
+  std::shared_ptr<const ColumnStore> store;
+  /// May be null; the batch executor then scans sequentially.
+  std::shared_ptr<const BitmapIndex> index;
+  int z_attr = -1;
+  std::vector<int> x_attrs;
+  /// Relative share of arrivals routed to this store (need not sum
+  /// to 1 across stores; must be positive).
+  double weight = 1.0;
+};
+
+/// \brief Shape of an open-loop multi-store arrival stream.
+struct TrafficStreamOptions {
+  /// Total arrivals across all stores.
+  int num_queries = 64;
+  /// Mean of the exponential inter-arrival gap (Poisson arrivals); the
+  /// offered load is num_stores-independent: one merged clock.
+  double mean_interarrival_seconds = 0.001;
+  /// Base algorithm parameters applied to every query.
+  HistSimParams params;
+  /// See TrafficOptions::identical_targets.
+  bool identical_targets = false;
+  /// Seeds store choice, arrival gaps, and per-store target draws.
+  uint64_t seed = 1;
+};
+
+/// \brief One timed arrival of the stream.
+struct Arrival {
+  /// Offset from stream start at which the query arrives (open loop:
+  /// senders do not wait for earlier queries to finish).
+  double at_seconds = 0;
+  BoundQuery query;
+};
+
+/// \brief Builds an open-loop arrival stream over several stores: each
+/// arrival picks a store with probability proportional to its weight and
+/// carries an engine-ready query for it (targets drawn as in
+/// MakeQueryBatch); inter-arrival gaps are exponential. Arrivals are
+/// sorted by time. This is the service-tier scheduler's traffic model:
+/// concurrent users probing different relations at independent times.
+Result<std::vector<Arrival>> MakeTrafficStream(
+    const std::vector<StoreTraffic>& stores,
+    const TrafficStreamOptions& options);
+
 }  // namespace fastmatch
 
 #endif  // FASTMATCH_WORKLOAD_TRAFFIC_H_

@@ -1,0 +1,296 @@
+// Tests of the service-tier QueryScheduler: per-store routing, admission
+// policy (timeout flush of partial batches, bounded-queue back-pressure),
+// streaming mid-flight joins, late arrivals falling back to fresh
+// batches, and drain-on-shutdown.
+
+#include "service/query_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/verify.h"
+#include "index/bitmap_index.h"
+#include "test_helpers.h"
+#include "workload/traffic.h"
+
+namespace fastmatch {
+namespace {
+
+using testing_util::MakeExactStore;
+using testing_util::PlantedDistributions;
+
+struct SchedFixture {
+  std::shared_ptr<ColumnStore> store;
+  std::shared_ptr<const BitmapIndex> index;
+  CountMatrix exact;
+  Distribution target;
+};
+
+/// Same planted shape as the batch-executor tests: true top-3 is
+/// {0, 1, 2} under the uniform target.
+SchedFixture MakeSchedFixture(int64_t rows_per_candidate, uint64_t seed,
+                              int rows_per_block = 50) {
+  SchedFixture f;
+  std::vector<double> offsets = {0.0,  0.01, 0.02, 0.06, 0.09, 0.12,
+                                 0.15, 0.17, 0.19, 0.21, 0.23, 0.25};
+  auto dists = PlantedDistributions(12, 8, offsets);
+  f.store = MakeExactStore(std::vector<int64_t>(12, rows_per_candidate),
+                           dists, seed, rows_per_block);
+  f.index = BitmapIndex::Build(*f.store, 0).value();
+  f.exact = ComputeExactCounts(*f.store, 0, {1}).value();
+  f.target = UniformDistribution(8);
+  return f;
+}
+
+HistSimParams SchedParams() {
+  HistSimParams p;
+  p.k = 3;
+  p.epsilon = 0.05;
+  p.delta = 0.05;
+  p.sigma = 0.0;
+  p.stage1_samples = 2000;
+  p.seed = 42;
+  return p;
+}
+
+BoundQuery MakeQuery(const SchedFixture& f, uint64_t seed = 42) {
+  BoundQuery q;
+  q.store = f.store;
+  q.z_index = f.index;
+  q.z_attr = 0;
+  q.x_attrs = {1};
+  q.target = f.target;
+  q.params = SchedParams();
+  q.params.seed = seed;
+  return q;
+}
+
+SchedulerOptions FastOptions() {
+  SchedulerOptions o;
+  o.batch.num_threads = 2;
+  o.batch.chunk_blocks = 64;
+  o.max_batch_queries = 8;
+  o.max_queue_wait_seconds = 0.002;
+  o.min_join_suffix_fraction = 0.0;
+  return o;
+}
+
+void ExpectTop3(const SchedulerItem& item) {
+  ASSERT_TRUE(item.status.ok()) << item.status.ToString();
+  std::set<int> got(item.match.topk.begin(), item.match.topk.end());
+  EXPECT_EQ(got, (std::set<int>{0, 1, 2}));
+}
+
+TEST(QuerySchedulerTest, CompletesQueriesAcrossStores) {
+  SchedFixture f1 = MakeSchedFixture(8000, 1);
+  SchedFixture f2 = MakeSchedFixture(8000, 2);
+  QueryScheduler scheduler(FastOptions());
+
+  std::vector<std::future<SchedulerItem>> futures;
+  for (int i = 0; i < 3; ++i) {
+    auto a = scheduler.Submit(MakeQuery(f1, 100 + i));
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    futures.push_back(std::move(*a));
+    auto b = scheduler.Submit(MakeQuery(f2, 200 + i));
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    futures.push_back(std::move(*b));
+  }
+  for (auto& future : futures) ExpectTop3(future.get());
+
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.pipelines, 2);
+  EXPECT_EQ(stats.submitted, 6);
+  EXPECT_EQ(stats.completed, 6);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_GE(stats.batches_launched, 2);
+}
+
+TEST(QuerySchedulerTest, TimeoutFlushLaunchesPartialBatch) {
+  // Two queries against an 8-wide batch: only the queue-wait deadline
+  // can launch them.
+  SchedFixture f = MakeSchedFixture(4000, 3);
+  QueryScheduler scheduler(FastOptions());
+  auto a = scheduler.Submit(MakeQuery(f, 1));
+  auto b = scheduler.Submit(MakeQuery(f, 2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectTop3(a->get());
+  ExpectTop3(b->get());
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_GE(stats.timeout_flushes, 1);
+  EXPECT_GE(stats.batches_launched, 1);
+  EXPECT_EQ(stats.completed, 2);
+}
+
+TEST(QuerySchedulerTest, EmptyTimeoutNeverLaunchesABatch) {
+  // The flush timer only starts once a query is pending: an idle
+  // scheduler must not launch (or crash on) empty batches.
+  SchedFixture f = MakeSchedFixture(2000, 4);
+  SchedulerOptions options = FastOptions();
+  options.max_queue_wait_seconds = 0.001;
+  QueryScheduler scheduler(options);
+  // Create the store's pipeline, drain it, then leave it idle.
+  auto warm = scheduler.Submit(MakeQuery(f, 1));
+  ASSERT_TRUE(warm.ok());
+  ExpectTop3(warm->get());
+  const int64_t batches_after_warm = scheduler.stats().batches_launched;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(scheduler.stats().batches_launched, batches_after_warm);
+  // And the pipeline still accepts work afterwards.
+  auto late = scheduler.Submit(MakeQuery(f, 2));
+  ASSERT_TRUE(late.ok());
+  ExpectTop3(late->get());
+}
+
+TEST(QuerySchedulerTest, BackPressureRejectsWhenSaturated) {
+  SchedFixture f = MakeSchedFixture(2000, 5);
+  SchedulerOptions options = FastOptions();
+  options.max_pending_per_store = 2;
+  options.max_batch_queries = 8;
+  // A long flush deadline keeps the first two queries pending while the
+  // third arrives, so the rejection is deterministic.
+  options.max_queue_wait_seconds = 5.0;
+  QueryScheduler scheduler(options);
+
+  auto a = scheduler.Submit(MakeQuery(f, 1));
+  auto b = scheduler.Submit(MakeQuery(f, 2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = scheduler.Submit(MakeQuery(f, 3));
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(scheduler.stats().rejected, 1);
+
+  // Shutdown drains the pending queue; the accepted queries complete.
+  scheduler.Shutdown();
+  ExpectTop3(a->get());
+  ExpectTop3(b->get());
+  EXPECT_EQ(scheduler.stats().completed, 2);
+}
+
+TEST(QuerySchedulerTest, StreamingAdmissionJoinsARunningScan) {
+  // A slow first batch (tight epsilon over a larger store) and a
+  // follower submitted right after launch: the follower must join the
+  // running scan mid-flight rather than wait for the next batch.
+  SchedFixture f = MakeSchedFixture(30000, 6);
+  SchedulerOptions options = FastOptions();
+  options.max_queue_wait_seconds = 0.001;
+  QueryScheduler scheduler(options);
+
+  BoundQuery slow = MakeQuery(f, 1);
+  slow.params.epsilon = 0.03;
+  auto first = scheduler.Submit(std::move(slow));
+  ASSERT_TRUE(first.ok());
+  // Wait for the batch to launch (the counter ticks before the executor
+  // is even created, well before its scan can finish).
+  for (int spin = 0; scheduler.stats().batches_launched < 1 && spin < 10000;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_GE(scheduler.stats().batches_launched, 1);
+
+  auto follower = scheduler.Submit(MakeQuery(f, 2));
+  ASSERT_TRUE(follower.ok());
+  SchedulerItem follower_item = follower->get();
+  ExpectTop3(follower_item);
+  ExpectTop3(first->get());
+
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.joined_midflight, 1);
+  EXPECT_TRUE(follower_item.joined_midflight);
+  EXPECT_EQ(stats.batches_launched, 1);
+  EXPECT_EQ(stats.completed, 2);
+}
+
+TEST(QuerySchedulerTest, LateArrivalAfterScanEndGetsFreshBatch) {
+  // Tiny store: each batch consumes every block, so a query submitted
+  // after a batch retires can never join it — it must get a fresh batch
+  // (the scheduler-level face of BatchExecutor's empty-suffix Join
+  // rejection).
+  SchedFixture f = MakeSchedFixture(200, 7, /*rows_per_block=*/25);
+  SchedulerOptions options = FastOptions();
+  QueryScheduler scheduler(options);
+
+  auto a = scheduler.Submit(MakeQuery(f, 1));
+  ASSERT_TRUE(a.ok());
+  SchedulerItem first = a->get();
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+
+  auto b = scheduler.Submit(MakeQuery(f, 2));
+  ASSERT_TRUE(b.ok());
+  SchedulerItem second = b->get();
+  ASSERT_TRUE(second.status.ok()) << second.status.ToString();
+  EXPECT_FALSE(second.joined_midflight);
+
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.batches_launched, 2);
+  EXPECT_EQ(stats.joined_midflight, 0);
+  EXPECT_EQ(stats.completed, 2);
+}
+
+TEST(QuerySchedulerTest, SuffixFractionPolicyRefusesLateJoins) {
+  // With min_join_suffix_fraction = 1.0, a join is refused as soon as a
+  // single block has been consumed (an untouched scan, fraction exactly
+  // 1.0, is still joinable — it is simply a full run). A follower
+  // arriving after the scan started therefore always lands in a fresh
+  // batch: the latency/amortization policy knob in its extreme position.
+  SchedFixture f = MakeSchedFixture(30000, 8);
+  SchedulerOptions options = FastOptions();
+  options.max_queue_wait_seconds = 0.001;
+  options.min_join_suffix_fraction = 1.0;
+  QueryScheduler scheduler(options);
+
+  BoundQuery slow = MakeQuery(f, 1);
+  slow.params.epsilon = 0.03;
+  auto first = scheduler.Submit(std::move(slow));
+  ASSERT_TRUE(first.ok());
+  for (int spin = 0; scheduler.stats().batches_launched < 1 && spin < 10000;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  // Give the scan time to consume its first chunk; whether the batch is
+  // still running (join refused) or already done (nothing to join), the
+  // follower must not be admitted mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  auto follower = scheduler.Submit(MakeQuery(f, 2));
+  ASSERT_TRUE(follower.ok());
+  SchedulerItem follower_item = follower->get();
+  ExpectTop3(follower_item);
+  ExpectTop3(first->get());
+  EXPECT_FALSE(follower_item.joined_midflight);
+  EXPECT_EQ(scheduler.stats().joined_midflight, 0);
+}
+
+TEST(QuerySchedulerTest, SubmitValidation) {
+  SchedFixture f = MakeSchedFixture(2000, 9);
+  QueryScheduler scheduler(FastOptions());
+  BoundQuery no_store = MakeQuery(f, 1);
+  no_store.store = nullptr;
+  EXPECT_EQ(scheduler.Submit(std::move(no_store)).status().code(),
+            StatusCode::kInvalidArgument);
+  scheduler.Shutdown();
+  EXPECT_EQ(scheduler.Submit(MakeQuery(f, 2)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(QuerySchedulerTest, PerQueryFailuresArriveThroughTheFuture) {
+  SchedFixture f = MakeSchedFixture(4000, 10);
+  QueryScheduler scheduler(FastOptions());
+  BoundQuery bad = MakeQuery(f, 1);
+  bad.target = UniformDistribution(5);  // |VX| is 8
+  auto bad_future = scheduler.Submit(std::move(bad));
+  ASSERT_TRUE(bad_future.ok());  // Submit accepts; execution reports
+  auto good_future = scheduler.Submit(MakeQuery(f, 2));
+  ASSERT_TRUE(good_future.ok());
+  SchedulerItem bad_item = bad_future->get();
+  EXPECT_EQ(bad_item.status.code(), StatusCode::kInvalidArgument);
+  ExpectTop3(good_future->get());
+}
+
+}  // namespace
+}  // namespace fastmatch

@@ -1,0 +1,125 @@
+// Tests of the multi-query traffic generators: single-store query
+// batches (MakeQueryBatch) and the open-loop multi-store arrival stream
+// (MakeTrafficStream) that feeds the service-tier scheduler.
+
+#include "workload/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_helpers.h"
+
+namespace fastmatch {
+namespace {
+
+using testing_util::MakeExactStore;
+using testing_util::PlantedDistributions;
+
+std::shared_ptr<ColumnStore> MakeStore(uint64_t seed) {
+  auto dists = PlantedDistributions(6, 4, {0.0, 0.05, 0.1, 0.15, 0.2, 0.25});
+  return MakeExactStore(std::vector<int64_t>(6, 500), dists, seed, 50);
+}
+
+HistSimParams TrafficParams() {
+  HistSimParams p;
+  p.k = 2;
+  p.epsilon = 0.1;
+  p.delta = 0.1;
+  p.stage1_samples = 200;
+  return p;
+}
+
+TEST(MakeQueryBatchTest, Validation) {
+  auto store = MakeStore(1);
+  TrafficOptions topt;
+  topt.params = TrafficParams();
+  EXPECT_FALSE(MakeQueryBatch(nullptr, nullptr, 0, {1}, topt).ok());
+  topt.num_queries = 0;
+  EXPECT_FALSE(MakeQueryBatch(store, nullptr, 0, {1}, topt).ok());
+}
+
+TEST(MakeQueryBatchTest, DistinctSeedsSharedTemplate) {
+  auto store = MakeStore(2);
+  TrafficOptions topt;
+  topt.num_queries = 5;
+  topt.params = TrafficParams();
+  topt.seed = 7;
+  auto batch = MakeQueryBatch(store, nullptr, 0, {1}, topt).value();
+  ASSERT_EQ(batch.size(), 5u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].store.get(), store.get());
+    EXPECT_EQ(batch[i].z_attr, 0);
+    EXPECT_EQ(batch[i].x_attrs, std::vector<int>{1});
+    EXPECT_EQ(batch[i].target.size(), 4u);
+    for (size_t j = i + 1; j < batch.size(); ++j) {
+      EXPECT_NE(batch[i].params.seed, batch[j].params.seed);
+    }
+  }
+}
+
+TEST(MakeTrafficStreamTest, Validation) {
+  auto store = MakeStore(3);
+  TrafficStreamOptions sopt;
+  sopt.params = TrafficParams();
+  EXPECT_FALSE(MakeTrafficStream({}, sopt).ok());
+  StoreTraffic bad_weight{store, nullptr, 0, {1}, /*weight=*/0.0};
+  EXPECT_FALSE(MakeTrafficStream({bad_weight}, sopt).ok());
+  StoreTraffic null_store{nullptr, nullptr, 0, {1}, 1.0};
+  EXPECT_FALSE(MakeTrafficStream({null_store}, sopt).ok());
+  StoreTraffic good{store, nullptr, 0, {1}, 1.0};
+  sopt.num_queries = 0;
+  EXPECT_FALSE(MakeTrafficStream({good}, sopt).ok());
+}
+
+TEST(MakeTrafficStreamTest, ArrivalsAreOrderedAndWeighted) {
+  auto store_a = MakeStore(4);
+  auto store_b = MakeStore(5);
+  TrafficStreamOptions sopt;
+  sopt.num_queries = 400;
+  sopt.mean_interarrival_seconds = 0.001;
+  sopt.params = TrafficParams();
+  sopt.seed = 11;
+  std::vector<StoreTraffic> stores = {
+      {store_a, nullptr, 0, {1}, /*weight=*/3.0},
+      {store_b, nullptr, 0, {1}, /*weight=*/1.0}};
+  auto stream = MakeTrafficStream(stores, sopt).value();
+  ASSERT_EQ(stream.size(), 400u);
+
+  std::map<const ColumnStore*, int> per_store;
+  double last = 0;
+  for (const Arrival& arrival : stream) {
+    EXPECT_GE(arrival.at_seconds, last);  // merged clock is monotone
+    last = arrival.at_seconds;
+    ASSERT_NE(arrival.query.store, nullptr);
+    per_store[arrival.query.store.get()]++;
+  }
+  // 3:1 weights: the split should be roughly 300/100 (generous margin —
+  // this is a seeded draw, not a statistical test).
+  EXPECT_GT(per_store[store_a.get()], 240);
+  EXPECT_GT(per_store[store_b.get()], 40);
+  EXPECT_EQ(per_store[store_a.get()] + per_store[store_b.get()], 400);
+  // Mean gap lands near the configured rate.
+  EXPECT_GT(last, 0.001 * 400 * 0.7);
+  EXPECT_LT(last, 0.001 * 400 * 1.4);
+}
+
+TEST(MakeTrafficStreamTest, DeterministicForASeed) {
+  auto store = MakeStore(6);
+  TrafficStreamOptions sopt;
+  sopt.num_queries = 50;
+  sopt.params = TrafficParams();
+  sopt.seed = 21;
+  std::vector<StoreTraffic> stores = {{store, nullptr, 0, {1}, 1.0}};
+  auto a = MakeTrafficStream(stores, sopt).value();
+  auto b = MakeTrafficStream(stores, sopt).value();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_seconds, b[i].at_seconds);
+    EXPECT_EQ(a[i].query.target, b[i].query.target);
+    EXPECT_EQ(a[i].query.params.seed, b[i].query.params.seed);
+  }
+}
+
+}  // namespace
+}  // namespace fastmatch
