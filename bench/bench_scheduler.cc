@@ -43,14 +43,6 @@ namespace {
 
 constexpr double kLoadFactor = 4.0;
 
-double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0;
-  std::sort(values.begin(), values.end());
-  const size_t idx = static_cast<size_t>(
-      p * static_cast<double>(values.size() - 1) + 0.5);
-  return values[std::min(idx, values.size() - 1)];
-}
-
 struct ModeResult {
   double qps = 0;
   double p50 = 0;
@@ -63,8 +55,8 @@ struct ModeResult {
 ModeResult ReplayStream(const std::vector<Arrival>& arrivals,
                         SchedulerOptions options) {
   QueryScheduler scheduler(options);
-  std::vector<std::future<SchedulerItem>> futures;
-  futures.reserve(arrivals.size());
+  std::vector<QueryHandle> handles;
+  handles.reserve(arrivals.size());
   WallTimer clock;
   double first_submit = 0;
   for (const Arrival& arrival : arrivals) {
@@ -72,16 +64,16 @@ ModeResult ReplayStream(const std::vector<Arrival>& arrivals,
     if (lead > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(lead));
     }
-    if (futures.empty()) first_submit = clock.Seconds();
-    auto future = scheduler.Submit(arrival.query);
-    FASTMATCH_CHECK(future.ok()) << future.status().ToString();
-    futures.push_back(std::move(*future));
+    if (handles.empty()) first_submit = clock.Seconds();
+    auto handle = scheduler.Submit(arrival.query);
+    FASTMATCH_CHECK(handle.ok()) << handle.status().ToString();
+    handles.push_back(std::move(*handle));
   }
   std::vector<double> latencies;
   double queue_total = 0;
   int64_t joined = 0;
-  for (auto& future : futures) {
-    SchedulerItem item = future.get();
+  for (auto& handle : handles) {
+    SchedulerItem item = handle.Get();
     FASTMATCH_CHECK(item.status.ok()) << item.status.ToString();
     latencies.push_back(item.total_seconds);
     queue_total += item.queue_seconds;
@@ -93,10 +85,10 @@ ModeResult ReplayStream(const std::vector<Arrival>& arrivals,
   scheduler.Shutdown();
 
   ModeResult r;
-  r.qps = static_cast<double>(futures.size()) / span;
+  r.qps = static_cast<double>(handles.size()) / span;
   r.p50 = Percentile(latencies, 0.50);
   r.p99 = Percentile(latencies, 0.99);
-  r.mean_queue = queue_total / static_cast<double>(futures.size());
+  r.mean_queue = queue_total / static_cast<double>(handles.size());
   r.joined = joined;
   r.batches = scheduler.stats().batches_launched;
   return r;

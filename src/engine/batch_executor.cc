@@ -123,7 +123,7 @@ Status BatchExecutor::BindQuery(const BoundQuery& query, QueryState* qs) {
     ts.exhausted.assign(io->num_candidates(), false);
     ts.unmet_seen.assign(io->num_candidates(), false);
     ts.io = std::move(io);
-    SizeShards(&ts);  // no-op before Start (pool not yet created)
+    SizeShards(&ts);  // no-op before Start
     templates_.push_back(std::move(ts));
   }
   TemplateState& ts = templates_[t];
@@ -304,10 +304,11 @@ void BatchExecutor::ReadChunk() {
   // Shared read: one pass over the chunk's blocks feeds every template
   // that still has a live query. Worker slots scan contiguous slices into
   // private shards; the merge below is an integer sum, so the cumulative
-  // matrix is identical for every pool size.
+  // matrix is identical for every pool size and for every shared-pool
+  // quota.
   const size_t num_reads = to_read.size();
-  const size_t slots = static_cast<size_t>(pool_->size());
-  pool_->ParallelFor(static_cast<int64_t>(slots), [&](int64_t w) {
+  const size_t slots = static_cast<size_t>(NumSlots());
+  const auto read_slice = [&](int64_t w) {
     const size_t begin = num_reads * static_cast<size_t>(w) / slots;
     const size_t end = num_reads * (static_cast<size_t>(w) + 1) / slots;
     if (begin == end) return;
@@ -316,7 +317,13 @@ void BatchExecutor::ReadChunk() {
       ts.io->ReadBlocks(to_read, begin, end,
                         &ts.shards[static_cast<size_t>(w)]);
     }
-  });
+  };
+  if (options_.shared_pool != nullptr) {
+    options_.shared_pool->ParallelFor(static_cast<int64_t>(slots), read_slice,
+                                      options_.num_threads);
+  } else {
+    pool_->ParallelFor(static_cast<int64_t>(slots), read_slice);
+  }
 
   int64_t rows = 0;
   for (BlockId b : to_read) {
@@ -340,11 +347,37 @@ void BatchExecutor::ReadChunk() {
   }
 }
 
+int BatchExecutor::NumSlots() const {
+  return options_.shared_pool != nullptr ? std::max(1, options_.num_threads)
+                                         : pool_->size();
+}
+
 void BatchExecutor::SizeShards(TemplateState* ts) {
-  if (pool_ == nullptr) return;
+  if (!started_) return;
   ts->shards.assign(
-      static_cast<size_t>(pool_->size()),
+      static_cast<size_t>(NumSlots()),
       CountMatrix(ts->io->num_candidates(), ts->io->num_groups()));
+}
+
+void BatchExecutor::SetCompletionCallback(
+    std::function<void(size_t, BatchItem)> fn) {
+  FASTMATCH_CHECK(!started_)
+      << "SetCompletionCallback after Start: completions already missed";
+  on_complete_ = std::move(fn);
+}
+
+void BatchExecutor::NotifyCompletions() {
+  if (!on_complete_) return;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    QueryState& q = queries_[i];
+    if (q.active || q.notified) continue;
+    q.notified = true;
+    BatchItem item;
+    item.status = q.status;
+    item.match = q.match;  // copy: TakeItems still moves the original
+    item.wall_seconds = q.wall_seconds;
+    on_complete_(i, std::move(item));
+  }
 }
 
 void BatchExecutor::Start() {
@@ -352,7 +385,9 @@ void BatchExecutor::Start() {
   started_ = true;
   timer_.Restart();
 
-  pool_ = std::make_unique<WorkerPool>(options_.num_threads);
+  if (options_.shared_pool == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(options_.num_threads);
+  }
   for (TemplateState& ts : templates_) SizeShards(&ts);
   if (options_.resume.has_value()) {
     cursor_ = options_.resume->cursor;
@@ -363,6 +398,9 @@ void BatchExecutor::Start() {
   }
   streak_ = 0;
   Settle();
+  // Queries that failed binding at Create, or whose machine finished on
+  // the first settle, complete here — the earliest a callback can fire.
+  NotifyCompletions();
 }
 
 bool BatchExecutor::Step() {
@@ -371,7 +409,37 @@ bool BatchExecutor::Step() {
   if (!AnyActive()) return false;
   ReadChunk();
   Settle();
+  NotifyCompletions();
   return AnyActive();
+}
+
+Status BatchExecutor::Evict(size_t index) {
+  if (!started_) {
+    return Status::FailedPrecondition("Evict before Start");
+  }
+  if (taken_) {
+    return Status::FailedPrecondition("batch already finished");
+  }
+  if (index >= queries_.size()) {
+    return Status::OutOfRange("Evict index out of range");
+  }
+  QueryState& q = queries_[index];
+  if (!q.active) {
+    // Completed (or already evicted/failed): the item exists — deliver
+    // it rather than discarding it. Callers racing a cancel against
+    // completion branch on this code.
+    return Status::FailedPrecondition("query already completed");
+  }
+  q.status = Status::Cancelled("evicted from running batch");
+  q.active = false;
+  q.wall_seconds = timer_.Seconds();
+  ++stats_.evicted_queries;
+  // From the next ReadChunk on, the union demand no longer carries this
+  // query's unmet candidates (only active queries contribute), so
+  // blocks only it wanted stop being marked — an abandoned query stops
+  // consuming scan work at the next chunk boundary.
+  NotifyCompletions();
+  return Status::OK();
 }
 
 Result<size_t> BatchExecutor::Join(const BoundQuery& query) {
@@ -416,6 +484,10 @@ Result<size_t> BatchExecutor::Join(const BoundQuery& query) {
     ++stats_.joined_queries;
   }
   stats_.num_templates = static_cast<int>(templates_.size());
+  // A join whose binding failed is complete already; report it now so
+  // the callback contract (every query, at its completion instant)
+  // holds for joins too.
+  NotifyCompletions();
   return index;
 }
 

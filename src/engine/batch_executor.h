@@ -72,6 +72,7 @@
 #ifndef FASTMATCH_ENGINE_BATCH_EXECUTOR_H_
 #define FASTMATCH_ENGINE_BATCH_EXECUTOR_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -108,7 +109,9 @@ struct ScanResume {
 
 /// \brief Batch executor knobs.
 struct BatchOptions {
-  /// Block-reader worker threads (the WorkerPool size).
+  /// Block-reader worker slots. With a private pool this is the pool
+  /// size; with `shared_pool` set it is the batch's concurrency quota
+  /// on that pool (at most this many shared workers at once).
   int num_threads = 4;
   /// Shared-scan window: cursor positions marked and read per chunk.
   /// Plays the role of the single-query engine's lookahead batch.
@@ -120,6 +123,12 @@ struct BatchOptions {
   /// fresh: pre-consumed blocks are never read and the cursor starts at
   /// the donor's position. See ScanResume.
   std::optional<ScanResume> resume;
+  /// When non-null, block reads run on this process-wide pool (at most
+  /// num_threads tasks at once — the batch's quota) instead of a
+  /// private per-batch WorkerPool. The pool must outlive the executor.
+  /// Shard layout and results are identical either way: shard count is
+  /// num_threads and merges are commutative integer sums.
+  SharedWorkerPool* shared_pool = nullptr;
 };
 
 /// \brief I/O accounting for one batch run. `blocks_read` counts unique
@@ -139,6 +148,8 @@ struct BatchStats {
   int64_t chunks = 0;
   /// Queries admitted mid-flight through Join().
   int64_t joined_queries = 0;
+  /// Queries removed mid-flight through Evict().
+  int64_t evicted_queries = 0;
   /// Distinct (z_attr, x_attrs) templates in the batch.
   int num_templates = 0;
 };
@@ -204,6 +215,32 @@ class BatchExecutor {
   /// item's status, exactly as in Create().
   Result<size_t> Join(const BoundQuery& query);
 
+  /// \brief Removes a still-active query from the running batch: its
+  /// machine stops, its template's contribution leaves the union block
+  /// demand from the next chunk on (blocks only its candidates wanted
+  /// are no longer marked), and its item reports Cancelled. Fails with
+  /// OutOfRange for an unknown index and FailedPrecondition when the
+  /// query already completed — in that race the result exists and the
+  /// caller should deliver it instead. The completion callback does
+  /// fire for the evicted query (with the Cancelled item), so callers
+  /// observe every query's terminal transition through one channel.
+  Status Evict(size_t index);
+
+  /// \brief Registers `fn`, called exactly once per query at the moment
+  /// it completes — result ready, per-query failure, or eviction — with
+  /// the query's TakeItems() index and a copy of its item (passed by
+  /// value so the receiver can move it onward). This is the
+  /// eager-delivery hook: a machine finishing mid-scan surfaces here at
+  /// the chunk boundary that finished it, not at batch retire.
+  ///
+  /// Calls happen synchronously on the driving thread, inside Start(),
+  /// Step(), Join() (a join whose binding fails completes instantly),
+  /// and Evict(). Must be set before Start(); fn must not re-enter the
+  /// executor. Queries already failed at Create() are reported from
+  /// Start(). TakeItems() is unaffected: it still returns every item,
+  /// so retire-time consumers need no callback.
+  void SetCompletionCallback(std::function<void(size_t, BatchItem)> fn);
+
   /// \brief Moves out the per-query outcomes. Requires Start() and no
   /// remaining active queries; valid once.
   std::vector<BatchItem> TakeItems();
@@ -257,6 +294,7 @@ class BatchExecutor {
     CountMatrix snapshot;  // cumulative counts at current phase start
     int64_t snap_rows = 0;
     bool active = false;
+    bool notified = false;  // completion callback already fired
     Status status;
     MatchResult match;
     double wall_seconds = 0;
@@ -277,6 +315,11 @@ class BatchExecutor {
   /// Marks and reads one shared-scan window; maintains the zero-read
   /// streak that drives the exhaustion rule.
   void ReadChunk();
+  /// Worker slots feeding per-chunk reads (private pool size or the
+  /// shared-pool quota); valid after Start().
+  int NumSlots() const;
+  /// Fires the completion callback for every newly-inactive query.
+  void NotifyCompletions();
 
   std::shared_ptr<const ColumnStore> store_;
   BatchOptions options_;
@@ -289,6 +332,7 @@ class BatchExecutor {
   std::vector<QueryState> queries_;
   std::unique_ptr<WorkerPool> pool_;
   std::vector<uint8_t> marked_;  // per-chunk OR of template marks
+  std::function<void(size_t, BatchItem)> on_complete_;
   BatchStats stats_;
   WallTimer timer_;  // restarted at Start(); item wall_seconds base
   bool started_ = false;

@@ -1,5 +1,6 @@
 #include "service/query_scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
@@ -12,10 +13,17 @@ double ToSeconds(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double>(d).count();
 }
 
+std::chrono::steady_clock::duration FromSeconds(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
 }  // namespace
 
 QueryScheduler::QueryScheduler(SchedulerOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      pool_(options_.pool != nullptr ? options_.pool
+                                     : &SharedWorkerPool::Process()) {
   FASTMATCH_CHECK(options_.max_batch_queries >= 1)
       << "max_batch_queries must be >= 1";
   FASTMATCH_CHECK(options_.max_pending_per_store >= 1)
@@ -25,114 +33,301 @@ QueryScheduler::QueryScheduler(SchedulerOptions options)
   FASTMATCH_CHECK(options_.min_join_suffix_fraction >= 0 &&
                   options_.min_join_suffix_fraction <= 1)
       << "min_join_suffix_fraction must be in [0, 1]";
+  FASTMATCH_CHECK(options_.batch.num_threads >= 1)
+      << "batch.num_threads (the shared-pool quota) must be >= 1";
+  if (options_.idle_pipeline_timeout_seconds > 0) {
+    reaper_ = std::thread(&QueryScheduler::ReaperLoop, this);
+  }
 }
 
 QueryScheduler::~QueryScheduler() { Shutdown(); }
 
-Result<std::future<SchedulerItem>> QueryScheduler::Submit(BoundQuery query) {
+Result<QueryHandle> QueryScheduler::Submit(BoundQuery query,
+                                           SubmitOptions submit) {
   if (query.store == nullptr) {
     return Status::InvalidArgument("query has no store");
   }
-  Pipeline* pipeline = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) {
-      return Status::FailedPrecondition("scheduler is shut down");
+  const uint64_t store_id = query.store->id();
+  for (;;) {
+    // A shared_ptr copy, not a raw pointer: between releasing mu_ and
+    // locking pipeline->mu the janitor may reap this entry, and the
+    // object must stay alive for the retiring re-check below.
+    std::shared_ptr<Pipeline> pipeline;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        return Status::FailedPrecondition("scheduler is shut down");
+      }
+      std::shared_ptr<Pipeline>& slot = pipelines_[store_id];
+      if (slot == nullptr) {
+        slot = std::make_shared<Pipeline>();
+        slot->last_active = Clock::now();
+        slot->thread =
+            std::thread(&QueryScheduler::PipelineLoop, this, slot.get());
+        counters_.pipelines.fetch_add(1, std::memory_order_relaxed);
+      }
+      pipeline = slot;
     }
-    std::unique_ptr<Pipeline>& slot = pipelines_[query.store.get()];
-    if (slot == nullptr) {
-      slot = std::make_unique<Pipeline>();
-      slot->thread =
-          std::thread(&QueryScheduler::PipelineLoop, this, slot.get());
-      counters_.pipelines.fetch_add(1, std::memory_order_relaxed);
-    }
-    pipeline = slot.get();
-  }
 
-  std::future<SchedulerItem> future;
+    std::future<SchedulerItem> future;
+    std::shared_ptr<CancelFlag> cancel;
+    {
+      std::lock_guard<std::mutex> lock(pipeline->mu);
+      if (pipeline->retiring) {
+        // The janitor claimed this pipeline between the map lookup and
+        // here (it is already out of the map, its driver is exiting).
+        // Retry: the next lookup creates a fresh pipeline — the reap is
+        // invisible to callers.
+        continue;
+      }
+      // Re-check under the pipeline lock: a Shutdown() racing with this
+      // Submit may have already let the driver thread exit, and a query
+      // enqueued after that would never be answered.
+      if (pipeline->shutdown) {
+        return Status::FailedPrecondition("scheduler is shut down");
+      }
+      if (static_cast<int>(pipeline->pending.size()) >=
+          options_.max_pending_per_store) {
+        counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted(
+            "store pipeline is saturated (max_pending_per_store); retry "
+            "later");
+      }
+      Pending pend;
+      pend.query = std::move(query);
+      pend.cancel = std::make_shared<CancelFlag>(false);
+      pend.enqueued = Clock::now();
+      pend.deadline = submit.deadline_seconds > 0
+                          ? pend.enqueued + FromSeconds(submit.deadline_seconds)
+                          : Clock::time_point::max();
+      cancel = pend.cancel;
+      future = pend.promise.get_future();
+      pipeline->pending.push_back(std::move(pend));
+      counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+    }
+    pipeline->cv.notify_all();
+    QueryHandle handle;
+    handle.cancel_ = std::move(cancel);
+    handle.future_ = std::move(future);
+    return handle;
+  }
+}
+
+void QueryScheduler::Resolve(std::promise<SchedulerItem>* promise,
+                             SchedulerItem item) {
+  switch (item.status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kCancelled:
+      counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kUnavailable:
+      counters_.unavailable.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+  // Count the completion before fulfilling the promise so a caller
+  // woken by the future never observes a stats() snapshot missing its
+  // query.
+  counters_.completed.fetch_add(1, std::memory_order_relaxed);
+  promise->set_value(std::move(item));
+}
+
+void QueryScheduler::ShedLocked(Pipeline* pipeline, std::vector<Shed>* shed) {
+  const Clock::time_point now = Clock::now();
+  for (auto it = pipeline->pending.begin(); it != pipeline->pending.end();) {
+    if (it->cancel->load(std::memory_order_relaxed)) {
+      shed->emplace_back(std::move(*it),
+                         Status::Cancelled("cancelled while queued"));
+      it = pipeline->pending.erase(it);
+    } else if (now >= it->deadline) {
+      shed->emplace_back(
+          std::move(*it),
+          Status::DeadlineExceeded("deadline passed while queued"));
+      it = pipeline->pending.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryScheduler::FulfillShed(std::vector<Shed> shed) {
+  const Clock::time_point now = Clock::now();
+  for (Shed& s : shed) {
+    SchedulerItem item;
+    item.status = std::move(s.second);
+    item.queue_seconds = ToSeconds(now - s.first.enqueued);
+    item.total_seconds = item.queue_seconds;
+    Resolve(&s.first.promise, std::move(item));
+  }
+}
+
+void QueryScheduler::ShedPending(Pipeline* pipeline) {
+  std::vector<Shed> shed;
   {
     std::lock_guard<std::mutex> lock(pipeline->mu);
-    // Re-check under the pipeline lock: a Shutdown() racing with this
-    // Submit may have already let the driver thread exit, and a query
-    // enqueued after that would never be answered.
-    if (pipeline->shutdown) {
-      return Status::FailedPrecondition("scheduler is shut down");
-    }
-    if (static_cast<int>(pipeline->pending.size()) >=
-        options_.max_pending_per_store) {
-      counters_.rejected.fetch_add(1, std::memory_order_relaxed);
-      return Status::ResourceExhausted(
-          "store pipeline is saturated (max_pending_per_store); retry "
-          "later");
-    }
-    Pending pend;
-    pend.query = std::move(query);
-    pend.enqueued = Clock::now();
-    future = pend.promise.get_future();
-    pipeline->pending.push_back(std::move(pend));
-    counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+    ShedLocked(pipeline, &shed);
   }
-  pipeline->cv.notify_all();
-  return future;
+  FulfillShed(std::move(shed));
 }
 
 bool QueryScheduler::GatherLaunchBatch(Pipeline* pipeline,
                                        std::vector<BoundQuery>* queries,
                                        std::vector<Admitted>* admitted) {
-  std::unique_lock<std::mutex> lock(pipeline->mu);
-  pipeline->cv.wait(
-      lock, [&] { return !pipeline->pending.empty() || pipeline->shutdown; });
-  if (pipeline->pending.empty()) {
-    // Shutdown with nothing left to drain. A deadline alone never gets
-    // here: the batch timer only starts once a query is pending, so an
-    // empty flush cannot launch (or crash) an empty batch.
-    return false;
-  }
+  std::vector<Shed> shed;
+  bool launch = false;
+  {
+    std::unique_lock<std::mutex> lock(pipeline->mu);
+    // Shed queries must be resolved NOW, not when this gather
+    // eventually launches or drains — a caller is blocked on the
+    // future. Unlock around the fulfillment, then re-evaluate from the
+    // top (the queue may have changed while unlocked).
+    const auto flush_shed = [&]() -> bool {
+      if (shed.empty()) return false;
+      lock.unlock();
+      FulfillShed(std::move(shed));
+      shed.clear();
+      lock.lock();
+      return true;
+    };
+    for (;;) {
+      pipeline->cv.wait(lock, [&] {
+        return !pipeline->pending.empty() || pipeline->shutdown ||
+               pipeline->retiring;
+      });
+      ShedLocked(pipeline, &shed);
+      if (flush_shed()) continue;
+      if (pipeline->pending.empty()) {
+        // Exit on drain/retire with nothing left; otherwise everything
+        // woke us only to be shed — keep waiting. A deadline alone
+        // never launches: the batch timer only starts once a query is
+        // pending, so an empty flush cannot launch an empty batch.
+        if (pipeline->shutdown || pipeline->retiring) break;
+        continue;
+      }
 
-  // Batch-boundary policy: wait for a full batch, but never keep the
-  // oldest arrival waiting past max_queue_wait_seconds; shutdown drains
-  // immediately.
-  const auto deadline =
-      pipeline->pending.front().enqueued +
-      std::chrono::duration_cast<Clock::duration>(
-          std::chrono::duration<double>(options_.max_queue_wait_seconds));
-  pipeline->cv.wait_until(lock, deadline, [&] {
-    return static_cast<int>(pipeline->pending.size()) >=
-               options_.max_batch_queries ||
-           pipeline->shutdown;
-  });
-  if (static_cast<int>(pipeline->pending.size()) <
-          options_.max_batch_queries &&
-      !pipeline->shutdown) {
-    counters_.timeout_flushes.fetch_add(1, std::memory_order_relaxed);
-  }
+      // Batch-boundary policy: wait for a full batch, but never keep
+      // the oldest arrival waiting past max_queue_wait_seconds, wake at
+      // the earliest queued deadline so expired queries are shed on
+      // time, and drain immediately on shutdown.
+      const Clock::time_point flush =
+          pipeline->pending.front().enqueued +
+          FromSeconds(options_.max_queue_wait_seconds);
+      Clock::time_point wake = flush;
+      for (const Pending& pend : pipeline->pending) {
+        wake = std::min(wake, pend.deadline);
+      }
+      // Any new arrival ends the wait so `wake` is recomputed — a late
+      // Submit can carry a deadline earlier than every current one.
+      const size_t size_at_wait = pipeline->pending.size();
+      pipeline->cv.wait_until(lock, wake, [&] {
+        return pipeline->pending.size() != size_at_wait ||
+               static_cast<int>(pipeline->pending.size()) >=
+                   options_.max_batch_queries ||
+               pipeline->shutdown || pipeline->retiring;
+      });
+      ShedLocked(pipeline, &shed);
+      if (flush_shed()) continue;
+      if (pipeline->pending.empty()) {
+        if (pipeline->shutdown || pipeline->retiring) break;
+        continue;
+      }
+      const bool full = static_cast<int>(pipeline->pending.size()) >=
+                        options_.max_batch_queries;
+      const bool draining = pipeline->shutdown || pipeline->retiring;
+      if (!full && !draining && Clock::now() < flush) {
+        // Woken at a queued query's deadline, not the flush deadline:
+        // that query was just shed; keep filling the batch.
+        continue;
+      }
+      if (!full && !draining) {
+        counters_.timeout_flushes.fetch_add(1, std::memory_order_relaxed);
+      }
 
-  const Clock::time_point now = Clock::now();
-  while (!pipeline->pending.empty() &&
-         static_cast<int>(queries->size()) < options_.max_batch_queries) {
-    Pending pend = std::move(pipeline->pending.front());
-    pipeline->pending.pop_front();
-    queries->push_back(std::move(pend.query));
-    Admitted a;
-    a.promise = std::move(pend.promise);
-    a.enqueued = pend.enqueued;
-    a.admitted = now;
-    admitted->push_back(std::move(a));
+      const Clock::time_point now = Clock::now();
+      while (!pipeline->pending.empty() &&
+             static_cast<int>(queries->size()) < options_.max_batch_queries) {
+        Pending pend = std::move(pipeline->pending.front());
+        pipeline->pending.pop_front();
+        queries->push_back(std::move(pend.query));
+        Admitted a;
+        a.promise = std::move(pend.promise);
+        a.cancel = std::move(pend.cancel);
+        a.enqueued = pend.enqueued;
+        a.admitted = now;
+        admitted->push_back(std::move(a));
+      }
+      pipeline->busy = true;
+      pipeline->last_active = now;
+      counters_.batches_launched.fetch_add(1, std::memory_order_relaxed);
+      launch = true;
+      break;
+    }
   }
-  counters_.batches_launched.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  FASTMATCH_CHECK(shed.empty());  // flushed before every break
+  return launch;
+}
+
+void QueryScheduler::FulfillAdmitted(Admitted* a, BatchItem item,
+                                     Clock::time_point batch_start,
+                                     bool eager) {
+  SchedulerItem out;
+  out.status = std::move(item.status);
+  out.match = std::move(item.match);
+  out.joined_midflight = a->joined_midflight;
+  out.queue_seconds = ToSeconds(a->admitted - a->enqueued);
+  // Per-item completion instant: the executor stamps wall_seconds from
+  // batch start, so batch_start + wall_seconds is when the query's
+  // machine actually finished (with retire-time delivery, promises are
+  // fulfilled later — using "now" would overstate early finishers'
+  // latency).
+  const Clock::time_point completion =
+      batch_start + FromSeconds(item.wall_seconds);
+  out.total_seconds = ToSeconds(completion - a->enqueued);
+  a->fulfilled = true;
+  if (eager) {
+    counters_.eager_delivered.fetch_add(1, std::memory_order_relaxed);
+  }
+  Resolve(&a->promise, std::move(out));
+}
+
+void QueryScheduler::EvictCancelled(BatchExecutor* executor,
+                                    std::vector<Admitted>* admitted) {
+  for (size_t i = 0; i < admitted->size(); ++i) {
+    Admitted& a = (*admitted)[i];
+    if (a.fulfilled || a.evict_attempted || a.cancel == nullptr ||
+        !a.cancel->load(std::memory_order_relaxed)) {
+      continue;
+    }
+    a.evict_attempted = true;
+    const Status evicted = executor->Evict(i);
+    if (evicted.ok()) {
+      counters_.evicted.fetch_add(1, std::memory_order_relaxed);
+      // The executor reported the Cancelled item through the completion
+      // callback (eager mode) or will return it from TakeItems (retire
+      // mode); delivery rides the normal paths either way.
+    }
+    // !ok means the query completed before the cancel landed: the
+    // result exists and is delivered normally — a cancel never turns a
+    // finished result into a Cancelled future.
+  }
 }
 
 void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
                               int64_t num_blocks,
                               std::vector<Admitted>* admitted) {
+  std::vector<Shed> shed;
   for (;;) {
     Pending pend;
     {
       std::lock_guard<std::mutex> lock(pipeline->mu);
+      // Never join a query that is already cancelled or past deadline.
+      ShedLocked(pipeline, &shed);
       if (pipeline->pending.empty() ||
           executor->num_active() >= options_.max_batch_queries) {
-        return;
+        break;
       }
       const double suffix_fraction =
           1.0 - static_cast<double>(executor->consumed_blocks()) /
@@ -147,7 +342,7 @@ void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
           front.join_refusal_counted = true;
           counters_.join_fallbacks.fetch_add(1, std::memory_order_relaxed);
         }
-        return;
+        break;
       }
       pend = std::move(pipeline->pending.front());
       pipeline->pending.pop_front();
@@ -166,7 +361,7 @@ void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
         counters_.join_fallbacks.fetch_add(1, std::memory_order_relaxed);
       }
       pipeline->pending.push_front(std::move(pend));
-      return;
+      break;
     }
     FASTMATCH_CHECK_EQ(*joined, admitted->size());
     // A join whose per-query binding failed still occupies an item slot
@@ -175,6 +370,7 @@ void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
     const bool bound = executor->stats().joined_queries > bound_before;
     Admitted a;
     a.promise = std::move(pend.promise);
+    a.cancel = std::move(pend.cancel);
     a.enqueued = pend.enqueued;
     a.admitted = Clock::now();
     a.joined_midflight = bound;
@@ -183,65 +379,82 @@ void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
       counters_.joined_midflight.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  FulfillShed(std::move(shed));
 }
 
 void QueryScheduler::RunBatch(Pipeline* pipeline,
                               std::vector<BoundQuery> queries,
                               std::vector<Admitted> admitted) {
   const int64_t num_blocks = queries.front().store->num_blocks();
+  BatchOptions batch_options = options_.batch;
+  batch_options.shared_pool = pool_;
   Result<std::unique_ptr<BatchExecutor>> create =
-      BatchExecutor::Create(queries, options_.batch);
+      BatchExecutor::Create(queries, batch_options);
   if (!create.ok()) {
     // Structural failure (e.g. empty store): every query of the batch
     // learns the same status through its future.
-    counters_.completed.fetch_add(static_cast<int64_t>(admitted.size()),
-                                  std::memory_order_relaxed);
     for (Admitted& a : admitted) {
       SchedulerItem item;
       item.status = create.status();
       item.queue_seconds = ToSeconds(a.admitted - a.enqueued);
       item.total_seconds = ToSeconds(Clock::now() - a.enqueued);
-      a.promise.set_value(std::move(item));
+      a.fulfilled = true;
+      Resolve(&a.promise, std::move(item));
     }
     return;
   }
   std::unique_ptr<BatchExecutor> executor = std::move(*create);
 
   const Clock::time_point batch_start = Clock::now();
+  // Eager delivery: machine completions surface here, synchronously on
+  // this thread from inside Start/Step/Join/Evict. Buffered rather than
+  // fulfilled inline because a Join()'s instant completion (binding
+  // failure) fires before its Admitted entry exists.
+  std::vector<std::pair<size_t, BatchItem>> ready;
+  if (options_.eager_delivery) {
+    executor->SetCompletionCallback([&ready](size_t index, BatchItem item) {
+      ready.emplace_back(index, std::move(item));
+    });
+  }
+  const auto deliver_ready = [&] {
+    for (auto& [index, item] : ready) {
+      FASTMATCH_CHECK(index < admitted.size());
+      if (!admitted[index].fulfilled) {
+        FulfillAdmitted(&admitted[index], std::move(item), batch_start,
+                        /*eager=*/true);
+      }
+    }
+    ready.clear();
+  };
+
   executor->Start();
+  deliver_ready();
   for (;;) {
-    // Joins land at chunk boundaries; checking before the finished test
-    // also lets a late arrival revive an executor whose own queries all
-    // completed while scan suffix remains.
+    // Chunk-boundary lifecycle pass, in dependency order: shed the
+    // queue (a cancelled/expired query must not be joined), evict
+    // cancelled running queries (frees executor slots), then admit
+    // joins — checking before the finished test also lets a late
+    // arrival revive an executor whose own queries all completed while
+    // scan suffix remains.
+    ShedPending(pipeline);
+    EvictCancelled(executor.get(), &admitted);
     if (options_.allow_joins) {
       TryJoins(pipeline, executor.get(), num_blocks, &admitted);
     }
+    deliver_ready();
     if (executor->finished()) break;
     executor->Step();
+    deliver_ready();
   }
 
   std::vector<BatchItem> items = executor->TakeItems();
   FASTMATCH_CHECK_EQ(items.size(), admitted.size());
-  // Count completions before fulfilling any promise so a caller woken by
-  // future.get() never observes a stats() snapshot missing its query.
-  counters_.completed.fetch_add(static_cast<int64_t>(items.size()),
-                                std::memory_order_relaxed);
   for (size_t i = 0; i < items.size(); ++i) {
-    Admitted& a = admitted[i];
-    SchedulerItem item;
-    item.status = std::move(items[i].status);
-    item.match = std::move(items[i].match);
-    item.joined_midflight = a.joined_midflight;
-    item.queue_seconds = ToSeconds(a.admitted - a.enqueued);
-    // Per-item completion instant: the executor stamps wall_seconds from
-    // batch start, so batch_start + wall_seconds is when the query
-    // actually finished (promises are all fulfilled later, at batch
-    // end — using "now" would overstate early finishers' latency).
-    const Clock::time_point completion =
-        batch_start + std::chrono::duration_cast<Clock::duration>(
-                          std::chrono::duration<double>(items[i].wall_seconds));
-    item.total_seconds = ToSeconds(completion - a.enqueued);
-    a.promise.set_value(std::move(item));
+    // Retire-time delivery: everything eager delivery (or eviction)
+    // did not already resolve — all items, when eager_delivery is off.
+    if (admitted[i].fulfilled) continue;
+    FulfillAdmitted(&admitted[i], std::move(items[i]), batch_start,
+                    /*eager=*/false);
   }
 }
 
@@ -249,29 +462,104 @@ void QueryScheduler::PipelineLoop(Pipeline* pipeline) {
   for (;;) {
     std::vector<BoundQuery> queries;
     std::vector<Admitted> admitted;
-    if (!GatherLaunchBatch(pipeline, &queries, &admitted)) return;
+    if (!GatherLaunchBatch(pipeline, &queries, &admitted)) break;
     RunBatch(pipeline, std::move(queries), std::move(admitted));
+    {
+      std::lock_guard<std::mutex> lock(pipeline->mu);
+      pipeline->busy = false;
+      pipeline->last_active = Clock::now();
+    }
+  }
+  // Exit sweep. By the locking protocol nothing can be pending here
+  // (the drain gathers until empty, and shutdown/retiring block new
+  // enqueues first), but the exactly-once contract must survive
+  // refactors: anything still unanswered terminates Unavailable rather
+  // than leaking a never-ready future.
+  std::vector<Shed> orphans;
+  {
+    std::lock_guard<std::mutex> lock(pipeline->mu);
+    while (!pipeline->pending.empty()) {
+      orphans.emplace_back(
+          std::move(pipeline->pending.front()),
+          Status::Unavailable("scheduler shut down during drain"));
+      pipeline->pending.pop_front();
+    }
+  }
+  FulfillShed(std::move(orphans));
+}
+
+void QueryScheduler::ReaperLoop() {
+  const Clock::duration timeout =
+      FromSeconds(options_.idle_pipeline_timeout_seconds);
+  const Clock::duration period = FromSeconds(
+      std::max(options_.idle_pipeline_timeout_seconds / 4.0, 1e-3));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    reaper_cv_.wait_for(lock, period, [&] { return shutdown_; });
+    if (shutdown_) return;
+    const Clock::time_point now = Clock::now();
+    std::vector<std::shared_ptr<Pipeline>> dead;
+    for (auto it = pipelines_.begin(); it != pipelines_.end();) {
+      Pipeline* pipeline = it->second.get();
+      bool reap = false;
+      {
+        std::lock_guard<std::mutex> plock(pipeline->mu);
+        if (!pipeline->busy && pipeline->pending.empty() &&
+            !pipeline->shutdown &&
+            now - pipeline->last_active >= timeout) {
+          // Claim it under both locks: once `retiring` is visible no
+          // Submit can enqueue here — Submit re-checks under
+          // pipeline->mu and retries against the map, where this entry
+          // is gone by then.
+          pipeline->retiring = true;
+          reap = true;
+        }
+      }
+      if (reap) {
+        dead.push_back(std::move(it->second));
+        it = pipelines_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (dead.empty()) continue;
+    // Join outside mu_ so Submits to other stores are never blocked on
+    // a dying driver.
+    lock.unlock();
+    for (std::shared_ptr<Pipeline>& pipeline : dead) {
+      pipeline->cv.notify_all();
+      pipeline->thread.join();
+      counters_.pipelines_reaped.fetch_add(1, std::memory_order_relaxed);
+    }
+    dead.clear();
+    lock.lock();
   }
 }
 
 void QueryScheduler::Shutdown() {
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
-  std::vector<Pipeline*> pipelines;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;  // no new pipelines after this
-    for (auto& [store, pipeline] : pipelines_) {
-      pipelines.push_back(pipeline.get());
+    shutdown_ = true;  // no new pipelines after this; janitor exits
+  }
+  reaper_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
+  // The janitor is gone: the pipeline map is stable from here on.
+  std::vector<std::shared_ptr<Pipeline>> pipelines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [store_id, pipeline] : pipelines_) {
+      pipelines.push_back(pipeline);
     }
   }
-  for (Pipeline* pipeline : pipelines) {
+  for (const std::shared_ptr<Pipeline>& pipeline : pipelines) {
     {
       std::lock_guard<std::mutex> lock(pipeline->mu);
       pipeline->shutdown = true;
     }
     pipeline->cv.notify_all();
   }
-  for (Pipeline* pipeline : pipelines) {
+  for (const std::shared_ptr<Pipeline>& pipeline : pipelines) {
     if (pipeline->thread.joinable()) pipeline->thread.join();
   }
 }
@@ -288,6 +576,15 @@ SchedulerStats QueryScheduler::stats() const {
       counters_.joined_midflight.load(std::memory_order_relaxed);
   s.join_fallbacks = counters_.join_fallbacks.load(std::memory_order_relaxed);
   s.pipelines = counters_.pipelines.load(std::memory_order_relaxed);
+  s.eager_delivered =
+      counters_.eager_delivered.load(std::memory_order_relaxed);
+  s.deadline_exceeded =
+      counters_.deadline_exceeded.load(std::memory_order_relaxed);
+  s.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
+  s.evicted = counters_.evicted.load(std::memory_order_relaxed);
+  s.unavailable = counters_.unavailable.load(std::memory_order_relaxed);
+  s.pipelines_reaped =
+      counters_.pipelines_reaped.load(std::memory_order_relaxed);
   return s;
 }
 

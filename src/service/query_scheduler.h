@@ -1,5 +1,5 @@
 // Service-tier query scheduling: cross-store batching with streaming
-// admission.
+// admission and per-query lifecycle management.
 //
 // engine::BatchExecutor amortizes block reads across queries, but it
 // executes one batch over one ColumnStore. A service endpoint sees an
@@ -7,9 +7,11 @@
 // arrivals by store, (b) decide batch boundaries — the latency/
 // amortization trade-off: waiting longer packs more queries per scan,
 // answering sooner cuts queue time — and (c) push back when the worker
-// pools saturate. QueryScheduler is that tier.
+// pool saturates. QueryScheduler is that tier.
 //
-// One pipeline per ColumnStore, each with its own driver thread:
+// One pipeline per ColumnStore (keyed by the store's identity token,
+// ColumnStore::id(), never its address), each with its own driver
+// thread:
 //
 //   Submit(query) ──► per-store pending queue (bounded: back-pressure)
 //                          │
@@ -17,27 +19,52 @@
 //                          │  arrival has waited max_queue_wait_seconds,
 //                          │  or the scheduler is draining
 //                          ▼
-//                 BatchExecutor Start/Step loop (shared scan)
+//                 BatchExecutor Start/Step loop (shared scan, block
+//                 reads on the process-wide SharedWorkerPool under the
+//                 batch's quota)
 //                          ▲
 //                          │  between chunks: late arrivals Join() the
-//                          │  running scan mid-flight (streaming
-//                          │  admission) instead of waiting for the next
-//                          │  batch
+//                          │  running scan mid-flight, expired/cancelled
+//                          │  queued queries are shed, cancelled running
+//                          │  queries are Evict()ed, and finished
+//                          │  machines' futures are fulfilled eagerly
 //
-// Mid-flight joins are sound because a joined query is fed from the scan
-// suffix only, which is still a uniform without-replacement sample of
-// the relation (see engine/batch_executor.h). The quality caveat is
-// suffix size: a query that joins when little data remains can exhaust
-// before meeting its sample targets. min_join_suffix_fraction makes that
-// trade-off an explicit admission knob — below the threshold the query
-// waits for the next fresh batch instead (and a join is always refused
-// once the final chunk has been consumed; the executor enforces that).
+// Query lifecycle. Every accepted Submit terminates in EXACTLY one of
+// four states, delivered through the handle's future exactly once:
 //
-// Threading: Submit may be called from any thread. Each pipeline thread
-// is the only driver of its executors, so BatchExecutor itself needs no
-// locking; the pipeline's pending deque is the sole shared state (one
-// mutex per store). Results are delivered through std::future, fulfilled
-// by the pipeline thread when a batch completes.
+//   queued ──► admitted ──► delivered        (item.status: result or a
+//     │            │                          per-query error)
+//     │            └──► evicted               Cancelled
+//     ├──► shed (deadline passed in queue)    DeadlineExceeded
+//     ├──► shed (cancelled in queue)          Cancelled
+//     └──► shed (scheduler tearing down)      Unavailable
+//
+// Deadlines bound QUEUE time: a query that has not entered a scan when
+// its deadline passes is shed with DeadlineExceeded at the next
+// scheduling boundary (queue wait, chunk boundary, or launch). Once
+// admitted, a query runs to completion unless cancelled. Cancel() — or
+// abandoning the QueryHandle without taking its result — marks the
+// query; a queued query is shed, a running query is evicted from the
+// batch at the next chunk boundary (its template's contribution leaves
+// the union block demand, so abandoned queries stop consuming scan
+// work). A cancel that races completion loses benignly: the finished
+// result is delivered.
+//
+// Eager delivery: by default a query's future is fulfilled the moment
+// its HistSim machine completes mid-scan (the executor's completion
+// callback), not when the whole batch retires — the paper's per-query
+// latency bound made real at the service boundary. eager_delivery=false
+// restores retire-time delivery (the bench baseline).
+//
+// Threads. Submit may be called from any thread; QueryHandle::Cancel is
+// thread-safe. Each pipeline thread is the only driver of its
+// executors, so BatchExecutor itself needs no locking; the pipeline's
+// pending deque is the sole shared state (one mutex per store). Block
+// reads run on one process-wide SharedWorkerPool with per-batch quotas,
+// so total worker threads stay bounded no matter how many stores are
+// live. Pipelines idle past idle_pipeline_timeout_seconds are reaped (a
+// janitor thread joins their drivers); a store seen again later simply
+// gets a fresh pipeline.
 
 #ifndef FASTMATCH_SERVICE_QUERY_SCHEDULER_H_
 #define FASTMATCH_SERVICE_QUERY_SCHEDULER_H_
@@ -51,19 +78,21 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "engine/batch_executor.h"
 #include "engine/executor.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace fastmatch {
 
-/// \brief Admission and batching policy for the scheduler.
+/// \brief Admission, batching, and lifecycle policy for the scheduler.
 struct SchedulerOptions {
-  /// Per-batch executor knobs (worker threads, chunk size, seed). Every
-  /// concurrently running store pipeline creates its own WorkerPool of
-  /// batch.num_threads workers.
+  /// Per-batch executor knobs (quota, chunk size, seed). batch.shared_pool
+  /// is overridden by the scheduler: every batch runs on `pool` (or the
+  /// process pool) with batch.num_threads as its concurrency quota.
   BatchOptions batch;
   /// Maximum concurrently active queries per executor. A pipeline
   /// launches as soon as this many are pending, and mid-flight joins are
@@ -83,42 +112,132 @@ struct SchedulerOptions {
   /// store's blocks remains unconsumed; the query waits for a fresh
   /// batch instead. 0 admits joins until the scan's final chunk.
   double min_join_suffix_fraction = 0.05;
+  /// Fulfill a query's future the moment its machine completes
+  /// mid-scan. When false, every future of a batch is fulfilled at
+  /// batch retire (pre-lifecycle behaviour; bench_lifecycle's
+  /// baseline).
+  bool eager_delivery = true;
+  /// Reap a store pipeline (join its driver thread, drop its queue)
+  /// once it has had no pending or running work for this long; <= 0
+  /// disables reaping. A reaped store transparently gets a fresh
+  /// pipeline on its next Submit.
+  double idle_pipeline_timeout_seconds = 30.0;
+  /// Worker pool for every batch's block reads. nullptr selects the
+  /// process-wide SharedWorkerPool::Process(). A non-null pool must
+  /// outlive the scheduler.
+  SharedWorkerPool* pool = nullptr;
+};
+
+/// \brief Per-Submit lifecycle knobs.
+struct SubmitOptions {
+  /// Queue-time budget, relative to Submit. A query still queued when
+  /// the budget elapses is shed with DeadlineExceeded; once admitted
+  /// into a scan it runs to completion. <= 0 means no deadline.
+  double deadline_seconds = 0;
 };
 
 /// \brief Counters describing scheduler behaviour (monotonic; snapshot
 /// via QueryScheduler::stats()).
 struct SchedulerStats {
-  int64_t submitted = 0;         // accepted by Submit
-  int64_t rejected = 0;          // refused by back-pressure
-  int64_t completed = 0;         // futures fulfilled
-  int64_t batches_launched = 0;  // executors created
-  int64_t timeout_flushes = 0;   // partial batches launched on deadline
-  int64_t joined_midflight = 0;  // queries admitted via Join()
-  int64_t join_fallbacks = 0;    // joins refused (suffix too small/empty)
-  int64_t pipelines = 0;         // distinct stores seen
+  int64_t submitted = 0;          // accepted by Submit
+  int64_t rejected = 0;           // refused by back-pressure
+  int64_t completed = 0;          // futures fulfilled (any terminal state)
+  int64_t batches_launched = 0;   // executors created
+  int64_t timeout_flushes = 0;    // partial batches launched on deadline
+  int64_t joined_midflight = 0;   // queries admitted via Join()
+  int64_t join_fallbacks = 0;     // joins refused (suffix too small/empty)
+  int64_t pipelines = 0;          // pipelines ever created
+  int64_t eager_delivered = 0;    // futures fulfilled before batch retire
+  int64_t deadline_exceeded = 0;  // shed while queued, deadline passed
+  int64_t cancelled = 0;          // terminal Cancelled (queued + evicted)
+  int64_t evicted = 0;            // removed from a running batch
+  int64_t unavailable = 0;        // shed by scheduler teardown
+  int64_t pipelines_reaped = 0;   // idle pipelines joined by the janitor
 };
 
-/// \brief Per-query outcome delivered through the Submit future.
+/// \brief Per-query outcome delivered through the handle's future.
 struct SchedulerItem {
-  /// Per-query status; scheduler-level failures (e.g. the batch's store
-  /// is empty) surface here too.
+  /// Terminal state: OK (match valid), a per-query execution error, or
+  /// one of the lifecycle codes DeadlineExceeded / Cancelled /
+  /// Unavailable.
   Status status;
   /// Valid when status.ok().
   MatchResult match;
-  /// Seconds from Submit until the query entered a scan (queueing).
+  /// Seconds from Submit until the query entered a scan (queueing), or
+  /// until it was shed for queries that never entered one.
   double queue_seconds = 0;
   /// Seconds from Submit until the query's machine completed (queueing
-  /// + execution). Note this is scheduler-internal completion: futures
-  /// of a batch are all fulfilled when the batch retires, so a caller's
-  /// future.get() can return later than total_seconds suggests (eager
-  /// per-query delivery is a ROADMAP item).
+  /// + execution). With eager delivery (the default) the future is
+  /// fulfilled at that same moment; with retire-time delivery the
+  /// future can become ready later than total_seconds suggests.
   double total_seconds = 0;
   /// True when the query joined a running scan mid-flight.
   bool joined_midflight = false;
 };
 
+class QueryScheduler;
+
+/// \brief Move-only owner of one submitted query's outcome: a future
+/// plus a cancellation token.
+///
+/// Cancel() (thread-safe, idempotent) requests the query be shed from
+/// the queue or evicted from its running batch at the next scheduling
+/// boundary; the future then resolves with status Cancelled — unless
+/// the result had already been produced, in which case it is delivered
+/// (a cancel can never un-happen a completion, and every future
+/// resolves exactly once either way).
+///
+/// Destroying a handle whose result was never taken counts as
+/// abandoning the query and cancels it: callers that walk away stop
+/// consuming scan work without any explicit bookkeeping.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+  QueryHandle(QueryHandle&&) = default;
+  /// Overwriting a handle abandons its current query exactly like
+  /// destruction does — the old query must not keep running for nobody.
+  QueryHandle& operator=(QueryHandle&& other) noexcept {
+    if (this != &other) {
+      if (future_.valid()) Cancel();
+      cancel_ = std::move(other.cancel_);
+      future_ = std::move(other.future_);
+    }
+    return *this;
+  }
+  QueryHandle(const QueryHandle&) = delete;
+  QueryHandle& operator=(const QueryHandle&) = delete;
+
+  /// \brief Cancels the query if its result has not been taken.
+  ~QueryHandle() {
+    if (future_.valid()) Cancel();
+  }
+
+  /// \brief Requests cancellation. Safe from any thread, any time,
+  /// including after the scheduler is gone; never blocks.
+  void Cancel() {
+    if (cancel_ != nullptr) cancel_->store(true, std::memory_order_relaxed);
+  }
+
+  /// \brief Blocks for the terminal outcome. Valid exactly once.
+  SchedulerItem Get() { return future_.get(); }
+
+  /// \brief True until Get() consumes the outcome.
+  bool valid() const { return future_.valid(); }
+
+  /// \brief The underlying future, for callers composing their own
+  /// waits (timed wait_for, select loops). Get()/future().get() may be
+  /// used interchangeably, once in total.
+  std::future<SchedulerItem>& future() { return future_; }
+
+ private:
+  friend class QueryScheduler;
+  std::shared_ptr<std::atomic<bool>> cancel_;
+  std::future<SchedulerItem> future_;
+};
+
 /// \brief Routes a stream of BoundQuerys to per-store shared-scan
-/// pipelines with streaming batch admission.
+/// pipelines with streaming batch admission and per-query lifecycle
+/// management (deadlines, cancellation, eager delivery, idle reaping).
 class QueryScheduler {
  public:
   explicit QueryScheduler(SchedulerOptions options);
@@ -130,21 +249,19 @@ class QueryScheduler {
   QueryScheduler& operator=(const QueryScheduler&) = delete;
 
   /// \brief Enqueues a query on its store's pipeline (created on first
-  /// use) and returns a future for its result. Fails fast with
-  /// ResourceExhausted when the store's pending queue is full, with
-  /// InvalidArgument for a query without a store, and with
-  /// FailedPrecondition after Shutdown(). Per-query execution problems
-  /// are NOT Submit errors; they arrive as the future's item status.
-  ///
-  /// Pipelines (queue + thread) live until Shutdown(): one per distinct
-  /// ColumnStore ever submitted, keyed by store pointer. A process that
-  /// churns through many short-lived stores should use one scheduler
-  /// per working set (idle-pipeline reaping is a ROADMAP item).
-  Result<std::future<SchedulerItem>> Submit(BoundQuery query);
+  /// use, recreated transparently after a reap) and returns its handle.
+  /// Fails fast with ResourceExhausted when the store's pending queue
+  /// is full, with InvalidArgument for a query without a store, and
+  /// with FailedPrecondition after Shutdown(). Per-query execution
+  /// problems are NOT Submit errors; they arrive as the future's item
+  /// status. Every accepted Submit's future resolves exactly once with
+  /// a result, DeadlineExceeded, Cancelled, or Unavailable — including
+  /// across Shutdown() and pipeline-reap races.
+  Result<QueryHandle> Submit(BoundQuery query, SubmitOptions submit = {});
 
   /// \brief Stops accepting queries, drains every pending and running
-  /// batch (all outstanding futures complete), and joins the pipeline
-  /// threads. Idempotent; called by the destructor.
+  /// batch (all outstanding futures resolve), and joins the pipeline
+  /// and janitor threads. Idempotent; called by the destructor.
   void Shutdown();
 
   /// \brief Snapshot of the behaviour counters.
@@ -152,12 +269,16 @@ class QueryScheduler {
 
  private:
   using Clock = std::chrono::steady_clock;
+  using CancelFlag = std::atomic<bool>;
 
   /// One not-yet-admitted query with its delivery promise.
   struct Pending {
     BoundQuery query;
     std::promise<SchedulerItem> promise;
+    std::shared_ptr<CancelFlag> cancel;
     Clock::time_point enqueued;
+    /// Queue-time budget; time_point::max() when none.
+    Clock::time_point deadline;
     /// Already counted in join_fallbacks (the stat is per refused
     /// query, not per chunk boundary that re-refuses it).
     bool join_refusal_counted = false;
@@ -167,9 +288,16 @@ class QueryScheduler {
   /// BatchExecutor::TakeItems).
   struct Admitted {
     std::promise<SchedulerItem> promise;
+    std::shared_ptr<CancelFlag> cancel;
     Clock::time_point enqueued;
     Clock::time_point admitted;
     bool joined_midflight = false;
+    /// Promise already resolved (eager delivery or eviction); the
+    /// retire-time sweep must skip it — exactly-once is the contract.
+    bool fulfilled = false;
+    /// Evict() already issued for this query; don't re-issue each
+    /// chunk boundary.
+    bool evict_attempted = false;
   };
 
   /// Per-store pipeline: bounded pending queue + driver thread.
@@ -177,21 +305,43 @@ class QueryScheduler {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Pending> pending;
-    bool shutdown = false;
+    bool shutdown = false;  // global drain: finish the queue, then exit
+    bool retiring = false;  // janitor claimed it: no new enqueues, exit
+    bool busy = false;      // driver inside RunBatch
+    Clock::time_point last_active;
     std::thread thread;
   };
 
+  /// A pending query shed before admission, with its terminal status.
+  using Shed = std::pair<Pending, Status>;
+
   void PipelineLoop(Pipeline* pipeline);
   /// Pops pending queries into a full-or-flushed launch batch. Returns
-  /// false when the pipeline should exit (shutdown, queue drained).
+  /// false when the pipeline should exit (shutdown/retire, queue
+  /// drained).
   bool GatherLaunchBatch(Pipeline* pipeline, std::vector<BoundQuery>* queries,
                          std::vector<Admitted>* admitted);
-  /// Runs one executor to completion, admitting joins between chunks.
+  /// Runs one executor to completion: joins, sheds, evictions, and
+  /// eager deliveries all happen at chunk boundaries.
   void RunBatch(Pipeline* pipeline, std::vector<BoundQuery> queries,
                 std::vector<Admitted> admitted);
   /// Admits pending queries into the running scan while policy allows.
   void TryJoins(Pipeline* pipeline, BatchExecutor* executor,
                 int64_t num_blocks, std::vector<Admitted>* admitted);
+  /// Removes cancelled/expired entries from the pending deque (caller
+  /// holds pipeline->mu); terminal fulfillment happens in FulfillShed,
+  /// outside the lock.
+  void ShedLocked(Pipeline* pipeline, std::vector<Shed>* shed);
+  /// Lock-free shed pass: lock, ShedLocked, unlock, FulfillShed.
+  void ShedPending(Pipeline* pipeline);
+  void FulfillShed(std::vector<Shed> shed);
+  /// Resolves one admitted query's promise with `item` (exactly once).
+  void FulfillAdmitted(Admitted* a, BatchItem item, Clock::time_point batch_start,
+                       bool eager);
+  /// Issues Evict() for admitted queries whose cancel flag is set.
+  void EvictCancelled(BatchExecutor* executor, std::vector<Admitted>* admitted);
+  /// Janitor: joins pipelines idle past the timeout.
+  void ReaperLoop();
 
   /// Lock-free counters (incremented under assorted mutexes; atomics
   /// keep stats() safe without a lock-order relationship to them).
@@ -204,14 +354,34 @@ class QueryScheduler {
     std::atomic<int64_t> joined_midflight{0};
     std::atomic<int64_t> join_fallbacks{0};
     std::atomic<int64_t> pipelines{0};
+    std::atomic<int64_t> eager_delivered{0};
+    std::atomic<int64_t> deadline_exceeded{0};
+    std::atomic<int64_t> cancelled{0};
+    std::atomic<int64_t> evicted{0};
+    std::atomic<int64_t> unavailable{0};
+    std::atomic<int64_t> pipelines_reaped{0};
   };
 
-  SchedulerOptions options_;
+  /// Counts the terminal status into the right counters and resolves
+  /// the promise (completed is incremented BEFORE set_value so a woken
+  /// waiter never observes a stats() snapshot missing its query).
+  void Resolve(std::promise<SchedulerItem>* promise, SchedulerItem item);
 
-  std::mutex mu_;           // guards pipelines_ map and shutdown_
+  SchedulerOptions options_;
+  SharedWorkerPool* pool_;  // options_.pool or the process pool
+
+  std::mutex mu_;           // guards pipelines_ map, shutdown_, reaper_cv_
   std::mutex shutdown_mu_;  // serializes Shutdown callers end to end
-  std::map<const ColumnStore*, std::unique_ptr<Pipeline>> pipelines_;
+  std::condition_variable reaper_cv_;
+  /// Keyed by ColumnStore::id(), NOT the store pointer: a freed store's
+  /// address can be recycled for a new store, which must not alias the
+  /// dead store's pipeline. shared_ptr, not unique_ptr: a Submit holds
+  /// its pipeline reference across an unlocked window (mu_ released
+  /// before pipeline->mu is taken), during which the janitor may reap
+  /// the entry — the object must outlive every such holder.
+  std::map<uint64_t, std::shared_ptr<Pipeline>> pipelines_;
   bool shutdown_ = false;
+  std::thread reaper_;
   Counters counters_;
 };
 

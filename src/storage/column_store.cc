@@ -1,14 +1,20 @@
 #include "storage/column_store.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 #include "util/logging.h"
 
 namespace fastmatch {
 
+uint64_t ColumnStore::NextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 ColumnStore::ColumnStore(Schema schema, StorageOptions options)
-    : schema_(std::move(schema)), options_(options) {
+    : schema_(std::move(schema)), options_(options), id_(NextId()) {
   columns_.reserve(schema_.num_attributes());
   for (int i = 0; i < schema_.num_attributes(); ++i) {
     columns_.emplace_back(schema_.attribute(i).type());

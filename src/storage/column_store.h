@@ -50,6 +50,13 @@ class ColumnStore {
   const Schema& schema() const { return schema_; }
   const Column& column(int attr) const { return columns_.at(attr); }
 
+  /// \brief Process-unique identity token, assigned at construction and
+  /// never reused. Long-lived registries (e.g. the query scheduler's
+  /// per-store pipelines) must key on this, not on the ColumnStore*: a
+  /// freed store's address can be recycled by the allocator for a brand
+  /// new store, silently aliasing the dead entry.
+  uint64_t id() const { return id_; }
+
   int64_t num_rows() const { return num_rows_; }
   int rows_per_block() const { return rows_per_block_; }
   int64_t num_blocks() const {
@@ -84,8 +91,10 @@ class ColumnStore {
   std::vector<Column> columns_;
   int64_t num_rows_ = 0;
   int rows_per_block_ = 1;
+  uint64_t id_ = 0;
 
   void ComputeRowsPerBlock();
+  static uint64_t NextId();
 };
 
 }  // namespace fastmatch

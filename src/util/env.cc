@@ -1,6 +1,7 @@
 #include "util/env.h"
 
 #include <cstdlib>
+#include <filesystem>
 
 namespace fastmatch {
 
@@ -26,6 +27,17 @@ std::string GetEnvString(const char* name, const std::string& fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr) return fallback;
   return std::string(raw);
+}
+
+int CountProcessThreads() {
+  int n = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/task", ec)) {
+    (void)entry;
+    ++n;
+  }
+  return ec ? -1 : n;
 }
 
 }  // namespace fastmatch

@@ -17,6 +17,11 @@ double GetEnvDouble(const char* name, double fallback);
 /// \brief String env var, or `fallback` when unset.
 std::string GetEnvString(const char* name, const std::string& fallback);
 
+/// \brief Live threads of this process (Linux: /proc/self/task entries),
+/// or -1 where that interface is unavailable. Used by the lifecycle
+/// stress test and bench to assert the scheduler's thread bound.
+int CountProcessThreads();
+
 }  // namespace fastmatch
 
 #endif  // FASTMATCH_UTIL_ENV_H_

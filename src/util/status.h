@@ -24,6 +24,9 @@ enum class StatusCode {
   kResourceExhausted = 6,
   kInternal = 7,
   kNotImplemented = 8,
+  kDeadlineExceeded = 9,
+  kCancelled = 10,
+  kUnavailable = 11,
 };
 
 /// \brief Human-readable name of a status code ("InvalidArgument", ...).
@@ -63,6 +66,15 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

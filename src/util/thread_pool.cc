@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/env.h"
 #include "util/logging.h"
 
 namespace fastmatch {
@@ -59,8 +60,14 @@ void WorkerPool::Wait() {
 
 void WorkerPool::ParallelFor(int64_t n,
                              const std::function<void(int64_t)>& fn) {
+  ParallelFor(n, fn, size());
+}
+
+void WorkerPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
+                             int max_fanout) {
   if (n <= 0) return;
-  const int fanout = static_cast<int>(std::min<int64_t>(n, size()));
+  const int fanout = static_cast<int>(
+      std::min<int64_t>(n, std::min(max_fanout, size())));
   if (fanout <= 1) {
     for (int64_t i = 0; i < n; ++i) fn(i);
     return;
@@ -80,6 +87,17 @@ void WorkerPool::ParallelFor(int64_t n,
   for (int w = 0; w < fanout; ++w) Submit(body);
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&] { return remaining == 0; });
+}
+
+SharedWorkerPool& SharedWorkerPool::Process() {
+  // Leaked on purpose: scheduler objects with static storage duration
+  // may still run batches during exit, and thread count here is bounded
+  // for the process lifetime anyway.
+  static SharedWorkerPool* process = new SharedWorkerPool(static_cast<int>(
+      GetEnvInt64("FASTMATCH_POOL_THREADS",
+                  static_cast<int64_t>(std::max(
+                      1u, std::thread::hardware_concurrency())))));
+  return *process;
 }
 
 }  // namespace fastmatch

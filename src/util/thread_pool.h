@@ -50,6 +50,12 @@ class WorkerPool {
   /// worker (or n == 1). Must not be called from inside a pool task.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
+  /// \brief ParallelFor bounded to at most `max_fanout` concurrently
+  /// running fn calls (the caller's concurrency quota on this pool).
+  /// Other callers' tasks interleave freely in the remaining capacity.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
+                   int max_fanout);
+
  private:
   void WorkerLoop();
 
@@ -60,6 +66,49 @@ class WorkerPool {
   int64_t pending_ = 0;  // queued + running tasks
   bool stop_ = false;
   std::vector<std::thread> threads_;
+};
+
+/// \brief One process-wide worker pool shared by every batch executor.
+///
+/// Each store pipeline used to spin up a private WorkerPool per batch:
+/// under many concurrent stores the process thread count grew as
+/// pipelines x pool size, and short batches paid pool construction on
+/// their critical path. SharedWorkerPool fixes both: a fixed set of
+/// workers serves every batch, and each batch's slice of it is bounded
+/// by a per-call quota (ParallelFor's max_fanout) — a batch asking for
+/// 4 workers occupies at most 4 of the shared threads while other
+/// batches' tasks interleave in the rest.
+///
+/// Quotas are enforced by fanout, not by preemption: a batch submits at
+/// most `quota` worker-slot tasks per chunk, so it can never hold more
+/// than that many threads at once. FIFO task order keeps batches from
+/// starving each other at equal quota.
+class SharedWorkerPool {
+ public:
+  /// \brief Spawns `num_threads` shared workers (clamped to >= 1).
+  explicit SharedWorkerPool(int num_threads) : pool_(num_threads) {}
+
+  SharedWorkerPool(const SharedWorkerPool&) = delete;
+  SharedWorkerPool& operator=(const SharedWorkerPool&) = delete;
+
+  int size() const { return pool_.size(); }
+
+  /// \brief Runs fn(i) for every i in [0, n) using at most `quota` of
+  /// the shared workers concurrently, and blocks until all calls
+  /// return. Runs inline on the caller when the effective fanout is 1.
+  /// Must not be called from inside a pool task.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
+                   int quota) {
+    pool_.ParallelFor(n, fn, quota);
+  }
+
+  /// \brief Lazily-created process-wide instance, sized from
+  /// FASTMATCH_POOL_THREADS when set, else hardware concurrency. Never
+  /// destroyed (it must outlive every static-destruction-order client).
+  static SharedWorkerPool& Process();
+
+ private:
+  WorkerPool pool_;
 };
 
 }  // namespace fastmatch

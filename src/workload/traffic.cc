@@ -63,6 +63,20 @@ Result<std::vector<Arrival>> MakeTrafficStream(
     return Status::InvalidArgument(
         "mean_interarrival_seconds must be >= 0");
   }
+  if (options.deadline_fraction < 0 || options.deadline_fraction > 1 ||
+      options.cancel_fraction < 0 || options.cancel_fraction > 1) {
+    return Status::InvalidArgument(
+        "deadline_fraction and cancel_fraction must be in [0, 1]");
+  }
+  if (options.deadline_fraction > 0 && !(options.deadline_seconds > 0)) {
+    return Status::InvalidArgument(
+        "deadline_seconds must be > 0 when deadline_fraction is set");
+  }
+  if (options.cancel_fraction > 0 &&
+      !(options.mean_cancel_delay_seconds >= 0)) {
+    return Status::InvalidArgument(
+        "mean_cancel_delay_seconds must be >= 0 when cancel_fraction is set");
+  }
   std::vector<double> weights;
   weights.reserve(stores.size());
   for (const StoreTraffic& st : stores) {
@@ -101,6 +115,16 @@ Result<std::vector<Arrival>> MakeTrafficStream(
     Arrival arrival;
     arrival.at_seconds = clock;
     arrival.query = pools[s][next[s]++ % pools[s].size()];
+    // Lifecycle stamps. The draws happen unconditionally so that the
+    // arrival sequence (stores, gaps, targets) is identical across
+    // fraction settings — only the stamps differ, which lets benches
+    // compare lifecycle policies on the same stream.
+    const bool with_deadline = rng.NextDouble() < options.deadline_fraction;
+    const bool with_cancel = rng.NextDouble() < options.cancel_fraction;
+    const double cancel_gap = -options.mean_cancel_delay_seconds *
+                              std::log(1.0 - rng.NextDouble());
+    if (with_deadline) arrival.deadline_seconds = options.deadline_seconds;
+    if (with_cancel) arrival.cancel_at_seconds = clock + cancel_gap;
     arrivals.push_back(std::move(arrival));
   }
   return arrivals;

@@ -71,8 +71,22 @@ struct TrafficStreamOptions {
   HistSimParams params;
   /// See TrafficOptions::identical_targets.
   bool identical_targets = false;
-  /// Seeds store choice, arrival gaps, and per-store target draws.
+  /// Seeds store choice, arrival gaps, per-store target draws, and the
+  /// lifecycle stamps below.
   uint64_t seed = 1;
+
+  /// Lifecycle-bearing traffic (the service tier's adversarial diet).
+  /// Fraction of arrivals carrying a queue deadline of
+  /// `deadline_seconds`; the rest have none.
+  double deadline_fraction = 0;
+  /// Queue-time budget stamped on deadline-bearing arrivals.
+  double deadline_seconds = 0.01;
+  /// Fraction of arrivals whose issuer walks away: the query is
+  /// cancelled `mean_cancel_delay_seconds` (exponentially distributed)
+  /// after its arrival instant.
+  double cancel_fraction = 0;
+  /// Mean of the exponential submit-to-cancel delay.
+  double mean_cancel_delay_seconds = 0.005;
 };
 
 /// \brief One timed arrival of the stream.
@@ -81,6 +95,11 @@ struct Arrival {
   /// senders do not wait for earlier queries to finish).
   double at_seconds = 0;
   BoundQuery query;
+  /// Queue deadline to pass to Submit; 0 means none.
+  double deadline_seconds = 0;
+  /// Offset from stream start at which the issuer cancels the query
+  /// (always > at_seconds); negative means never.
+  double cancel_at_seconds = -1;
 };
 
 /// \brief Builds an open-loop arrival stream over several stores: each

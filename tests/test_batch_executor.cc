@@ -580,6 +580,171 @@ TEST(BatchExecutorStreamTest, JoinValidation) {
   EXPECT_EQ(items[*joined].status.code(), StatusCode::kInvalidArgument);
 }
 
+TEST(BatchExecutorStreamTest, EagerCompletionMatchesRetireTimeDelivery) {
+  // The eager-delivery property test: for every seed and thread count,
+  // an item surfaced through the completion callback the moment its
+  // machine finished must be bit-for-bit identical (counts, top-k,
+  // distances) to the same query's item from a plain retire-time run of
+  // the identical batch. Eager delivery changes WHEN a result is
+  // visible, never WHAT it contains.
+  for (uint64_t seed : {41u, 42u, 43u}) {
+    BatchFixture f = MakeBatchFixture(8000, seed);
+    TrafficOptions topt;
+    topt.num_queries = 4;
+    topt.params = BatchParams();
+    topt.seed = seed * 7 + 1;
+    auto batch = MakeQueryBatch(f.store, f.index, 0, {1}, topt).value();
+    for (int threads : {1, 2, 5}) {
+      // Eager run: collect callback items as they surface.
+      auto eager_exec = BatchExecutor::Create(batch, Options(threads)).value();
+      std::vector<std::optional<BatchItem>> eager(batch.size());
+      size_t callbacks = 0;
+      eager_exec->SetCompletionCallback(
+          [&](size_t index, const BatchItem& item) {
+            ASSERT_LT(index, eager.size());
+            ASSERT_FALSE(eager[index].has_value())
+                << "completion fired twice for query " << index;
+            eager[index] = item;
+            ++callbacks;
+          });
+      eager_exec->Start();
+      while (eager_exec->Step()) {
+      }
+      std::vector<BatchItem> eager_retire = eager_exec->TakeItems();
+
+      // Retire-time reference: same batch, same options, no callback.
+      auto retire_exec = BatchExecutor::Create(batch, Options(threads)).value();
+      std::vector<BatchItem> retire = retire_exec->Run();
+
+      ASSERT_EQ(callbacks, batch.size());
+      ASSERT_EQ(retire.size(), batch.size());
+      for (size_t q = 0; q < batch.size(); ++q) {
+        ASSERT_TRUE(eager[q].has_value());
+        const BatchItem& e = *eager[q];
+        ASSERT_TRUE(e.status.ok()) << e.status.ToString();
+        ASSERT_TRUE(retire[q].status.ok());
+        EXPECT_EQ(e.match.topk, retire[q].match.topk);
+        EXPECT_EQ(e.match.distances, retire[q].match.distances);
+        EXPECT_EQ(e.match.exact, retire[q].match.exact);
+        ExpectSameCounts(e.match.counts, retire[q].match.counts,
+                         "eager vs retire-time");
+        // And the executor's own TakeItems agrees with its callback.
+        EXPECT_EQ(e.match.topk, eager_retire[q].match.topk);
+        ExpectSameCounts(e.match.counts, eager_retire[q].match.counts,
+                         "callback vs TakeItems");
+      }
+    }
+  }
+}
+
+TEST(BatchExecutorStreamTest, EvictRemovesQueryAndSparesTheRest) {
+  // Evicting one of two queries mid-scan: the survivor completes with a
+  // correct result, the evicted item reports Cancelled, and the
+  // completion callback fires for both (the eviction at evict time).
+  BatchFixture f = MakeBatchFixture(20000, 31);
+  BoundQuery keep = MakeQuery(f, f.target, 1);
+  BoundQuery drop = MakeQuery(f, f.exact.NormalizedRow(5), 2);
+  drop.params.epsilon = 0.03;  // would run long if not evicted
+
+  auto exec = BatchExecutor::Create({keep, drop}, Options(2)).value();
+  std::vector<std::optional<BatchItem>> seen(2);
+  exec->SetCompletionCallback([&](size_t index, const BatchItem& item) {
+    ASSERT_LT(index, seen.size());
+    ASSERT_FALSE(seen[index].has_value());
+    seen[index] = item;
+  });
+  exec->Start();
+  ASSERT_TRUE(exec->Step());
+  ASSERT_TRUE(exec->Step());
+  ASSERT_TRUE(exec->Evict(1).ok());
+  ASSERT_TRUE(seen[1].has_value()) << "eviction must fire the callback";
+  EXPECT_EQ(seen[1]->status.code(), StatusCode::kCancelled);
+  while (exec->Step()) {
+  }
+  EXPECT_EQ(exec->stats().evicted_queries, 1);
+  std::vector<BatchItem> items = exec->TakeItems();
+  ASSERT_EQ(items.size(), 2u);
+  ASSERT_TRUE(items[0].status.ok()) << items[0].status.ToString();
+  std::set<int> got(items[0].match.topk.begin(), items[0].match.topk.end());
+  EXPECT_EQ(got, (std::set<int>{0, 1, 2}));
+  EXPECT_EQ(items[1].status.code(), StatusCode::kCancelled);
+}
+
+TEST(BatchExecutorStreamTest, EvictionShrinksTheUnionDemand) {
+  // A solo tight-epsilon query evicted right after Start: the scan must
+  // stop almost immediately (no active query contributes demand), so it
+  // reads far fewer blocks than the full run.
+  BatchFixture f = MakeBatchFixture(20000, 32);
+  BoundQuery q = MakeQuery(f, f.target, 3);
+  q.params.epsilon = 0.03;
+
+  auto full = BatchExecutor::Create({q}, Options(2)).value();
+  std::vector<BatchItem> full_items = full->Run();
+  ASSERT_TRUE(full_items[0].status.ok());
+
+  auto evicted = BatchExecutor::Create({q}, Options(2)).value();
+  evicted->Start();
+  ASSERT_TRUE(evicted->Step());
+  ASSERT_TRUE(evicted->Evict(0).ok());
+  while (evicted->Step()) {
+  }
+  std::vector<BatchItem> evicted_items = evicted->TakeItems();
+  EXPECT_EQ(evicted_items[0].status.code(), StatusCode::kCancelled);
+  EXPECT_LT(evicted->stats().blocks_read, full->stats().blocks_read / 2);
+}
+
+TEST(BatchExecutorStreamTest, EvictValidation) {
+  BatchFixture f = MakeBatchFixture(2000, 33);
+  auto exec = BatchExecutor::Create({MakeQuery(f, f.target)}, Options(2))
+                  .value();
+  // Before Start.
+  EXPECT_EQ(exec->Evict(0).code(), StatusCode::kFailedPrecondition);
+  exec->Start();
+  // Unknown index.
+  EXPECT_EQ(exec->Evict(7).code(), StatusCode::kOutOfRange);
+  while (exec->Step()) {
+  }
+  // Already completed: the result exists; Evict refuses to discard it.
+  EXPECT_EQ(exec->Evict(0).code(), StatusCode::kFailedPrecondition);
+  std::vector<BatchItem> items = exec->TakeItems();
+  EXPECT_TRUE(items[0].status.ok());
+}
+
+TEST(BatchExecutorStreamTest, SharedPoolMatchesPrivatePoolBitForBit) {
+  // The SharedWorkerPool path must be invisible to results: same batch,
+  // same quota, shared vs private pool — identical counts, top-k, and
+  // I/O accounting for every quota.
+  BatchFixture f = MakeBatchFixture(8000, 34);
+  TrafficOptions topt;
+  topt.num_queries = 3;
+  topt.params = BatchParams();
+  topt.seed = 77;
+  auto batch = MakeQueryBatch(f.store, f.index, 0, {1}, topt).value();
+
+  SharedWorkerPool shared(4);
+  for (int quota : {1, 2, 4}) {
+    auto private_exec =
+        BatchExecutor::Create(batch, Options(quota)).value();
+    std::vector<BatchItem> private_items = private_exec->Run();
+
+    BatchOptions shared_options = Options(quota);
+    shared_options.shared_pool = &shared;
+    auto shared_exec = BatchExecutor::Create(batch, shared_options).value();
+    std::vector<BatchItem> shared_items = shared_exec->Run();
+
+    ASSERT_EQ(private_items.size(), shared_items.size());
+    EXPECT_EQ(private_exec->stats().blocks_read,
+              shared_exec->stats().blocks_read);
+    for (size_t q = 0; q < private_items.size(); ++q) {
+      ASSERT_TRUE(shared_items[q].status.ok());
+      EXPECT_EQ(private_items[q].match.topk, shared_items[q].match.topk);
+      ExpectSameCounts(private_items[q].match.counts,
+                       shared_items[q].match.counts,
+                       "shared vs private pool");
+    }
+  }
+}
+
 TEST(BatchExecutorStreamTest, ResumeValidation) {
   BatchFixture f = MakeBatchFixture(2000, 19);
   BoundQuery q = MakeQuery(f, f.target);

@@ -155,5 +155,30 @@ TEST(ColumnStoreTest, TypedDataPointerMatchesGet) {
   }
 }
 
+TEST(ColumnStoreTest, IdentityTokensAreUniqueEvenAcrossAddressReuse) {
+  // id() is the store's registry key (the scheduler's pipelines hang off
+  // it): it must never repeat, even when the allocator hands a new store
+  // a freed store's exact address.
+  ColumnStore a(TwoAttrSchema());
+  ColumnStore b(TwoAttrSchema());
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_NE(a.id(), 0u);
+
+  uint64_t freed_id = 0;
+  const ColumnStore* freed_address = nullptr;
+  {
+    auto dead = std::make_unique<ColumnStore>(TwoAttrSchema());
+    freed_id = dead->id();
+    freed_address = dead.get();
+  }
+  // Allocate until the address recycles (usually the first try for
+  // same-size allocations); whether or not it does, ids stay fresh.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto reborn = std::make_unique<ColumnStore>(TwoAttrSchema());
+    EXPECT_NE(reborn->id(), freed_id);
+    if (reborn.get() == freed_address) break;
+  }
+}
+
 }  // namespace
 }  // namespace fastmatch

@@ -1,0 +1,298 @@
+// Randomized scheduler torture test (ctest label: "stress"; CI runs it
+// under TSan with elevated iterations).
+//
+// N producer threads submit / cancel / abandon queries with mixed
+// deadlines across K stores while the scheduler reaps idle pipelines on
+// a timeout shorter than the test's natural pauses — so admission,
+// eager delivery, eviction, shedding, reaping, and shutdown all race
+// for real. The RNG is seeded (FASTMATCH_STRESS_SEED) so failures
+// reproduce; FASTMATCH_STRESS_ITERS scales rounds for CI soak runs.
+//
+// Invariants checked:
+//   * every accepted Submit's future resolves (Get never hangs), and
+//     resolves exactly once — a double fulfillment would throw
+//     std::future_error from the scheduler's promise and abort;
+//     stats.completed == stats.submitted seals the count;
+//   * terminal states respect the lifecycle: a plain query ends OK
+//     with the correct top-k, a deadline query ends OK or
+//     DeadlineExceeded, a cancelled query ends OK or Cancelled (a
+//     cancel never corrupts a result that beat it), a malformed query
+//     ends InvalidArgument;
+//   * the process thread count stays bounded by pool size + pipelines
+//     + producers + slack throughout the churn (the SharedWorkerPool /
+//     reaping claim), sampled while the storm runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "index/bitmap_index.h"
+#include "service/query_scheduler.h"
+#include "test_helpers.h"
+#include "util/env.h"
+
+namespace fastmatch {
+namespace {
+
+using testing_util::MakeExactStore;
+using testing_util::PlantedDistributions;
+
+struct StressStore {
+  std::shared_ptr<ColumnStore> store;
+  std::shared_ptr<const BitmapIndex> index;
+};
+
+StressStore MakeStressStore(uint64_t seed) {
+  StressStore s;
+  std::vector<double> offsets = {0.0,  0.01, 0.02, 0.06, 0.09, 0.12,
+                                 0.15, 0.17, 0.19, 0.21, 0.23, 0.25};
+  auto dists = PlantedDistributions(12, 8, offsets);
+  s.store = MakeExactStore(std::vector<int64_t>(12, 1500), dists, seed, 50);
+  s.index = BitmapIndex::Build(*s.store, 0).value();
+  return s;
+}
+
+HistSimParams StressParams(uint64_t seed) {
+  HistSimParams p;
+  p.k = 3;
+  p.epsilon = 0.08;
+  p.delta = 0.05;
+  p.sigma = 0.0;
+  p.stage1_samples = 600;
+  p.seed = seed;
+  return p;
+}
+
+enum class Action { kPlain, kDeadline, kCancel, kAbandon, kMalformed };
+
+struct Outcome {
+  Action action;
+  StatusCode code;
+  bool topk_ok = false;
+};
+
+TEST(LifecycleStressTest, RandomizedSubmitCancelAbandonChurn) {
+  const int64_t iters = GetEnvInt64("FASTMATCH_STRESS_ITERS", 1);
+  const uint64_t base_seed = static_cast<uint64_t>(
+      GetEnvInt64("FASTMATCH_STRESS_SEED", 20180501));
+  const int kStores = 3;
+  const int kProducers = 4;
+  const int kQueriesPerProducer = static_cast<int>(24 * iters);
+  const int kRounds = 2;
+
+  SharedWorkerPool pool(3);
+  const int baseline_threads = CountProcessThreads();
+  if (baseline_threads <= 0) {
+    GTEST_SKIP() << "/proc/self/task unavailable on this platform; the "
+                    "thread-bound invariant cannot be measured";
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    // Fresh stores every round: pipelines from the previous round are
+    // dead, and the new stores may reuse freed addresses — the id-keyed
+    // pipeline map must never alias them.
+    std::vector<StressStore> stores;
+    for (int s = 0; s < kStores; ++s) {
+      stores.push_back(
+          MakeStressStore(base_seed + static_cast<uint64_t>(round * 100 + s)));
+    }
+
+    SchedulerOptions options;
+    options.batch.num_threads = 2;
+    options.batch.chunk_blocks = 32;
+    options.max_batch_queries = 4;
+    options.max_queue_wait_seconds = 0.002;
+    options.min_join_suffix_fraction = 0.0;
+    options.eager_delivery = true;
+    options.idle_pipeline_timeout_seconds = 0.02;
+    options.pool = &pool;
+
+    std::vector<std::vector<Outcome>> outcomes(kProducers);
+    std::atomic<int64_t> accepted{0};
+    std::atomic<int> max_threads{0};
+    std::atomic<bool> storm_over{false};
+
+    {
+      QueryScheduler scheduler(options);
+
+      // Thread-count monitor: samples while the storm runs, so the
+      // bound is checked at peak churn, not after it subsides.
+      std::thread monitor([&] {
+        while (!storm_over.load(std::memory_order_relaxed)) {
+          const int now = CountProcessThreads();
+          int seen = max_threads.load(std::memory_order_relaxed);
+          while (now > seen && !max_threads.compare_exchange_weak(
+                                   seen, now, std::memory_order_relaxed)) {
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(500));
+        }
+      });
+
+      std::vector<std::thread> producers;
+      for (int t = 0; t < kProducers; ++t) {
+        producers.emplace_back([&, t] {
+          std::mt19937_64 rng(base_seed ^
+                              (static_cast<uint64_t>(round * 1000 + t) * 1099511628211ULL));
+          std::uniform_real_distribution<double> uni(0.0, 1.0);
+          for (int q = 0; q < kQueriesPerProducer; ++q) {
+            const StressStore& target_store =
+                stores[static_cast<size_t>(rng() % kStores)];
+            BoundQuery query;
+            query.store = target_store.store;
+            query.z_index = target_store.index;
+            query.z_attr = 0;
+            query.x_attrs = {1};
+            query.target = UniformDistribution(8);
+            query.params = StressParams(rng());
+
+            const double draw = uni(rng);
+            Action action;
+            if (draw < 0.15) {
+              action = Action::kDeadline;
+            } else if (draw < 0.30) {
+              action = Action::kCancel;
+            } else if (draw < 0.40) {
+              action = Action::kAbandon;
+            } else if (draw < 0.45) {
+              action = Action::kMalformed;
+              query.target = UniformDistribution(5);  // |VX| is 8
+            } else {
+              action = Action::kPlain;
+            }
+
+            SubmitOptions submit;
+            if (action == Action::kDeadline) {
+              // 50us..2ms: some shed, some slip in before expiring.
+              submit.deadline_seconds = 5e-5 + uni(rng) * 2e-3;
+            }
+            auto handle = scheduler.Submit(query, submit);
+            if (!handle.ok()) {
+              // Back-pressure is the only legal Submit-time refusal in
+              // this storm.
+              ASSERT_EQ(handle.status().code(),
+                        StatusCode::kResourceExhausted);
+              continue;
+            }
+            accepted.fetch_add(1, std::memory_order_relaxed);
+
+            switch (action) {
+              case Action::kAbandon:
+                // Handle dropped without Get(): must auto-cancel.
+                break;
+              case Action::kCancel: {
+                std::this_thread::sleep_for(std::chrono::microseconds(
+                    static_cast<int64_t>(uni(rng) * 2000)));
+                handle->Cancel();
+                Outcome o{action, StatusCode::kOk, false};
+                SchedulerItem item = handle->Get();
+                o.code = item.status.code();
+                if (item.status.ok()) {
+                  std::set<int> got(item.match.topk.begin(),
+                                    item.match.topk.end());
+                  o.topk_ok = got == std::set<int>{0, 1, 2};
+                }
+                outcomes[static_cast<size_t>(t)].push_back(o);
+                break;
+              }
+              default: {
+                Outcome o{action, StatusCode::kOk, false};
+                SchedulerItem item = handle->Get();
+                o.code = item.status.code();
+                if (item.status.ok()) {
+                  std::set<int> got(item.match.topk.begin(),
+                                    item.match.topk.end());
+                  o.topk_ok = got == std::set<int>{0, 1, 2};
+                }
+                outcomes[static_cast<size_t>(t)].push_back(o);
+                break;
+              }
+            }
+            if (uni(rng) < 0.2) {
+              // Occasional pauses longer than the reap timeout, so
+              // pipelines die and are recreated mid-storm.
+              std::this_thread::sleep_for(std::chrono::milliseconds(25));
+            }
+          }
+        });
+      }
+      for (std::thread& producer : producers) producer.join();
+
+      // Abandoned queries resolve without an observer: wait for the
+      // scheduler to account for every accepted query before teardown
+      // (bounded poll — shutdown would mask a hang here).
+      const int64_t want = accepted.load(std::memory_order_relaxed);
+      for (int spin = 0; scheduler.stats().completed < want && spin < 20000;
+           ++spin) {
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+      SchedulerStats stats = scheduler.stats();
+      EXPECT_EQ(stats.completed, want)
+          << "round " << round << ": not every accepted future resolved";
+      EXPECT_EQ(stats.submitted, want);
+
+      storm_over.store(true, std::memory_order_relaxed);
+      monitor.join();
+      scheduler.Shutdown();
+    }
+
+    // Lifecycle legality per category. Top-k quality is judged in
+    // aggregate, not per query: HistSim's separation guarantee is
+    // probabilistic (delta per query), so a small fraction of OK
+    // results may legally rank a borderline candidate differently.
+    int64_t ok_results = 0, wrong_topk = 0;
+    for (const auto& per_thread : outcomes) {
+      for (const Outcome& o : per_thread) {
+        if (o.code == StatusCode::kOk) {
+          ++ok_results;
+          wrong_topk += !o.topk_ok;
+        }
+        switch (o.action) {
+          case Action::kPlain:
+            ASSERT_EQ(o.code, StatusCode::kOk);
+            break;
+          case Action::kDeadline:
+            ASSERT_TRUE(o.code == StatusCode::kOk ||
+                        o.code == StatusCode::kDeadlineExceeded)
+                << StatusCodeName(o.code);
+            break;
+          case Action::kCancel:
+            // A cancel that lost the race must deliver an intact
+            // result, never a corrupted one (checked via topk below).
+            ASSERT_TRUE(o.code == StatusCode::kOk ||
+                        o.code == StatusCode::kCancelled)
+                << StatusCodeName(o.code);
+            break;
+          case Action::kMalformed:
+            ASSERT_EQ(o.code, StatusCode::kInvalidArgument);
+            break;
+          case Action::kAbandon:
+            FAIL() << "abandoned queries record no outcome";
+        }
+      }
+    }
+    ASSERT_GT(ok_results, 0);
+    // delta = 0.05 per query; 0.25 leaves a wide margin while still
+    // catching systematic corruption (e.g. torn counts under races).
+    EXPECT_LE(static_cast<double>(wrong_topk),
+              0.25 * static_cast<double>(ok_results))
+        << "round " << round << ": " << wrong_topk << "/" << ok_results
+        << " OK results had a wrong top-k";
+
+    // Thread bound: shared pool workers + one driver per live store
+    // pipeline (old and new can overlap briefly around a reap) + the
+    // janitor + producers + monitor + slack for the test harness.
+    const int bound = baseline_threads + pool.size() + 2 * kStores + 1 +
+                      kProducers + 1 + 4;
+    EXPECT_LE(max_threads.load(), bound)
+        << "round " << round << ": thread count not bounded";
+    EXPECT_GT(max_threads.load(), baseline_threads);
+  }
+}
+
+}  // namespace
+}  // namespace fastmatch

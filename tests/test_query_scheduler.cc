@@ -1,7 +1,10 @@
 // Tests of the service-tier QueryScheduler: per-store routing, admission
 // policy (timeout flush of partial batches, bounded-queue back-pressure),
 // streaming mid-flight joins, late arrivals falling back to fresh
-// batches, and drain-on-shutdown.
+// batches, drain-on-shutdown, and the per-query lifecycle — deadlines,
+// cancellation (queued and running), abandoned handles, eager delivery,
+// and idle-pipeline reaping. The randomized concurrency torture test
+// lives in test_lifecycle_stress.cc.
 
 #include "service/query_scheduler.h"
 
@@ -91,16 +94,16 @@ TEST(QuerySchedulerTest, CompletesQueriesAcrossStores) {
   SchedFixture f2 = MakeSchedFixture(8000, 2);
   QueryScheduler scheduler(FastOptions());
 
-  std::vector<std::future<SchedulerItem>> futures;
+  std::vector<QueryHandle> handles;
   for (int i = 0; i < 3; ++i) {
     auto a = scheduler.Submit(MakeQuery(f1, 100 + i));
     ASSERT_TRUE(a.ok()) << a.status().ToString();
-    futures.push_back(std::move(*a));
+    handles.push_back(std::move(*a));
     auto b = scheduler.Submit(MakeQuery(f2, 200 + i));
     ASSERT_TRUE(b.ok()) << b.status().ToString();
-    futures.push_back(std::move(*b));
+    handles.push_back(std::move(*b));
   }
-  for (auto& future : futures) ExpectTop3(future.get());
+  for (auto& handle : handles) ExpectTop3(handle.Get());
 
   SchedulerStats stats = scheduler.stats();
   EXPECT_EQ(stats.pipelines, 2);
@@ -119,8 +122,8 @@ TEST(QuerySchedulerTest, TimeoutFlushLaunchesPartialBatch) {
   auto b = scheduler.Submit(MakeQuery(f, 2));
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  ExpectTop3(a->get());
-  ExpectTop3(b->get());
+  ExpectTop3(a->Get());
+  ExpectTop3(b->Get());
   SchedulerStats stats = scheduler.stats();
   EXPECT_GE(stats.timeout_flushes, 1);
   EXPECT_GE(stats.batches_launched, 1);
@@ -137,14 +140,14 @@ TEST(QuerySchedulerTest, EmptyTimeoutNeverLaunchesABatch) {
   // Create the store's pipeline, drain it, then leave it idle.
   auto warm = scheduler.Submit(MakeQuery(f, 1));
   ASSERT_TRUE(warm.ok());
-  ExpectTop3(warm->get());
+  ExpectTop3(warm->Get());
   const int64_t batches_after_warm = scheduler.stats().batches_launched;
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
   EXPECT_EQ(scheduler.stats().batches_launched, batches_after_warm);
   // And the pipeline still accepts work afterwards.
   auto late = scheduler.Submit(MakeQuery(f, 2));
   ASSERT_TRUE(late.ok());
-  ExpectTop3(late->get());
+  ExpectTop3(late->Get());
 }
 
 TEST(QuerySchedulerTest, BackPressureRejectsWhenSaturated) {
@@ -168,43 +171,63 @@ TEST(QuerySchedulerTest, BackPressureRejectsWhenSaturated) {
 
   // Shutdown drains the pending queue; the accepted queries complete.
   scheduler.Shutdown();
-  ExpectTop3(a->get());
-  ExpectTop3(b->get());
+  ExpectTop3(a->Get());
+  ExpectTop3(b->Get());
   EXPECT_EQ(scheduler.stats().completed, 2);
 }
 
 TEST(QuerySchedulerTest, StreamingAdmissionJoinsARunningScan) {
   // A slow first batch (tight epsilon over a larger store) and a
-  // follower submitted right after launch: the follower must join the
-  // running scan mid-flight rather than wait for the next batch.
+  // follower submitted right after launch: the follower joins the
+  // running scan mid-flight rather than waiting for the next batch.
+  //
+  // The race is real concurrency, so landing the follower inside the
+  // batch's window is probabilistic — on a single-core host the
+  // pipeline thread can run a whole batch before the submitting thread
+  // is rescheduled. Each attempt is valid either way (results stay
+  // correct); the test retries until one attempt demonstrates the
+  // mid-flight join. Join *correctness* (suffix equivalence, bit-for-
+  // bit determinism) is proven deterministically in
+  // test_batch_executor.cc; this asserts the scheduler wires it up.
   SchedFixture f = MakeSchedFixture(30000, 6);
-  SchedulerOptions options = FastOptions();
-  options.max_queue_wait_seconds = 0.001;
-  QueryScheduler scheduler(options);
+  bool joined = false;
+  for (int attempt = 0; attempt < 20 && !joined; ++attempt) {
+    SchedulerOptions options = FastOptions();
+    options.max_queue_wait_seconds = 0.001;
+    QueryScheduler scheduler(options);
 
-  BoundQuery slow = MakeQuery(f, 1);
-  slow.params.epsilon = 0.03;
-  auto first = scheduler.Submit(std::move(slow));
-  ASSERT_TRUE(first.ok());
-  // Wait for the batch to launch (the counter ticks before the executor
-  // is even created, well before its scan can finish).
-  for (int spin = 0; scheduler.stats().batches_launched < 1 && spin < 10000;
-       ++spin) {
-    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    BoundQuery slow = MakeQuery(f, 1);
+    slow.params.epsilon = 0.03;
+    auto first = scheduler.Submit(std::move(slow));
+    ASSERT_TRUE(first.ok());
+    // Wait for the batch to launch (the counter ticks before the
+    // executor is even created, well before its scan can finish).
+    for (int spin = 0; scheduler.stats().batches_launched < 1 && spin < 10000;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    ASSERT_GE(scheduler.stats().batches_launched, 1);
+
+    auto follower = scheduler.Submit(MakeQuery(f, 2));
+    ASSERT_TRUE(follower.ok());
+    SchedulerItem follower_item = follower->Get();
+    ExpectTop3(follower_item);
+    ExpectTop3(first->Get());
+
+    SchedulerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.completed, 2);
+    if (follower_item.joined_midflight) {
+      joined = true;
+      EXPECT_EQ(stats.joined_midflight, 1);
+      EXPECT_EQ(stats.batches_launched, 1);
+    } else {
+      // Missed the window: the follower ran in its own fresh batch.
+      EXPECT_EQ(stats.joined_midflight, 0);
+      EXPECT_GE(stats.batches_launched, 2);
+    }
   }
-  ASSERT_GE(scheduler.stats().batches_launched, 1);
-
-  auto follower = scheduler.Submit(MakeQuery(f, 2));
-  ASSERT_TRUE(follower.ok());
-  SchedulerItem follower_item = follower->get();
-  ExpectTop3(follower_item);
-  ExpectTop3(first->get());
-
-  SchedulerStats stats = scheduler.stats();
-  EXPECT_EQ(stats.joined_midflight, 1);
-  EXPECT_TRUE(follower_item.joined_midflight);
-  EXPECT_EQ(stats.batches_launched, 1);
-  EXPECT_EQ(stats.completed, 2);
+  EXPECT_TRUE(joined)
+      << "follower never joined a running scan in 20 attempts";
 }
 
 TEST(QuerySchedulerTest, LateArrivalAfterScanEndGetsFreshBatch) {
@@ -218,12 +241,12 @@ TEST(QuerySchedulerTest, LateArrivalAfterScanEndGetsFreshBatch) {
 
   auto a = scheduler.Submit(MakeQuery(f, 1));
   ASSERT_TRUE(a.ok());
-  SchedulerItem first = a->get();
+  SchedulerItem first = a->Get();
   ASSERT_TRUE(first.status.ok()) << first.status.ToString();
 
   auto b = scheduler.Submit(MakeQuery(f, 2));
   ASSERT_TRUE(b.ok());
-  SchedulerItem second = b->get();
+  SchedulerItem second = b->Get();
   ASSERT_TRUE(second.status.ok()) << second.status.ToString();
   EXPECT_FALSE(second.joined_midflight);
 
@@ -259,9 +282,9 @@ TEST(QuerySchedulerTest, SuffixFractionPolicyRefusesLateJoins) {
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
   auto follower = scheduler.Submit(MakeQuery(f, 2));
   ASSERT_TRUE(follower.ok());
-  SchedulerItem follower_item = follower->get();
+  SchedulerItem follower_item = follower->Get();
   ExpectTop3(follower_item);
-  ExpectTop3(first->get());
+  ExpectTop3(first->Get());
   EXPECT_FALSE(follower_item.joined_midflight);
   EXPECT_EQ(scheduler.stats().joined_midflight, 0);
 }
@@ -287,9 +310,293 @@ TEST(QuerySchedulerTest, PerQueryFailuresArriveThroughTheFuture) {
   ASSERT_TRUE(bad_future.ok());  // Submit accepts; execution reports
   auto good_future = scheduler.Submit(MakeQuery(f, 2));
   ASSERT_TRUE(good_future.ok());
-  SchedulerItem bad_item = bad_future->get();
+  SchedulerItem bad_item = bad_future->Get();
   EXPECT_EQ(bad_item.status.code(), StatusCode::kInvalidArgument);
-  ExpectTop3(good_future->get());
+  ExpectTop3(good_future->Get());
+}
+
+TEST(QueryLifecycleTest, DeadlineExceededWhileQueued) {
+  // A 5-second flush window would normally hold the lone query for the
+  // whole wait; its 5 ms queue deadline must shed it long before that,
+  // with DeadlineExceeded, and without launching any batch.
+  SchedFixture f = MakeSchedFixture(2000, 20);
+  SchedulerOptions options = FastOptions();
+  options.max_queue_wait_seconds = 5.0;
+  QueryScheduler scheduler(options);
+
+  SubmitOptions submit;
+  submit.deadline_seconds = 0.005;
+  auto handle = scheduler.Submit(MakeQuery(f, 1), submit);
+  ASSERT_TRUE(handle.ok());
+  SchedulerItem item = handle->Get();
+  EXPECT_EQ(item.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(item.queue_seconds, 0.005);
+
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.batches_launched, 0);
+}
+
+TEST(QueryLifecycleTest, MixedDeadlinesShedOnlyTheExpired) {
+  // Two queries gathered together: the one with a generous deadline
+  // runs, the one with a tiny deadline is shed at the same boundary.
+  SchedFixture f = MakeSchedFixture(2000, 21);
+  SchedulerOptions options = FastOptions();
+  options.max_queue_wait_seconds = 0.05;
+  QueryScheduler scheduler(options);
+
+  SubmitOptions tight;
+  tight.deadline_seconds = 0.002;
+  SubmitOptions loose;
+  loose.deadline_seconds = 60.0;
+  auto doomed = scheduler.Submit(MakeQuery(f, 1), tight);
+  auto fine = scheduler.Submit(MakeQuery(f, 2), loose);
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE(fine.ok());
+  EXPECT_EQ(doomed->Get().status.code(), StatusCode::kDeadlineExceeded);
+  ExpectTop3(fine->Get());
+  EXPECT_EQ(scheduler.stats().deadline_exceeded, 1);
+}
+
+TEST(QueryLifecycleTest, CancelWhileQueuedShedsBeforeLaunch) {
+  // Cancel lands while the query is still queued (its batch is waiting
+  // to fill): the flush boundary sheds it with Cancelled and never
+  // runs it.
+  SchedFixture f = MakeSchedFixture(2000, 22);
+  SchedulerOptions options = FastOptions();
+  options.max_queue_wait_seconds = 0.05;
+  QueryScheduler scheduler(options);
+
+  auto handle = scheduler.Submit(MakeQuery(f, 1));
+  ASSERT_TRUE(handle.ok());
+  handle->Cancel();
+  SchedulerItem item = handle->Get();
+  EXPECT_EQ(item.status.code(), StatusCode::kCancelled);
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.evicted, 0);
+  EXPECT_EQ(stats.batches_launched, 0);
+}
+
+TEST(QueryLifecycleTest, CancelRunningQueryEvictsFromBatch) {
+  // A slow scan (tight epsilon over a larger store) cancelled
+  // mid-flight: the query is evicted at a chunk boundary and its future
+  // resolves Cancelled well before the scan could have finished.
+  SchedFixture f = MakeSchedFixture(30000, 23);
+  SchedulerOptions options = FastOptions();
+  options.max_queue_wait_seconds = 0.001;
+  QueryScheduler scheduler(options);
+
+  BoundQuery slow = MakeQuery(f, 1);
+  slow.params.epsilon = 0.03;
+  auto handle = scheduler.Submit(std::move(slow));
+  ASSERT_TRUE(handle.ok());
+  for (int spin = 0; scheduler.stats().batches_launched < 1 && spin < 10000;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_GE(scheduler.stats().batches_launched, 1);
+
+  handle->Cancel();
+  SchedulerItem item = handle->Get();
+  // The cancel usually wins (the scan has 100+ chunks to go), but a
+  // completion racing it is legal — then the result must be intact.
+  if (item.status.code() == StatusCode::kCancelled) {
+    EXPECT_EQ(scheduler.stats().evicted, 1);
+    EXPECT_EQ(scheduler.stats().cancelled, 1);
+  } else {
+    ExpectTop3(item);
+  }
+}
+
+TEST(QueryLifecycleTest, AbandonedHandleCancelsTheQuery) {
+  // Destroying a handle without taking its result abandons the query;
+  // the scheduler stops spending scan work on it (evicts it) instead of
+  // running it to completion for nobody.
+  SchedFixture f = MakeSchedFixture(30000, 24);
+  SchedulerOptions options = FastOptions();
+  options.max_queue_wait_seconds = 0.001;
+  QueryScheduler scheduler(options);
+  {
+    BoundQuery slow = MakeQuery(f, 1);
+    slow.params.epsilon = 0.03;
+    auto handle = scheduler.Submit(std::move(slow));
+    ASSERT_TRUE(handle.ok());
+    for (int spin = 0; scheduler.stats().batches_launched < 1 && spin < 10000;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }  // handle dropped here without Get(): abandoned
+  // The pipeline observes the cancel at the next chunk boundary.
+  for (int spin = 0; scheduler.stats().completed < 1 && spin < 10000; ++spin) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 1);
+  // Cancelled unless the machine won the race (then it completed OK).
+  EXPECT_LE(stats.cancelled, 1);
+  EXPECT_EQ(stats.cancelled, stats.evicted);
+}
+
+TEST(QueryLifecycleTest, EagerDeliveryFulfillsBeforeBatchRetire) {
+  // Two queries in one batch: a loose-epsilon query finishes its
+  // machine long before a tight-epsilon one. With eager delivery the
+  // fast query's future must be ready while the slow one still runs.
+  SchedFixture f = MakeSchedFixture(30000, 25);
+  SchedulerOptions options = FastOptions();
+  options.max_batch_queries = 2;  // launch as soon as both are queued
+  options.max_queue_wait_seconds = 5.0;
+  QueryScheduler scheduler(options);
+
+  BoundQuery slow = MakeQuery(f, 1);
+  slow.params.epsilon = 0.03;
+  BoundQuery fast = MakeQuery(f, 2);
+  fast.params.epsilon = 0.2;
+  auto slow_handle = scheduler.Submit(std::move(slow));
+  auto fast_handle = scheduler.Submit(std::move(fast));
+  ASSERT_TRUE(slow_handle.ok());
+  ASSERT_TRUE(fast_handle.ok());
+
+  ExpectTop3(fast_handle->Get());
+  // The fast future resolved eagerly: at that moment the batch was
+  // still in flight (the slow machine needs many more chunks), so the
+  // eager counter must tick before the slow future resolves.
+  const int64_t eager_at_fast = scheduler.stats().eager_delivered;
+  ExpectTop3(slow_handle->Get());
+  EXPECT_GE(eager_at_fast, 1);
+  EXPECT_EQ(scheduler.stats().completed, 2);
+}
+
+TEST(QueryLifecycleTest, RetireTimeDeliveryStillWorks) {
+  // eager_delivery=false restores batch-retire fulfillment: results are
+  // identical, just later; the eager counter stays zero.
+  SchedFixture f = MakeSchedFixture(4000, 26);
+  SchedulerOptions options = FastOptions();
+  options.eager_delivery = false;
+  QueryScheduler scheduler(options);
+  auto a = scheduler.Submit(MakeQuery(f, 1));
+  auto b = scheduler.Submit(MakeQuery(f, 2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectTop3(a->Get());
+  ExpectTop3(b->Get());
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.eager_delivered, 0);
+  EXPECT_EQ(stats.completed, 2);
+}
+
+TEST(QueryLifecycleTest, IdlePipelineIsReapedAndStoreRecovers) {
+  // A pipeline idle past the timeout is reaped (driver joined, counter
+  // ticks); the same store transparently gets a fresh pipeline on its
+  // next Submit.
+  SchedFixture f = MakeSchedFixture(2000, 27);
+  SchedulerOptions options = FastOptions();
+  options.idle_pipeline_timeout_seconds = 0.02;
+  QueryScheduler scheduler(options);
+
+  auto warm = scheduler.Submit(MakeQuery(f, 1));
+  ASSERT_TRUE(warm.ok());
+  ExpectTop3(warm->Get());
+  EXPECT_EQ(scheduler.stats().pipelines, 1);
+
+  for (int spin = 0; scheduler.stats().pipelines_reaped < 1 && spin < 10000;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  EXPECT_EQ(scheduler.stats().pipelines_reaped, 1);
+
+  auto late = scheduler.Submit(MakeQuery(f, 2));
+  ASSERT_TRUE(late.ok());
+  ExpectTop3(late->Get());
+  EXPECT_EQ(scheduler.stats().pipelines, 2);
+}
+
+TEST(QueryLifecycleTest, FreedStoreAddressReuseDoesNotAliasDeadPipeline) {
+  // Pipelines are keyed by ColumnStore::id(), not the store pointer:
+  // even if a new store lands at a freed store's exact address, it must
+  // get its own pipeline, not the dead store's.
+  SchedulerOptions options = FastOptions();
+  options.idle_pipeline_timeout_seconds = 0.02;
+  QueryScheduler scheduler(options);
+
+  const ColumnStore* first_address = nullptr;
+  {
+    SchedFixture f = MakeSchedFixture(2000, 28);
+    first_address = f.store.get();
+    auto handle = scheduler.Submit(MakeQuery(f, 1));
+    ASSERT_TRUE(handle.ok());
+    ExpectTop3(handle->Get());
+  }  // the store (and every query referencing it) is freed here
+  for (int spin = 0; scheduler.stats().pipelines_reaped < 1 && spin < 10000;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  ASSERT_EQ(scheduler.stats().pipelines_reaped, 1);
+
+  // A new store — same address or not, its id() differs, so it must
+  // route to a fresh pipeline and complete normally.
+  SchedFixture g = MakeSchedFixture(2000, 29);
+  auto handle = scheduler.Submit(MakeQuery(g, 2));
+  ASSERT_TRUE(handle.ok());
+  ExpectTop3(handle->Get());
+  EXPECT_EQ(scheduler.stats().pipelines, 2);
+  // Not asserted (the allocator decides), but the scenario is real:
+  // address reuse is why the key is the id.
+  (void)first_address;
+}
+
+TEST(QueryLifecycleTest, ShutdownResolvesEveryAcceptedQuery) {
+  // Queries parked behind a 5-second flush window when Shutdown hits:
+  // the drain must resolve every accepted future exactly once, each in
+  // a terminal state from {result, DeadlineExceeded, Cancelled,
+  // Unavailable} — no hangs, no leaks.
+  SchedFixture f = MakeSchedFixture(2000, 30);
+  SchedulerOptions options = FastOptions();
+  options.max_queue_wait_seconds = 5.0;
+  options.max_batch_queries = 16;
+  QueryScheduler scheduler(options);
+
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    auto handle = scheduler.Submit(MakeQuery(f, 100 + i));
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(std::move(*handle));
+  }
+  handles[1].Cancel();
+  SubmitOptions tight;
+  tight.deadline_seconds = 1e-9;  // already expired at the drain
+  auto doomed = scheduler.Submit(MakeQuery(f, 200), tight);
+  ASSERT_TRUE(doomed.ok());
+  handles.push_back(std::move(*doomed));
+
+  scheduler.Shutdown();
+
+  int results = 0, terminal = 0;
+  for (auto& handle : handles) {
+    SchedulerItem item = handle.Get();  // must not hang
+    switch (item.status.code()) {
+      case StatusCode::kOk:
+        ++results;
+        break;
+      case StatusCode::kDeadlineExceeded:
+      case StatusCode::kCancelled:
+      case StatusCode::kUnavailable:
+        ++terminal;
+        break;
+      default:
+        FAIL() << "unexpected terminal status " << item.status.ToString();
+    }
+  }
+  EXPECT_EQ(results + terminal, 7);
+  EXPECT_GE(terminal, 2);  // the cancelled and the expired query
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 7);
+  EXPECT_EQ(stats.submitted, 7);
+
+  // And Submit after Shutdown still fails fast.
+  EXPECT_EQ(scheduler.Submit(MakeQuery(f, 3)).status().code(),
+            StatusCode::kFailedPrecondition);
 }
 
 }  // namespace

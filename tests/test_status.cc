@@ -26,7 +26,20 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::InvalidArgument("bad input").message(), "bad input");
+}
+
+TEST(StatusTest, LifecycleCodeNames) {
+  // The service tier's terminal states render distinctly (the stress
+  // suite's outcome accounting keys on these strings in failure output).
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::Cancelled("gone").ToString(), "Cancelled: gone");
+  EXPECT_EQ(Status::Unavailable("drain").ToString(), "Unavailable: drain");
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {

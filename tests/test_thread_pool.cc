@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 namespace fastmatch {
@@ -109,6 +111,76 @@ TEST(WorkerPoolStress, InterleavedSubmitAndParallelFor) {
   pool.Wait();
   EXPECT_EQ(submitted.load(), 50 * 8);
   EXPECT_EQ(forked.load(), 50 * 64);
+}
+
+TEST(SharedWorkerPoolTest, QuotaCoversEveryIndexExactlyOnce) {
+  SharedWorkerPool pool(4);
+  for (int quota : {1, 2, 4, 9}) {
+    std::vector<std::atomic<int>> hits(500);
+    pool.ParallelFor(
+        500,
+        [&](int64_t i) {
+          hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+        },
+        quota);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(SharedWorkerPoolTest, QuotaBoundsConcurrency) {
+  // A client with quota q must never have more than q of its tasks
+  // running at once, however large the shared pool is. The body spins
+  // briefly so overlapping tasks actually overlap.
+  SharedWorkerPool pool(8);
+  for (int quota : {1, 2, 3}) {
+    std::atomic<int> live{0};
+    std::atomic<int> high_water{0};
+    pool.ParallelFor(
+        64,
+        [&](int64_t) {
+          const int now = live.fetch_add(1, std::memory_order_acq_rel) + 1;
+          int seen = high_water.load(std::memory_order_relaxed);
+          while (now > seen && !high_water.compare_exchange_weak(
+                                   seen, now, std::memory_order_relaxed)) {
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          live.fetch_sub(1, std::memory_order_acq_rel);
+        },
+        quota);
+    EXPECT_LE(high_water.load(), quota) << "quota " << quota;
+    EXPECT_GE(high_water.load(), 1);
+  }
+}
+
+TEST(SharedWorkerPoolTest, ConcurrentClientsShareOnePool) {
+  // Two caller threads fork work into the same pool under separate
+  // quotas; both complete fully — the fork-join state is per call, so
+  // clients never observe each other's completions.
+  SharedWorkerPool pool(4);
+  std::atomic<int64_t> a{0}, b{0};
+  std::thread ta([&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.ParallelFor(
+          64, [&](int64_t) { a.fetch_add(1, std::memory_order_relaxed); }, 2);
+    }
+  });
+  std::thread tb([&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.ParallelFor(
+          64, [&](int64_t) { b.fetch_add(1, std::memory_order_relaxed); }, 2);
+    }
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.load(), 20 * 64);
+  EXPECT_EQ(b.load(), 20 * 64);
+}
+
+TEST(SharedWorkerPoolTest, ProcessPoolIsASingleton) {
+  SharedWorkerPool& a = SharedWorkerPool::Process();
+  SharedWorkerPool& b = SharedWorkerPool::Process();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1);
 }
 
 }  // namespace

@@ -121,5 +121,98 @@ TEST(MakeTrafficStreamTest, DeterministicForASeed) {
   }
 }
 
+TEST(MakeTrafficStreamTest, LifecycleStampsOffByDefault) {
+  auto store = MakeStore(7);
+  TrafficStreamOptions sopt;
+  sopt.num_queries = 40;
+  sopt.params = TrafficParams();
+  std::vector<StoreTraffic> stores = {{store, nullptr, 0, {1}, 1.0}};
+  auto stream = MakeTrafficStream(stores, sopt).value();
+  for (const Arrival& arrival : stream) {
+    EXPECT_EQ(arrival.deadline_seconds, 0);
+    EXPECT_LT(arrival.cancel_at_seconds, 0);
+  }
+}
+
+TEST(MakeTrafficStreamTest, LifecycleStampsFollowTheFractions) {
+  auto store = MakeStore(8);
+  TrafficStreamOptions sopt;
+  sopt.num_queries = 300;
+  sopt.params = TrafficParams();
+  sopt.seed = 5;
+  sopt.deadline_fraction = 0.3;
+  sopt.deadline_seconds = 0.02;
+  sopt.cancel_fraction = 0.2;
+  sopt.mean_cancel_delay_seconds = 0.004;
+  std::vector<StoreTraffic> stores = {{store, nullptr, 0, {1}, 1.0}};
+  auto stream = MakeTrafficStream(stores, sopt).value();
+
+  int with_deadline = 0, with_cancel = 0;
+  for (const Arrival& arrival : stream) {
+    if (arrival.deadline_seconds > 0) {
+      ++with_deadline;
+      EXPECT_EQ(arrival.deadline_seconds, 0.02);
+    }
+    if (arrival.cancel_at_seconds >= 0) {
+      ++with_cancel;
+      // A cancel always happens strictly after the arrival it targets.
+      EXPECT_GT(arrival.cancel_at_seconds, arrival.at_seconds);
+    }
+  }
+  // Loose binomial bounds (n=300): the stamps track their fractions.
+  EXPECT_GT(with_deadline, 300 * 0.3 / 2);
+  EXPECT_LT(with_deadline, 300 * 0.3 * 2);
+  EXPECT_GT(with_cancel, 300 * 0.2 / 2);
+  EXPECT_LT(with_cancel, 300 * 0.2 * 2);
+}
+
+TEST(MakeTrafficStreamTest, ArrivalSequenceInvariantUnderLifecycleKnobs) {
+  // The same seed must produce the same stores/gaps/targets whether or
+  // not lifecycle stamps are enabled, so benches can compare policies
+  // on one stream.
+  auto store_a = MakeStore(9);
+  auto store_b = MakeStore(10);
+  std::vector<StoreTraffic> stores = {{store_a, nullptr, 0, {1}, 1.0},
+                                      {store_b, nullptr, 0, {1}, 2.0}};
+  TrafficStreamOptions plain;
+  plain.num_queries = 80;
+  plain.params = TrafficParams();
+  plain.seed = 13;
+  TrafficStreamOptions stamped = plain;
+  stamped.deadline_fraction = 0.5;
+  stamped.cancel_fraction = 0.25;
+  auto a = MakeTrafficStream(stores, plain).value();
+  auto b = MakeTrafficStream(stores, stamped).value();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_seconds, b[i].at_seconds);
+    EXPECT_EQ(a[i].query.store.get(), b[i].query.store.get());
+    EXPECT_EQ(a[i].query.target, b[i].query.target);
+    EXPECT_EQ(a[i].deadline_seconds, 0);
+    EXPECT_LT(a[i].cancel_at_seconds, 0);
+  }
+}
+
+TEST(MakeTrafficStreamTest, LifecycleValidation) {
+  auto store = MakeStore(11);
+  std::vector<StoreTraffic> stores = {{store, nullptr, 0, {1}, 1.0}};
+  TrafficStreamOptions sopt;
+  sopt.num_queries = 10;
+  sopt.params = TrafficParams();
+  sopt.deadline_fraction = 1.5;
+  EXPECT_FALSE(MakeTrafficStream(stores, sopt).ok());
+  sopt.deadline_fraction = 0.5;
+  sopt.deadline_seconds = 0;
+  EXPECT_FALSE(MakeTrafficStream(stores, sopt).ok());
+  sopt.deadline_seconds = 0.01;
+  sopt.cancel_fraction = -0.1;
+  EXPECT_FALSE(MakeTrafficStream(stores, sopt).ok());
+  sopt.cancel_fraction = 0.1;
+  sopt.mean_cancel_delay_seconds = -1;
+  EXPECT_FALSE(MakeTrafficStream(stores, sopt).ok());
+  sopt.mean_cancel_delay_seconds = 0.001;
+  EXPECT_TRUE(MakeTrafficStream(stores, sopt).ok());
+}
+
 }  // namespace
 }  // namespace fastmatch
