@@ -36,10 +36,36 @@ CPU_MODEL="$(awk -F': *' '/model name/{print $2; exit}' /proc/cpuinfo 2>/dev/nul
 [[ -n "${CPU_MODEL}" ]] || CPU_MODEL=unknown  # e.g. ARM /proc/cpuinfo
 THREADS="$(nproc 2>/dev/null || echo 1)"
 
+# BUILD_DIR gotcha guard: pointing BUILD_DIR at an existing test build
+# tree used to silently reconfigure it with -DFASTMATCH_BUILD_TESTS=OFF,
+# vanishing the test targets while stale test binaries kept running.
+# Preserve whatever the existing cache says about tests/examples (a
+# fresh tree still gets the lean bench-only defaults).
+TESTS_FLAG=OFF
+EXAMPLES_FLAG=OFF
+cmake_truthy() {  # CMake's truthy set: 1, ON, YES, TRUE, Y, non-zero number
+  case "$(printf '%s' "$1" | tr '[:lower:]' '[:upper:]')" in
+    1|ON|YES|TRUE|Y) return 0 ;;
+    *) [[ "$1" =~ ^[0-9]+$ && "$1" != 0 ]] ;;
+  esac
+}
+if [[ -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cached_tests="$(sed -n 's/^FASTMATCH_BUILD_TESTS:BOOL=//p' "${BUILD_DIR}/CMakeCache.txt")"
+  cached_examples="$(sed -n 's/^FASTMATCH_BUILD_EXAMPLES:BOOL=//p' "${BUILD_DIR}/CMakeCache.txt")"
+  if cmake_truthy "${cached_tests}" || cmake_truthy "${cached_examples}"; then
+    TESTS_FLAG="${cached_tests:-OFF}"
+    EXAMPLES_FLAG="${cached_examples:-OFF}"
+    echo "run_benches.sh: ${BUILD_DIR} is an existing tree with" \
+      "FASTMATCH_BUILD_TESTS=${cached_tests:-unset}," \
+      "FASTMATCH_BUILD_EXAMPLES=${cached_examples:-unset};" \
+      "preserving those flags instead of disabling them." >&2
+  fi
+fi
+
 cmake -B "${BUILD_DIR}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=Release \
-  -DFASTMATCH_BUILD_TESTS=OFF \
-  -DFASTMATCH_BUILD_EXAMPLES=OFF
+  -DFASTMATCH_BUILD_TESTS="${TESTS_FLAG}" \
+  -DFASTMATCH_BUILD_EXAMPLES="${EXAMPLES_FLAG}"
 cmake --build "${BUILD_DIR}" -j --target benches
 
 mkdir -p "${OUT_DIR}"

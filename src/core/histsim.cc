@@ -33,8 +33,30 @@ void HistSimMachine::RefreshTau(int i) {
   tau_[i] = HistDistance(params_.metric, d, target_);
 }
 
+void HistSimMachine::MarkExact(int i) {
+  if (exact_[i]) return;
+  if (prior_counts_.num_candidates() == vz_ &&
+      !prior_exact_[static_cast<size_t>(i)]) {
+    // The caller's exhaustion proves ITS window's counts exact, and an
+    // overlapping prior may double-count rows of that window: remove
+    // the prior's row so the exact claim covers exactly the caller's
+    // window (the same semantics a cold query has).
+    int64_t* row =
+        total_.MutableData() + static_cast<size_t>(i) * total_.num_groups();
+    const auto prior_row = prior_counts_.Row(i);
+    int64_t removed = 0;
+    for (int g = 0; g < total_.num_groups(); ++g) {
+      row[g] -= prior_row[static_cast<size_t>(g)];
+      removed += prior_row[static_cast<size_t>(g)];
+    }
+    total_.MutableRowTotals()[i] -= removed;
+    RefreshTau(i);
+  }
+  exact_[i] = true;
+}
+
 Status HistSimMachine::Begin(int num_candidates, int num_groups,
-                             int64_t total_rows) {
+                             int64_t total_rows, const Stage1Prior* prior) {
   if (phase_ != Phase::kCreated) {
     return Status::FailedPrecondition("HistSimMachine::Begin called twice");
   }
@@ -81,6 +103,45 @@ Status HistSimMachine::Begin(int num_candidates, int num_groups,
   demand_.targets.clear();
   phase_ = Phase::kStage1;
   stage_timer_.Restart();
+
+  if (prior != nullptr) {
+    // Warm start: the stage-1 demand just issued is satisfied from the
+    // prior sample, exactly as if the caller had drawn it. Validation
+    // failures leave the machine failed (same contract as a bad
+    // Supply); the prior is caller data, so they are statuses, not
+    // CHECKs.
+    if (prior->counts == nullptr || prior->rows_drawn <= 0) {
+      phase_ = Phase::kFailed;
+      demand_ = SampleDemand{};
+      return Status::InvalidArgument(
+          "stage-1 prior has no counts or a non-positive row count");
+    }
+    if (prior->counts->num_candidates() != vz_ ||
+        prior->counts->num_groups() != vx_) {
+      phase_ = Phase::kFailed;
+      demand_ = SampleDemand{};
+      return Status::InvalidArgument(
+          "stage-1 prior does not match the sampling domain");
+    }
+    if (prior->exhausted != nullptr &&
+        static_cast<int>(prior->exhausted->size()) != vz_) {
+      phase_ = Phase::kFailed;
+      demand_ = SampleDemand{};
+      return Status::InvalidArgument(
+          "stage-1 prior exhausted flags do not match the candidate count");
+    }
+    diag_.stage1_warm = true;
+    if (prior->overlapping && !prior->all_consumed) {
+      prior_counts_ = *prior->counts;
+      prior_exact_.assign(static_cast<size_t>(vz_), false);
+      if (prior->exhausted != nullptr) prior_exact_ = *prior->exhausted;
+    }
+    const std::vector<bool> no_exhaustion(static_cast<size_t>(vz_), false);
+    return Supply(*prior->counts,
+                  prior->exhausted != nullptr ? *prior->exhausted
+                                              : no_exhaustion,
+                  prior->all_consumed, prior->rows_drawn);
+  }
   return Status::OK();
 }
 
@@ -98,10 +159,10 @@ Status HistSimMachine::Supply(const CountMatrix& fresh,
 
   data_exhausted_ = all_consumed;
   if (all_consumed) {
-    std::fill(exact_.begin(), exact_.end(), true);
+    for (int i = 0; i < vz_; ++i) MarkExact(i);
   } else {
     for (int i = 0; i < vz_; ++i) {
-      if (exhausted[i]) exact_[i] = true;
+      if (exhausted[i]) MarkExact(i);
     }
   }
 

@@ -43,6 +43,10 @@ struct HistSimDiagnostics {
   int64_t stage3_samples = 0;   ///< fresh tuples drawn in stage 3
   int rounds = 0;               ///< stage-2 rounds executed
   int pruned_candidates = 0;    ///< flagged rare in stage 1
+  /// Stage 1 was served from a prior sample (HistSimMachine::Begin with
+  /// a Stage1Prior): stage1_samples counts the prior's rows, none of
+  /// which were drawn by this run.
+  bool stage1_warm = false;
   int exact_candidates = 0;     ///< fully enumerated (exhausted) candidates
   bool data_exhausted = false;  ///< the whole relation was consumed
   int chosen_k = 0;             ///< k actually returned (k-range extension)
@@ -93,6 +97,42 @@ struct SampleDemand {
   std::vector<int64_t> targets;
 };
 
+/// \brief A completed stage-1 sample to warm-start a machine from,
+/// skipping the stage-1 draw entirely.
+///
+/// Stage 1 is target-independent: it draws a fixed number of uniform
+/// rows before any candidate targets exist, so one query's stage-1
+/// counts are reusable by every other query on the same (store,
+/// template). `counts`/`rows_drawn` follow the same per-call
+/// fresh-counter contract as a stage-1 Supply(): counts cover the rows
+/// drawn for that stage-1 phase and ONLY those rows (never later
+/// phases' samples). The prior must itself be a uniform
+/// without-replacement sample of the relation — e.g. a scan prefix of a
+/// pre-shuffled store, which is exactly what the batch executor
+/// exports (engine Stage1Snapshot).
+struct Stage1Prior {
+  /// Stage-1 counts, |VZ| x |VX|. Required.
+  const CountMatrix* counts = nullptr;
+  /// Rows behind `counts`; must be > 0.
+  int64_t rows_drawn = 0;
+  /// Optional per-candidate exhaustion knowledge: exhausted[i] asserts
+  /// counts row i is EXACT (every row of candidate i is behind it), not
+  /// merely that some sampling window ran dry. Empty = no knowledge.
+  const std::vector<bool>* exhausted = nullptr;
+  /// Every row of the relation is behind `counts` (all rows exact); the
+  /// machine then completes immediately with the exact result.
+  bool all_consumed = false;
+  /// The caller's later sampling window may revisit rows already behind
+  /// `counts` (e.g. a warm start into a fresh scan that was NOT resumed
+  /// from the prior's position). Pooled totals are statistically fine —
+  /// two independent uniform samples — but an exactness signal from the
+  /// caller then covers only the caller's own window: the machine
+  /// subtracts the prior's row before trusting a candidate's counts as
+  /// exact, restoring the cold window-exactness semantics. Leave false
+  /// when the caller's window is disjoint from the prior's rows.
+  bool overlapping = false;
+};
+
 /// \brief One HistSim run as a resumable state machine.
 ///
 /// Protocol: Begin() once, then alternate demand() / Supply() until
@@ -108,8 +148,14 @@ class HistSimMachine {
   HistSimMachine(HistSimParams params, Distribution target);
 
   /// \brief Validates parameters against the sampling domain and issues
-  /// the stage-1 demand.
-  Status Begin(int num_candidates, int num_groups, int64_t total_rows);
+  /// the stage-1 demand. With a `prior`, the stage-1 demand is satisfied
+  /// immediately from the prior sample (a warm start: the machine
+  /// advances past stage 1 — or straight to completion when the prior
+  /// covers the whole relation — without the caller drawing a row);
+  /// equivalent to a cold Begin followed by Supply(prior...), and the
+  /// prior must meet Supply's stage-1 contract.
+  Status Begin(int num_candidates, int num_groups, int64_t total_rows,
+               const Stage1Prior* prior = nullptr);
 
   /// \brief True once the run completed; TakeResult() is then valid.
   bool done() const { return phase_ == Phase::kDone; }
@@ -145,6 +191,12 @@ class HistSimMachine {
   bool TauLess(int a, int b) const {
     return tau_[a] < tau_[b] || (tau_[a] == tau_[b] && a < b);
   }
+  /// Marks candidate i exact on the caller's exhaustion signal. With an
+  /// overlapping warm prior, the prior's row is first removed from the
+  /// totals (unless the prior itself certified the row exact): the
+  /// caller's exhaustion only proves ITS window's counts exact, and the
+  /// prior's rows may double-count that window.
+  void MarkExact(int i);
 
   Status FinishStage1(const CountMatrix& fresh, int64_t rows_drawn);
   /// Merges the previous round, picks M and the split point, and either
@@ -172,6 +224,11 @@ class HistSimMachine {
 
   CountMatrix total_;  // cumulative counts across stages/rounds
   CountMatrix round_;  // fresh counts of the current stage-2/3 phase
+  // Overlapping warm prior: its counts (kept to subtract on exhaustion)
+  // and which rows it already certified exact. Empty when cold or when
+  // the prior is disjoint from the caller's window.
+  CountMatrix prior_counts_;
+  std::vector<bool> prior_exact_;
   std::vector<bool> pruned_;
   std::vector<bool> exact_;
   std::vector<double> tau_;     // estimated distance per candidate

@@ -141,10 +141,55 @@ Status BatchExecutor::BindQuery(const BoundQuery& query, QueryState* qs) {
     if (ts.index == nullptr) ts.index = query.z_index;
   }
   qs->tmpl = t;
-  FASTMATCH_RETURN_IF_ERROR(qs->machine.Begin(
-      ts.io->num_candidates(), ts.io->num_groups(), store_->num_rows()));
-  qs->snapshot = CountMatrix(ts.io->num_candidates(), ts.io->num_groups());
-  qs->active = true;
+  Stage1Prior prior;
+  const Stage1Prior* prior_ptr = nullptr;
+  if (query.stage1_warm != nullptr) {
+    const Stage1Snapshot& warm = *query.stage1_warm;
+    prior.counts = &warm.counts;
+    prior.rows_drawn = warm.rows_drawn;
+    if (!warm.scan.exhausted.empty()) prior.exhausted = &warm.scan.exhausted;
+    // A prior spanning the whole relation carries exact counts for every
+    // candidate: the machine completes instantly without touching the
+    // scan (handled below).
+    prior.all_consumed = warm.rows_drawn >= store_->num_rows();
+    // Disjointness: when every block behind the prior is already in
+    // this scan's consumed set (a resume from the snapshot's state, or
+    // a join after the scan passed the prior's window), the remaining
+    // scan can never revisit the prior's rows. Otherwise the machine
+    // must treat the prior as overlapping: an exhaustion signal then
+    // only certifies the scan window's counts, not prior + window.
+    bool disjoint = warm.scan.consumed.size() == consumed_.size();
+    if (disjoint) {
+      const std::vector<uint64_t>& prior_words = warm.scan.consumed.words();
+      const std::vector<uint64_t>& scan_words = consumed_.words();
+      for (size_t w = 0; w < prior_words.size(); ++w) {
+        if ((prior_words[w] & ~scan_words[w]) != 0) {
+          disjoint = false;
+          break;
+        }
+      }
+    }
+    prior.overlapping = !disjoint;
+    prior_ptr = &prior;
+  }
+  FASTMATCH_RETURN_IF_ERROR(qs->machine.Begin(ts.io->num_candidates(),
+                                              ts.io->num_groups(),
+                                              store_->num_rows(), prior_ptr));
+  if (prior_ptr != nullptr) ++stats_.warm_queries;
+  // Fresh counts for the query's NEXT phase are cumulative minus this
+  // snapshot. At Create the cumulative matrix is zero; a Join()ed query
+  // re-snapshots at admission. A warm query's first phase is stage 2,
+  // whose fresh rows likewise start at the current cumulative state.
+  qs->snapshot = ts.cum;
+  qs->snap_rows = ts.rows_cum;
+  if (qs->machine.done()) {
+    // Completed at bind (an all-consumed warm prior): the result exists
+    // before the scan ever runs.
+    qs->match = qs->machine.TakeResult();
+    qs->active = false;
+  } else {
+    qs->active = true;
+  }
   return Status::OK();
 }
 
@@ -183,11 +228,37 @@ bool BatchExecutor::DemandSatisfied(const QueryState& q,
 
 void BatchExecutor::SupplyPhase(QueryState* q, bool all_consumed) {
   TemplateState& ts = templates_[q->tmpl];
+  const bool stage1_phase =
+      q->machine.demand().kind == SampleDemand::Kind::kRows;
   CountMatrix fresh = ts.cum;
   fresh.Subtract(q->snapshot);
   const int64_t drawn = ts.rows_cum - q->snap_rows;
   const Status status =
       q->machine.Supply(fresh, ts.exhausted, all_consumed, drawn);
+  if (stage1_phase && options_.stage1_sink != nullptr && drawn > 0) {
+    // Export the completed stage-1 phase. The counts are published even
+    // when Supply failed (an all-pruned error is parameter-specific;
+    // the sample itself is target-independent and reusable), and even
+    // for mid-batch windows: any fresh window of the pre-shuffled
+    // store's scan is a uniform without-replacement sample.
+    auto snapshot = std::make_shared<Stage1Snapshot>();
+    snapshot->counts = std::move(fresh);
+    snapshot->rows_drawn = drawn;
+    snapshot->scan.consumed = consumed_;
+    snapshot->scan.cursor = cursor_;
+    if (!options_.resume.has_value() && q->snap_rows == 0 &&
+        ts.rows_cum == consumed_rows_) {
+      // Only when the counts cover every consumed row does a template
+      // exhaustion flag certify the counts as exact — the Stage1Snapshot
+      // contract. A joined query's window (snap_rows > 0), a resumed
+      // scan's hidden prefix, or a template that missed early chunks
+      // (rows_cum < consumed_rows_) all break that coverage.
+      snapshot->scan.exhausted = ts.exhausted;
+    }
+    options_.stage1_sink->Publish(store_->id(), ts.z_attr, ts.x_attrs,
+                                  std::move(snapshot));
+    ++stats_.stage1_exports;
+  }
   if (!status.ok()) {
     q->status = status;
     q->active = false;
@@ -333,6 +404,7 @@ void BatchExecutor::ReadChunk() {
     consumed_.Set(b);
   }
   consumed_blocks_ += static_cast<int64_t>(num_reads);
+  consumed_rows_ += rows;
   stats_.blocks_read += static_cast<int64_t>(num_reads);
   stats_.rows_read += rows;
 
@@ -465,21 +537,22 @@ Result<size_t> BatchExecutor::Join(const BoundQuery& query) {
   AddQuery(query);
   QueryState& qs = queries_.back();
   if (!qs.active) {
-    // Failed binding: the query "completed" (as a failure) at join
-    // time, not at batch start — stamp it so item latencies stay
-    // monotone for late arrivals.
+    // Failed binding or instant warm completion (all-consumed prior):
+    // the query "completed" at join time, not at batch start — stamp it
+    // so item latencies stay monotone for late arrivals.
     qs.wall_seconds = timer_.Seconds();
   }
   if (qs.active) {
-    TemplateState& ts = templates_[qs.tmpl];
-    // The join snapshot: the machine's fresh counts are cumulative minus
-    // this, so the query is fed from the remaining scan suffix only.
-    qs.snapshot = ts.cum;
-    qs.snap_rows = ts.rows_cum;
-    // The exhaustion rule's "full zero-read cycle" invariant assumes the
-    // unmet sets were stable for the whole streak; admitting a query
-    // invalidates any streak in progress (windows already passed were
-    // never checked against the newcomer's candidates), so restart it.
+    // The join snapshot (fresh counts = cumulative minus admission
+    // state, so the query is fed from the remaining scan suffix only)
+    // was already taken inside BindQuery, which snapshots the
+    // template's current state for every admission path.
+    //
+    // The exhaustion rule's "full zero-read cycle" invariant assumes
+    // the unmet sets were stable for the whole streak; admitting a
+    // query invalidates any streak in progress (windows already passed
+    // were never checked against the newcomer's candidates), so
+    // restart it.
     streak_ = 0;
     ++stats_.joined_queries;
   }

@@ -68,6 +68,23 @@
 // of c can ever arrive, so its MatchResult::exact flag reports exactness
 // over the query's own sampling window (the suffix), not over the full
 // relation.
+//
+// Warm stage-1 starts: stage 1 is target-independent per template, so
+// one query's completed stage-1 sample serves every later query on the
+// same (store, template). The executor participates at both ends: it
+// EXPORTS each stage-1 phase completed from the scan as a
+// Stage1Snapshot (BatchOptions::stage1_sink, typically the service
+// tier's Stage1Cache), and it CONSUMES a snapshot attached to a query
+// (BoundQuery::stage1_warm) by warm-starting that query's machine past
+// stage 1 — at Create or mid-flight at Join, where a warm newcomer no
+// longer needs the scan suffix to cover its stage-1 draw. Soundness is
+// the same pre-shuffled-store argument as suffix joins: the cached
+// prefix is a uniform without-replacement sample, every later phase
+// draws its own fresh sample, and each phase's statistics use only its
+// own sample (the fresh-counter rule). A warm query resumed from the
+// snapshot's scan state (BatchOptions::resume = snapshot.scan) is
+// bit-for-bit identical to the cold run that produced the snapshot —
+// the equivalence the warm-start tests assert.
 
 #ifndef FASTMATCH_ENGINE_BATCH_EXECUTOR_H_
 #define FASTMATCH_ENGINE_BATCH_EXECUTOR_H_
@@ -107,6 +124,41 @@ struct ScanResume {
   std::vector<bool> exhausted;
 };
 
+/// \brief One completed stage-1 phase, exported by the batch executor
+/// at the chunk boundary that finished it and replayable as a warm
+/// start (core Stage1Prior) by any later query on the same (store,
+/// template) — stage 1 is target-independent, so the counts serve every
+/// future target.
+///
+/// `counts`/`rows_drawn` follow the stage-1 Supply contract: the
+/// phase's fresh rows and only those. `scan` is the shared scan's state
+/// at export time: `consumed`/`cursor` always describe the donor scan
+/// (feeding them to BatchOptions::resume yields the disjoint-suffix
+/// solo run a warm start is equivalent to); `scan.exhausted` is filled
+/// ONLY when `counts` covers every consumed row, so an exhausted flag
+/// always certifies the row's counts as exact — a consumer may hand it
+/// to Stage1Prior::exhausted as-is.
+struct Stage1Snapshot {
+  CountMatrix counts;
+  int64_t rows_drawn = 0;
+  ScanResume scan;
+};
+
+/// \brief Where the batch executor publishes stage-1 snapshots
+/// (implemented by the service tier's Stage1Cache). One executor
+/// publishes from its single driving thread, but many executors share a
+/// sink, so implementations must be thread-safe.
+class Stage1Sink {
+ public:
+  virtual ~Stage1Sink() = default;
+  /// \brief Offers a snapshot for (store_id, z_attr, x_attrs). The sink
+  /// owns admission policy (keep the bigger sample, TTL, capacity); a
+  /// publish may be dropped silently.
+  virtual void Publish(uint64_t store_id, int z_attr,
+                       const std::vector<int>& x_attrs,
+                       std::shared_ptr<const Stage1Snapshot> snapshot) = 0;
+};
+
 /// \brief Batch executor knobs.
 struct BatchOptions {
   /// Block-reader worker slots. With a private pool this is the pool
@@ -129,6 +181,11 @@ struct BatchOptions {
   /// Shard layout and results are identical either way: shard count is
   /// num_threads and merges are commutative integer sums.
   SharedWorkerPool* shared_pool = nullptr;
+  /// When non-null, every stage-1 phase completed from the scan is
+  /// exported here as a Stage1Snapshot (warm-started queries complete
+  /// stage 1 without the scan, so they never export). The sink must
+  /// outlive the executor.
+  Stage1Sink* stage1_sink = nullptr;
 };
 
 /// \brief I/O accounting for one batch run. `blocks_read` counts unique
@@ -150,6 +207,10 @@ struct BatchStats {
   int64_t joined_queries = 0;
   /// Queries removed mid-flight through Evict().
   int64_t evicted_queries = 0;
+  /// Queries that skipped stage 1 via BoundQuery::stage1_warm.
+  int64_t warm_queries = 0;
+  /// Stage-1 snapshots published to BatchOptions::stage1_sink.
+  int64_t stage1_exports = 0;
   /// Distinct (z_attr, x_attrs) templates in the batch.
   int num_templates = 0;
 };
@@ -327,6 +388,11 @@ class BatchExecutor {
   BlockId cursor_ = 0;
   BitVector consumed_;
   int64_t consumed_blocks_ = 0;
+  /// Rows across blocks consumed by THIS scan (resume-prefix blocks
+  /// excluded): lets the stage-1 export tell when a template's
+  /// cumulative rows cover every consumed row, which is the condition
+  /// for publishing exhaustion flags (see Stage1Snapshot).
+  int64_t consumed_rows_ = 0;
   int64_t streak_ = 0;  // zero-read cursor positions in a row
   std::vector<TemplateState> templates_;
   std::vector<QueryState> queries_;

@@ -31,6 +31,8 @@ enum class Approach {
 
 std::string_view ApproachName(Approach a);
 
+struct Stage1Snapshot;  // engine/batch_executor.h
+
 /// \brief A fully bound query: data, index, attributes, resolved target,
 /// algorithm parameters, engine knobs.
 struct BoundQuery {
@@ -47,6 +49,11 @@ struct BoundQuery {
   HistSimParams params;
   /// Lookahead batch size for FastMatch (paper default 1024).
   int lookahead = 1024;
+  /// Warm start for the batch executor: when set, the query's machine
+  /// begins past stage 1, seeded with this snapshot's counts (a stage-1
+  /// cache hit made explicit). Must match the query's (store, z_attr,
+  /// x_attrs) domain. Ignored by the single-query RunQuery approaches.
+  std::shared_ptr<const Stage1Snapshot> stage1_warm;
 };
 
 /// \brief Timing and I/O accounting for one run.

@@ -35,6 +35,12 @@ QueryScheduler::QueryScheduler(SchedulerOptions options)
       << "min_join_suffix_fraction must be in [0, 1]";
   FASTMATCH_CHECK(options_.batch.num_threads >= 1)
       << "batch.num_threads (the shared-pool quota) must be >= 1";
+  if (options_.stage1_cache) {
+    Stage1CacheOptions cache_options;
+    cache_options.capacity = options_.stage1_cache_capacity;
+    cache_options.ttl_seconds = options_.stage1_cache_ttl_seconds;
+    stage1_cache_ = std::make_unique<Stage1Cache>(cache_options);
+  }
   if (options_.idle_pipeline_timeout_seconds > 0) {
     reaper_ = std::thread(&QueryScheduler::ReaperLoop, this);
   }
@@ -293,6 +299,15 @@ void QueryScheduler::FulfillAdmitted(Admitted* a, BatchItem item,
   Resolve(&a->promise, std::move(out));
 }
 
+void QueryScheduler::AttachWarmStage1(BoundQuery* query) {
+  if (stage1_cache_ == nullptr || query->stage1_warm != nullptr) return;
+  // A hit must cover the query's full stage-1 demand; the cache treats
+  // smaller entries as misses.
+  query->stage1_warm =
+      stage1_cache_->Lookup(query->store->id(), query->z_attr, query->x_attrs,
+                            query->params.stage1_samples);
+}
+
 void QueryScheduler::EvictCancelled(BatchExecutor* executor,
                                     std::vector<Admitted>* admitted) {
   for (size_t i = 0; i < admitted->size(); ++i) {
@@ -321,6 +336,7 @@ void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
   std::vector<Shed> shed;
   for (;;) {
     Pending pend;
+    bool cache_lifted_refusal = false;
     {
       std::lock_guard<std::mutex> lock(pipeline->mu);
       // Never join a query that is already cancelled or past deadline.
@@ -329,21 +345,35 @@ void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
           executor->num_active() >= options_.max_batch_queries) {
         break;
       }
+      // Serve stage 1 from the cache when it can: a warm join draws
+      // only stage-2/3 samples from the suffix. The snapshot stays
+      // attached if the join is refused, so a fresh-batch fallback
+      // launches warm too. A front query that missed is re-looked-up at
+      // each chunk boundary ON PURPOSE — the running batch's own
+      // stage-1 completions publish mid-flight, upgrading a cold
+      // waiter to warm — so stage1_lookups counts consult EVENTS, not
+      // queries. (The cache's mutex is a leaf lock: Lookup never takes
+      // pipeline or scheduler locks.)
+      Pending& front = pipeline->pending.front();
+      AttachWarmStage1(&front.query);
       const double suffix_fraction =
           1.0 - static_cast<double>(executor->consumed_blocks()) /
                     static_cast<double>(num_blocks);
-      if (suffix_fraction < options_.min_join_suffix_fraction ||
-          executor->consumed_blocks() == num_blocks) {
-        // Too little scan left for a statistically useful join: leave
-        // the query queued; it launches in a fresh batch when this one
+      const bool below_policy =
+          suffix_fraction < options_.min_join_suffix_fraction;
+      if (executor->consumed_blocks() == num_blocks ||
+          (below_policy && front.query.stage1_warm == nullptr)) {
+        // Too little scan left for a statistically useful join — the
+        // suffix must still cover stage 1 for a cold query. Leave the
+        // query queued; it launches in a fresh batch when this one
         // ends. Counted once per query, not per chunk that re-refuses.
-        Pending& front = pipeline->pending.front();
         if (!front.join_refusal_counted) {
           front.join_refusal_counted = true;
           counters_.join_fallbacks.fetch_add(1, std::memory_order_relaxed);
         }
         break;
       }
+      cache_lifted_refusal = below_policy;
       pend = std::move(pipeline->pending.front());
       pipeline->pending.pop_front();
     }
@@ -377,6 +407,10 @@ void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
     admitted->push_back(std::move(a));
     if (bound) {
       counters_.joined_midflight.fetch_add(1, std::memory_order_relaxed);
+      if (cache_lifted_refusal) {
+        counters_.joins_enabled_by_cache.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      }
     }
   }
   FulfillShed(std::move(shed));
@@ -386,8 +420,14 @@ void QueryScheduler::RunBatch(Pipeline* pipeline,
                               std::vector<BoundQuery> queries,
                               std::vector<Admitted> admitted) {
   const int64_t num_blocks = queries.front().store->num_blocks();
+  // Admission-time cache consult: queries whose template is warm skip
+  // stage 1 from the first chunk. (Queries requeued after a refused
+  // join may already carry their snapshot; AttachWarmStage1 leaves
+  // those untouched.)
+  for (BoundQuery& query : queries) AttachWarmStage1(&query);
   BatchOptions batch_options = options_.batch;
   batch_options.shared_pool = pool_;
+  batch_options.stage1_sink = stage1_cache_.get();
   Result<std::unique_ptr<BatchExecutor>> create =
       BatchExecutor::Create(queries, batch_options);
   if (!create.ok()) {
@@ -499,6 +539,7 @@ void QueryScheduler::ReaperLoop() {
     if (shutdown_) return;
     const Clock::time_point now = Clock::now();
     std::vector<std::shared_ptr<Pipeline>> dead;
+    std::vector<uint64_t> dead_store_ids;
     for (auto it = pipelines_.begin(); it != pipelines_.end();) {
       Pipeline* pipeline = it->second.get();
       bool reap = false;
@@ -517,6 +558,7 @@ void QueryScheduler::ReaperLoop() {
       }
       if (reap) {
         dead.push_back(std::move(it->second));
+        dead_store_ids.push_back(it->first);
         it = pipelines_.erase(it);
       } else {
         ++it;
@@ -532,6 +574,16 @@ void QueryScheduler::ReaperLoop() {
       counters_.pipelines_reaped.fetch_add(1, std::memory_order_relaxed);
     }
     dead.clear();
+    if (stage1_cache_ != nullptr) {
+      // The reap is the scheduler's "store id disappeared" signal:
+      // drop the store's warm entries so the cache cannot accumulate
+      // counts for stores nothing will query again. (ColumnStore ids
+      // are never reused, so this is hygiene, not aliasing defense; a
+      // store that merely idled re-warms on its next cold batch.)
+      for (uint64_t store_id : dead_store_ids) {
+        stage1_cache_->InvalidateStore(store_id);
+      }
+    }
     lock.lock();
   }
 }
@@ -585,6 +637,17 @@ SchedulerStats QueryScheduler::stats() const {
   s.unavailable = counters_.unavailable.load(std::memory_order_relaxed);
   s.pipelines_reaped =
       counters_.pipelines_reaped.load(std::memory_order_relaxed);
+  s.joins_enabled_by_cache =
+      counters_.joins_enabled_by_cache.load(std::memory_order_relaxed);
+  if (stage1_cache_ != nullptr) {
+    const Stage1CacheStats cache = stage1_cache_->stats();
+    s.stage1_lookups = cache.lookups;
+    s.stage1_hits = cache.hits;
+    s.stage1_misses = cache.misses;
+    s.stage1_inserts = cache.inserts;
+    s.stage1_stale_evictions = cache.stale_evictions;
+    s.stage1_store_invalidations = cache.store_invalidations;
+  }
   return s;
 }
 

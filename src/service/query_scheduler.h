@@ -83,6 +83,7 @@
 
 #include "engine/batch_executor.h"
 #include "engine/executor.h"
+#include "service/stage1_cache.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -122,6 +123,17 @@ struct SchedulerOptions {
   /// disables reaping. A reaped store transparently gets a fresh
   /// pipeline on its next Submit.
   double idle_pipeline_timeout_seconds = 30.0;
+  /// Per-store stage-1 sample cache (service Stage1Cache): stage-1
+  /// snapshots exported by running batches are served back to later
+  /// queries on the same (store, template), which skip stage 1
+  /// entirely, and a warm template lifts the min_join_suffix_fraction
+  /// refusal (stage 1 no longer needs the scan suffix). Reaping a
+  /// store's pipeline invalidates its entries. Off by default: the
+  /// cold path is the pre-cache baseline every bench compares against.
+  bool stage1_cache = false;
+  /// Cache retention knobs (see Stage1CacheOptions).
+  int stage1_cache_capacity = 64;
+  double stage1_cache_ttl_seconds = 0;
   /// Worker pool for every batch's block reads. nullptr selects the
   /// process-wide SharedWorkerPool::Process(). A non-null pool must
   /// outlive the scheduler.
@@ -153,6 +165,22 @@ struct SchedulerStats {
   int64_t evicted = 0;            // removed from a running batch
   int64_t unavailable = 0;        // shed by scheduler teardown
   int64_t pipelines_reaped = 0;   // idle pipelines joined by the janitor
+  // Stage-1 cache counters (all zero when the cache is disabled). The
+  // first five mirror Stage1CacheStats; stage1_lookups == stage1_hits +
+  // stage1_misses always. Lookups count consult EVENTS, not queries:
+  // launch admission consults once per query, and a queued front query
+  // is re-consulted at every chunk boundary of the running batch (a
+  // mid-flight publish can upgrade it to warm), so one cold waiter can
+  // accrue several misses. Every hit became a warm-started query.
+  int64_t stage1_lookups = 0;
+  int64_t stage1_hits = 0;
+  int64_t stage1_misses = 0;
+  int64_t stage1_inserts = 0;          // snapshots accepted from executors
+  int64_t stage1_stale_evictions = 0;  // TTL expiries
+  int64_t stage1_store_invalidations = 0;  // entries dropped on reap
+  int64_t joins_enabled_by_cache = 0;  // joins the suffix policy would have
+                                       // refused, admitted because stage 1
+                                       // came from cache
 };
 
 /// \brief Per-query outcome delivered through the handle's future.
@@ -267,6 +295,10 @@ class QueryScheduler {
   /// \brief Snapshot of the behaviour counters.
   SchedulerStats stats() const;
 
+  /// \brief The stage-1 cache, or nullptr when disabled. Exposed for
+  /// tests and tools; thread-safe.
+  Stage1Cache* stage1_cache() { return stage1_cache_.get(); }
+
  private:
   using Clock = std::chrono::steady_clock;
   using CancelFlag = std::atomic<bool>;
@@ -340,6 +372,10 @@ class QueryScheduler {
                        bool eager);
   /// Issues Evict() for admitted queries whose cancel flag is set.
   void EvictCancelled(BatchExecutor* executor, std::vector<Admitted>* admitted);
+  /// Looks the query's template up in the stage-1 cache and attaches
+  /// the snapshot on a hit (no-op when the cache is disabled or the
+  /// query already carries a warm snapshot).
+  void AttachWarmStage1(BoundQuery* query);
   /// Janitor: joins pipelines idle past the timeout.
   void ReaperLoop();
 
@@ -360,6 +396,7 @@ class QueryScheduler {
     std::atomic<int64_t> evicted{0};
     std::atomic<int64_t> unavailable{0};
     std::atomic<int64_t> pipelines_reaped{0};
+    std::atomic<int64_t> joins_enabled_by_cache{0};
   };
 
   /// Counts the terminal status into the right counters and resolves
@@ -369,6 +406,10 @@ class QueryScheduler {
 
   SchedulerOptions options_;
   SharedWorkerPool* pool_;  // options_.pool or the process pool
+  /// Created when options_.stage1_cache; executors publish into it
+  /// (BatchOptions::stage1_sink) and admission/join paths Lookup it.
+  /// Internally locked — safe from pipeline threads and the janitor.
+  std::unique_ptr<Stage1Cache> stage1_cache_;
 
   std::mutex mu_;           // guards pipelines_ map, shutdown_, reaper_cv_
   std::mutex shutdown_mu_;  // serializes Shutdown callers end to end

@@ -1,0 +1,105 @@
+#include "service/stage1_cache.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace fastmatch {
+
+Stage1Cache::Stage1Cache(Stage1CacheOptions options)
+    : options_(options) {
+  FASTMATCH_CHECK(options_.capacity >= 1)
+      << "Stage1Cache capacity must be >= 1";
+}
+
+void Stage1Cache::Publish(uint64_t store_id, int z_attr,
+                          const std::vector<int>& x_attrs,
+                          std::shared_ptr<const Stage1Snapshot> snapshot) {
+  if (snapshot == nullptr || snapshot->rows_drawn <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.publishes;
+  Key key{store_id, z_attr, x_attrs};
+  auto it = entries_.find(key);
+  const Clock::time_point now = Clock::now();
+  if (it != entries_.end()) {
+    // The store is immutable, so both samples are valid forever; keep
+    // the one that covers more demands. Either way the template proved
+    // itself warm again — renew the freshness stamp.
+    if (snapshot->rows_drawn >= it->second.snapshot->rows_drawn) {
+      it->second.snapshot = std::move(snapshot);
+      ++stats_.inserts;
+    }
+    it->second.published = now;
+    // An actively-republished entry is a live template: protect it from
+    // LRU capacity eviction too, not just from TTL.
+    it->second.last_used = tick_++;
+    return;
+  }
+  if (static_cast<int>(entries_.size()) >= options_.capacity) {
+    auto lru = entries_.begin();
+    for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+      if (cand->second.last_used < lru->second.last_used) lru = cand;
+    }
+    entries_.erase(lru);
+    ++stats_.capacity_evictions;
+  }
+  Entry entry;
+  entry.snapshot = std::move(snapshot);
+  entry.published = now;
+  entry.last_used = tick_++;
+  entries_.emplace(std::move(key), std::move(entry));
+  ++stats_.inserts;
+}
+
+std::shared_ptr<const Stage1Snapshot> Stage1Cache::Lookup(
+    uint64_t store_id, int z_attr, const std::vector<int>& x_attrs,
+    int64_t min_rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  auto it = entries_.find(Key{store_id, z_attr, x_attrs});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (options_.ttl_seconds > 0 &&
+      std::chrono::duration<double>(Clock::now() - it->second.published)
+              .count() > options_.ttl_seconds) {
+    entries_.erase(it);
+    ++stats_.stale_evictions;
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.snapshot->rows_drawn < min_rows) {
+    // Too small for this demand; keep it (a smaller future demand may
+    // still be served, and a bigger publish will replace it).
+    ++stats_.misses;
+    return nullptr;
+  }
+  it->second.last_used = tick_++;
+  ++stats_.hits;
+  return it->second.snapshot;
+}
+
+void Stage1Cache::InvalidateStore(uint64_t store_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (std::get<0>(it->first) == store_id) {
+      it = entries_.erase(it);
+      ++stats_.store_invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+int64_t Stage1Cache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+Stage1CacheStats Stage1Cache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace fastmatch

@@ -1,0 +1,119 @@
+// Per-store stage-1 sample cache: the service tier's memory of stage-1
+// work already paid for.
+//
+// HistSim's stage 1 draws a fixed number of uniform rows before any
+// candidate targets exist, so the counts it produces are
+// target-independent per (store, template): every future query over the
+// same ColumnStore and (z_attr, x_attrs) grouping could reuse them —
+// yet without a cache each batch re-pays the draw, and a mid-flight
+// Join() must carve stage 1 out of the scan suffix. Stage1Cache closes
+// that loop: BatchExecutors publish Stage1Snapshots as batches run
+// (BatchOptions::stage1_sink), and the QueryScheduler consults the
+// cache at admission time — a query whose template has a warm entry
+// covering its stage-1 demand skips stage 1 entirely
+// (BoundQuery::stage1_warm), and a join no longer needs the suffix to
+// cover stage 1 (the min_join_suffix_fraction refusal is lifted when
+// the cache serves it).
+//
+// Soundness is the pre-shuffled-store argument already used for suffix
+// joins: a cached scan prefix is a uniform without-replacement sample
+// of the relation, and the warm query's later stages draw their own
+// fresh uniform samples — each phase's test statistics use only that
+// phase's sample (the per-call fresh-counter rule), so serving stage 1
+// from an earlier scan's prefix changes nothing the statistics rely
+// on. See docs/PAPER_MAP.md ("stage-1 cache soundness").
+//
+// Keys are ColumnStore::id() — the process-unique identity token, never
+// the store pointer — so a freed store's recycled address can never
+// alias a dead store's counts; InvalidateStore() drops a store's
+// entries when the scheduler's janitor reaps its pipeline. Entries
+// never go stale data-wise (stores are immutable after load); the TTL
+// and capacity knobs are memory hygiene, not correctness.
+
+#ifndef FASTMATCH_SERVICE_STAGE1_CACHE_H_
+#define FASTMATCH_SERVICE_STAGE1_CACHE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "engine/batch_executor.h"
+
+namespace fastmatch {
+
+/// \brief Retention policy knobs.
+struct Stage1CacheOptions {
+  /// Maximum entries across all stores and templates; the
+  /// least-recently-used entry is evicted past it. Must be >= 1.
+  int capacity = 64;
+  /// Entries unpublished-to for longer than this are evicted when next
+  /// looked up ("stale"). <= 0 disables expiry.
+  double ttl_seconds = 0;
+};
+
+/// \brief Monotonic counters (snapshot via Stage1Cache::stats()).
+/// `lookups == hits + misses` always; a stale eviction or a too-small
+/// entry counts as a miss.
+struct Stage1CacheStats {
+  int64_t lookups = 0;             // Lookup calls
+  int64_t hits = 0;                // served a covering snapshot
+  int64_t misses = 0;              // lookups - hits
+  int64_t publishes = 0;           // Publish calls
+  int64_t inserts = 0;             // publishes that created/replaced an entry
+  int64_t stale_evictions = 0;     // TTL expiries (at lookup)
+  int64_t capacity_evictions = 0;  // LRU evictions (at publish)
+  int64_t store_invalidations = 0; // entries dropped by InvalidateStore
+};
+
+/// \brief Thread-safe cache of stage-1 snapshots keyed by
+/// (ColumnStore::id(), z_attr, x_attrs).
+class Stage1Cache : public Stage1Sink {
+ public:
+  explicit Stage1Cache(Stage1CacheOptions options = {});
+
+  /// \brief Stage1Sink hook: keeps the snapshot unless the existing
+  /// entry has a larger sample (then only the freshness stamp is
+  /// renewed — the bigger sample covers every demand the smaller one
+  /// could). Evicts the least-recently-used entry when over capacity.
+  void Publish(uint64_t store_id, int z_attr, const std::vector<int>& x_attrs,
+               std::shared_ptr<const Stage1Snapshot> snapshot) override;
+
+  /// \brief Returns the template's snapshot when one exists, is within
+  /// TTL, and holds at least `min_rows` rows (a smaller sample would
+  /// under-satisfy the querier's stage-1 demand); null otherwise.
+  std::shared_ptr<const Stage1Snapshot> Lookup(uint64_t store_id, int z_attr,
+                                               const std::vector<int>& x_attrs,
+                                               int64_t min_rows);
+
+  /// \brief Drops every entry of one store (the store id disappeared:
+  /// janitor reap, store teardown).
+  void InvalidateStore(uint64_t store_id);
+
+  /// \brief Live entries.
+  int64_t size() const;
+
+  Stage1CacheStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  using Key = std::tuple<uint64_t, int, std::vector<int>>;
+  struct Entry {
+    std::shared_ptr<const Stage1Snapshot> snapshot;
+    Clock::time_point published;
+    uint64_t last_used = 0;  // LRU tick
+  };
+
+  Stage1CacheOptions options_;
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  uint64_t tick_ = 0;
+  Stage1CacheStats stats_;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_SERVICE_STAGE1_CACHE_H_

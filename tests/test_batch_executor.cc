@@ -12,6 +12,7 @@
 
 #include "core/verify.h"
 #include "engine/executor.h"
+#include "service/stage1_cache.h"
 #include "test_helpers.h"
 #include "workload/traffic.h"
 
@@ -781,6 +782,264 @@ TEST(BatchExecutorStreamTest, ResumeValidation) {
   good.resume->consumed = BitVector(f.store->num_blocks());
   good.resume->exhausted.assign(12, false);
   EXPECT_TRUE(BatchExecutor::Create({q}, good).ok());
+}
+
+// ------------------------------------------------ warm stage-1 starts
+// The stage-1 cache path: a cold batch exports its stage-1 snapshot
+// (BatchOptions::stage1_sink), later queries consume it
+// (BoundQuery::stage1_warm) and skip stage 1. The acceptance property
+// mirrors the suffix-join suite: a cache-served query must be
+// bit-for-bit identical to a solo run seeded with the same cached
+// stage-1 state, across seeds x thread counts.
+
+TEST(BatchExecutorWarmTest, WarmResumeFromSnapshotMatchesColdRunBitForBit) {
+  // The strongest equivalence: a warm run resumed from the snapshot's
+  // scan state replays exactly the cold run's post-stage-1 sampling, so
+  // the cold result and the warm result are the SAME result — stage 1
+  // was simply never re-drawn.
+  for (uint64_t seed : {51u, 52u, 53u}) {
+    BatchFixture f = MakeBatchFixture(20000, seed);
+    BoundQuery q = MakeQuery(f, f.target, /*seed=*/seed);
+    for (int threads : {1, 2, 5}) {
+      Stage1Cache cache;
+      BatchOptions cold_options = Options(threads, /*seed=*/seed * 3 + 1);
+      cold_options.stage1_sink = &cache;
+      auto cold = BatchExecutor::Create({q}, cold_options).value();
+      std::vector<BatchItem> cold_items = cold->Run();
+      ASSERT_TRUE(cold_items[0].status.ok())
+          << cold_items[0].status.ToString();
+      EXPECT_EQ(cold->stats().stage1_exports, 1);
+      EXPECT_EQ(cold->stats().warm_queries, 0);
+
+      auto snapshot =
+          cache.Lookup(f.store->id(), 0, {1}, q.params.stage1_samples);
+      ASSERT_NE(snapshot, nullptr);
+      ASSERT_GE(snapshot->rows_drawn, q.params.stage1_samples);
+
+      BoundQuery warm_q = q;
+      warm_q.stage1_warm = snapshot;
+      BatchOptions warm_options = Options(threads);
+      warm_options.resume = snapshot->scan;
+      auto warm = BatchExecutor::Create({warm_q}, warm_options).value();
+      std::vector<BatchItem> warm_items = warm->Run();
+      ASSERT_TRUE(warm_items[0].status.ok())
+          << warm_items[0].status.ToString();
+      EXPECT_EQ(warm->stats().warm_queries, 1);
+      // A warm query never completes a stage-1 phase from the scan, so
+      // nothing is exported even with a sink attached (none here).
+      EXPECT_EQ(warm->stats().stage1_exports, 0);
+      EXPECT_TRUE(warm_items[0].match.diag.stage1_warm);
+
+      EXPECT_EQ(warm_items[0].match.topk, cold_items[0].match.topk);
+      EXPECT_EQ(warm_items[0].match.distances, cold_items[0].match.distances);
+      EXPECT_EQ(warm_items[0].match.exact, cold_items[0].match.exact);
+      ExpectSameCounts(warm_items[0].match.counts, cold_items[0].match.counts,
+                       "warm-resumed vs cold");
+      // The warm path's whole point: the stage-1 prefix reads are gone.
+      EXPECT_LT(warm->stats().blocks_read, cold->stats().blocks_read);
+    }
+  }
+}
+
+TEST(BatchExecutorWarmTest, WarmJoinMatchesWarmSoloResumeEveryThreadCount) {
+  // Mid-flight: W joins a running scan with its stage 1 served from
+  // cache, so only its stage-2/3 demands touch the suffix. Reference:
+  // a solo batch resumed from the join-point scan state with the same
+  // warm snapshot — bit-for-bit identical, like the suffix-join
+  // property this mirrors.
+  BatchFixture f = MakeBatchFixture(20000, 61);
+  BoundQuery w = MakeQuery(f, f.exact.NormalizedRow(4), /*seed=*/321);
+
+  // A's loose epsilon makes it finish early, leaving a large suffix;
+  // its stage-1 phase populates the cache for the shared template.
+  BoundQuery a = MakeQuery(f, f.target);
+  a.params.epsilon = 0.1;
+
+  std::vector<BatchItem> reference;
+  for (int threads : {1, 2, 5}) {
+    Stage1Cache cache;
+    BatchOptions options = Options(threads);
+    options.stage1_sink = &cache;
+    auto exec = BatchExecutor::Create({a}, options).value();
+    exec->Start();
+    while (exec->Step()) {
+    }
+    ASSERT_TRUE(exec->finished());
+    ASSERT_GT(exec->consumed_blocks(), 0);
+    ASSERT_LT(exec->consumed_blocks(), f.store->num_blocks());
+    ScanResume capture = exec->CaptureScanState();
+
+    auto snapshot =
+        cache.Lookup(f.store->id(), 0, {1}, w.params.stage1_samples);
+    ASSERT_NE(snapshot, nullptr);
+    BoundQuery warm_w = w;
+    warm_w.stage1_warm = snapshot;
+
+    auto joined = exec->Join(warm_w);
+    ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+    while (exec->Step()) {
+    }
+    std::vector<BatchItem> items = exec->TakeItems();
+    ASSERT_EQ(items.size(), 2u);
+    ASSERT_TRUE(items[1].status.ok()) << items[1].status.ToString();
+    EXPECT_TRUE(items[1].match.diag.stage1_warm);
+    EXPECT_EQ(exec->stats().warm_queries, 1);
+
+    for (int solo_threads : {1, 3}) {
+      BatchOptions solo_options = Options(solo_threads);
+      solo_options.resume = capture;
+      auto solo = BatchExecutor::Create({warm_w}, solo_options).value();
+      std::vector<BatchItem> solo_items = solo->Run();
+      ASSERT_TRUE(solo_items[0].status.ok())
+          << solo_items[0].status.ToString();
+      EXPECT_EQ(items[1].match.topk, solo_items[0].match.topk);
+      EXPECT_EQ(items[1].match.distances, solo_items[0].match.distances);
+      EXPECT_EQ(items[1].match.exact, solo_items[0].match.exact);
+      ExpectSameCounts(items[1].match.counts, solo_items[0].match.counts,
+                       "warm joined vs warm suffix-only solo");
+    }
+    if (reference.empty()) {
+      reference = std::move(items);
+    } else {
+      EXPECT_EQ(items[1].match.topk, reference[1].match.topk);
+      ExpectSameCounts(items[1].match.counts, reference[1].match.counts,
+                       "warm joined across thread counts");
+    }
+  }
+}
+
+TEST(BatchExecutorWarmTest, WarmQueriesMeetGuarantees) {
+  // Statistical soundness of the overlapping case: warm queries in a
+  // FRESH batch (no resume) draw stage-2/3 samples from a scan that may
+  // revisit the cached prefix's rows. Each phase's statistics use only
+  // its own uniform sample, so the paper's guarantees must still hold.
+  BatchFixture f = MakeBatchFixture(20000, 62);
+  Stage1Cache cache;
+
+  BatchOptions prime_options = Options(2);
+  prime_options.stage1_sink = &cache;
+  auto prime =
+      BatchExecutor::Create({MakeQuery(f, f.target, 1)}, prime_options)
+          .value();
+  ASSERT_TRUE(prime->Run()[0].status.ok());
+  auto snapshot = cache.Lookup(f.store->id(), 0, {1}, 3000);
+  ASSERT_NE(snapshot, nullptr);
+
+  std::vector<BoundQuery> warm_queries = {
+      MakeQuery(f, f.exact.NormalizedRow(1), 11),
+      MakeQuery(f, f.exact.NormalizedRow(6), 12),
+      MakeQuery(f, f.target, 13)};
+  for (BoundQuery& q : warm_queries) q.stage1_warm = snapshot;
+  auto exec =
+      BatchExecutor::Create(warm_queries, Options(2, /*seed=*/97)).value();
+  std::vector<BatchItem> items = exec->Run();
+  EXPECT_EQ(exec->stats().warm_queries, 3);
+  int violations = 0;
+  for (size_t j = 0; j < warm_queries.size(); ++j) {
+    ASSERT_TRUE(items[j].status.ok()) << items[j].status.ToString();
+    EXPECT_TRUE(items[j].match.diag.stage1_warm);
+    const HistSimParams& p = warm_queries[j].params;
+    GroundTruth truth = ComputeGroundTruth(f.exact, warm_queries[j].target,
+                                           p.metric, p.sigma, p.k);
+    auto check = CheckGuarantees(items[j].match, f.exact, truth,
+                                 warm_queries[j].target, p);
+    violations += !check.separation_ok || !check.reconstruction_ok;
+  }
+  // delta = 0.05 per query; same flakiness convention as the batch and
+  // join suites: allow at most 1 of 3.
+  EXPECT_LE(violations, 1);
+}
+
+TEST(BatchExecutorWarmTest, MismatchedWarmSnapshotSurfacesAsItemStatus) {
+  // A warm snapshot whose domain does not match the query's template is
+  // a per-query error, never a batch-sinking one.
+  BatchFixture f = MakeBatchFixture(2000, 63);
+  auto bogus = std::make_shared<Stage1Snapshot>();
+  bogus->counts = CountMatrix(5, 4);  // template is 12 x 8
+  bogus->rows_drawn = 1000;
+  BoundQuery bad = MakeQuery(f, f.target, 1);
+  bad.stage1_warm = bogus;
+  BoundQuery good = MakeQuery(f, f.target, 2);
+
+  auto exec = BatchExecutor::Create({bad, good}, Options(2)).value();
+  std::vector<BatchItem> items = exec->Run();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].status.code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(items[1].status.ok()) << items[1].status.ToString();
+  std::set<int> got(items[1].match.topk.begin(), items[1].match.topk.end());
+  EXPECT_EQ(got, (std::set<int>{0, 1, 2}));
+}
+
+TEST(BatchExecutorWarmTest, OverlappingWarmExhaustionReportsTrueExactCounts) {
+  // The overlap-exactness hazard: a warm query in a FRESH batch (no
+  // resume) rescans rows already behind its cached prior. Pooled totals
+  // are fine as estimates, but when the scan then exhausts the store,
+  // "exact" must mean the true histograms — the machine subtracts the
+  // overlapping prior before trusting an exhaustion signal, so the
+  // result equals ground truth rather than prior + truth.
+  BatchFixture f = MakeBatchFixture(200, 65, /*rows_per_block=*/25);
+  Stage1Cache cache;
+  BoundQuery donor = MakeQuery(f, f.target);
+  donor.params.stage1_samples = 100;  // a strict prefix, not the store
+  BatchOptions donor_options = Options(2, /*seed=*/7, /*chunk=*/2);
+  donor_options.stage1_sink = &cache;
+  auto prime = BatchExecutor::Create({donor}, donor_options).value();
+  ASSERT_TRUE(prime->Run()[0].status.ok());
+
+  auto snapshot = cache.Lookup(f.store->id(), 0, {1}, 100);
+  ASSERT_NE(snapshot, nullptr);
+  ASSERT_LT(snapshot->rows_drawn, f.store->num_rows());
+
+  BoundQuery warm = MakeQuery(f, f.target, 9);
+  warm.params.stage1_samples = 100;
+  warm.stage1_warm = snapshot;
+  auto exec =
+      BatchExecutor::Create({warm}, Options(2, /*seed=*/31, /*chunk=*/2))
+          .value();
+  std::vector<BatchItem> items = exec->Run();
+  ASSERT_TRUE(items[0].status.ok()) << items[0].status.ToString();
+  EXPECT_TRUE(items[0].match.diag.data_exhausted);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_TRUE(items[0].match.exact[i]);
+    // Exact means exact: the prior's double-counted rows must be gone.
+    EXPECT_EQ(items[0].match.counts.RowTotal(i), f.exact.RowTotal(i))
+        << "candidate " << i << " counts inflated by the cached prior";
+  }
+  std::set<int> got(items[0].match.topk.begin(), items[0].match.topk.end());
+  EXPECT_EQ(got, (std::set<int>{0, 1, 2}));
+}
+
+TEST(BatchExecutorWarmTest, FullCoverageSnapshotCompletesAtBind) {
+  // A snapshot spanning the whole relation carries exact counts: warm
+  // queries complete instantly with the exact result and the scan never
+  // starts. (Tiny store: the cold donor's stage-1 draw consumes
+  // everything.)
+  BatchFixture f = MakeBatchFixture(200, 64, /*rows_per_block=*/25);
+  Stage1Cache cache;
+  BoundQuery donor = MakeQuery(f, f.target);
+  donor.params.stage1_samples = f.store->num_rows();
+  BatchOptions donor_options = Options(2);
+  donor_options.stage1_sink = &cache;
+  auto prime = BatchExecutor::Create({donor}, donor_options).value();
+  ASSERT_TRUE(prime->Run()[0].status.ok());
+
+  auto snapshot = cache.Lookup(f.store->id(), 0, {1}, f.store->num_rows());
+  ASSERT_NE(snapshot, nullptr);
+  ASSERT_EQ(snapshot->rows_drawn, f.store->num_rows());
+
+  BoundQuery warm = MakeQuery(f, f.exact.NormalizedRow(3), 9);
+  warm.stage1_warm = snapshot;
+  auto exec = BatchExecutor::Create({warm}, Options(2)).value();
+  std::vector<BatchItem> items = exec->Run();
+  ASSERT_TRUE(items[0].status.ok()) << items[0].status.ToString();
+  EXPECT_EQ(exec->stats().blocks_read, 0);
+  EXPECT_TRUE(items[0].match.diag.data_exhausted);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_TRUE(items[0].match.exact[i]);
+    EXPECT_EQ(items[0].match.counts.RowTotal(i), f.exact.RowTotal(i));
+  }
+  // Exact distances to candidate 3's own distribution: 3 is the top hit.
+  EXPECT_EQ(items[0].match.topk.front(), 3);
 }
 
 // ------------------------------------------------ concurrency stress

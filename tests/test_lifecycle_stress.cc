@@ -21,6 +21,12 @@
 //   * the process thread count stays bounded by pool size + pipelines
 //     + producers + slack throughout the churn (the SharedWorkerPool /
 //     reaping claim), sampled while the storm runs.
+//
+// FASTMATCH_STAGE1_CACHE=1 re-runs the storm with the stage-1 cache
+// enabled (CI's second stress invocation), so warm admission, the
+// join-refusal lift, and reap invalidation all race under TSan too.
+// The cache-specific churn test (stores dropped and recreated under a
+// live cache) is CacheChurnAcrossStoreLifetimes below.
 
 #include <gtest/gtest.h>
 
@@ -111,6 +117,9 @@ TEST(LifecycleStressTest, RandomizedSubmitCancelAbandonChurn) {
     options.eager_delivery = true;
     options.idle_pipeline_timeout_seconds = 0.02;
     options.pool = &pool;
+    // CI soaks the storm twice: cold (default) and with the stage-1
+    // cache racing the same churn (FASTMATCH_STAGE1_CACHE=1).
+    options.stage1_cache = GetEnvInt64("FASTMATCH_STAGE1_CACHE", 0) != 0;
 
     std::vector<std::vector<Outcome>> outcomes(kProducers);
     std::atomic<int64_t> accepted{0};
@@ -234,6 +243,13 @@ TEST(LifecycleStressTest, RandomizedSubmitCancelAbandonChurn) {
       EXPECT_EQ(stats.completed, want)
           << "round " << round << ": not every accepted future resolved";
       EXPECT_EQ(stats.submitted, want);
+      if (options.stage1_cache) {
+        // Every cache lookup is a hit or a miss, nothing double-counted,
+        // even while admission races reaps and evictions.
+        EXPECT_EQ(stats.stage1_lookups, stats.stage1_hits + stats.stage1_misses)
+            << "round " << round << ": cache counters do not reconcile";
+        EXPECT_LE(stats.joins_enabled_by_cache, stats.joined_midflight);
+      }
 
       storm_over.store(true, std::memory_order_relaxed);
       monitor.join();
@@ -292,6 +308,217 @@ TEST(LifecycleStressTest, RandomizedSubmitCancelAbandonChurn) {
         << "round " << round << ": thread count not bounded";
     EXPECT_GT(max_threads.load(), baseline_threads);
   }
+}
+
+// ------------------------------------------------- stage-1 cache churn
+// Stores are dropped and recreated under ONE live scheduler while the
+// stage-1 cache serves, ages (TTL), and invalidates (reap) entries.
+//
+// Isolation is made observable two ways: each store generation uses a
+// DIFFERENT group cardinality (|VX| alternates 8/10), so a cross-store
+// cache hit would fail the machine's domain check and surface as an
+// InvalidArgument result (we assert there are none); and each store
+// plants a DIFFERENT winner set (rotated offsets), so even a
+// same-shaped contamination would corrupt the top-k past the aggregate
+// tolerance. ColumnStore ids are never reused by construction — this
+// test is the empirical seal on that design.
+//
+// Counter reconciliation: lookups == hits + misses at every snapshot;
+// per phase, the post-TTL wave stale-evicts the aged entries and the
+// follow-up wave is served warm (bounded-retry, not single-shot: on a
+// single-core box a wave can take arbitrarily long under TSan).
+
+TEST(LifecycleStressTest, CacheChurnAcrossStoreLifetimes) {
+  const int64_t iters = GetEnvInt64("FASTMATCH_STRESS_ITERS", 1);
+  const uint64_t base_seed = static_cast<uint64_t>(
+      GetEnvInt64("FASTMATCH_STRESS_SEED", 20180501));
+  const int kStores = 2;
+  const int kProducers = 3;
+  const int kStormQueries = static_cast<int>(4 * iters);
+  const int kPhases = 2;
+  const double kTtl = 0.3;
+
+  SharedWorkerPool pool(3);
+  SchedulerOptions options;
+  options.batch.num_threads = 2;
+  options.batch.chunk_blocks = 32;
+  options.max_batch_queries = 4;
+  options.max_queue_wait_seconds = 0.002;
+  options.min_join_suffix_fraction = 0.0;
+  options.eager_delivery = true;
+  // Long enough that no pipeline dies between waves of one phase; the
+  // phase end polls for the reap explicitly.
+  options.idle_pipeline_timeout_seconds = 2.0;
+  options.stage1_cache = true;
+  options.stage1_cache_ttl_seconds = kTtl;
+  options.pool = &pool;
+  QueryScheduler scheduler(options);
+
+  const std::vector<double> base_offsets = {0.0,  0.01, 0.02, 0.06,
+                                            0.09, 0.12, 0.15, 0.17,
+                                            0.19, 0.21, 0.23, 0.25};
+  const int vz = static_cast<int>(base_offsets.size());
+
+  for (int phase = 0; phase < kPhases; ++phase) {
+    // Fresh stores, fresh identities: |VX| alternates by store, winners
+    // rotate by (phase, store).
+    struct PhaseStore {
+      std::shared_ptr<ColumnStore> store;
+      std::shared_ptr<const BitmapIndex> index;
+      Distribution target;
+      std::set<int> winners;
+    };
+    std::vector<PhaseStore> stores;
+    for (int s = 0; s < kStores; ++s) {
+      const int vx = 8 + 2 * (s % 2);
+      const int rotation = 3 * s + phase;
+      std::vector<double> offsets(base_offsets.size());
+      PhaseStore ps;
+      for (int i = 0; i < vz; ++i) {
+        offsets[static_cast<size_t>(i)] =
+            base_offsets[static_cast<size_t>((i + rotation) % vz)];
+        if ((i + rotation) % vz < 3) ps.winners.insert(i);
+      }
+      auto dists = PlantedDistributions(vz, vx, offsets);
+      ps.store = MakeExactStore(std::vector<int64_t>(vz, 1500), dists,
+                                base_seed + static_cast<uint64_t>(
+                                                phase * 100 + s),
+                                50);
+      ps.index = BitmapIndex::Build(*ps.store, 0).value();
+      ps.target = UniformDistribution(vx);
+      stores.push_back(std::move(ps));
+    }
+
+    const auto make_query = [&](int s, uint64_t seed) {
+      BoundQuery query;
+      query.store = stores[static_cast<size_t>(s)].store;
+      query.z_index = stores[static_cast<size_t>(s)].index;
+      query.z_attr = 0;
+      query.x_attrs = {1};
+      query.target = stores[static_cast<size_t>(s)].target;
+      query.params = StressParams(seed);
+      return query;
+    };
+    std::atomic<int64_t> ok_results{0};
+    std::atomic<int64_t> wrong_topk{0};
+    std::atomic<int64_t> illegal{0};
+    const auto record = [&](int s, const SchedulerItem& item) {
+      if (item.status.ok()) {
+        ok_results.fetch_add(1, std::memory_order_relaxed);
+        std::set<int> got(item.match.topk.begin(), item.match.topk.end());
+        if (got != stores[static_cast<size_t>(s)].winners) {
+          wrong_topk.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        // Back-pressure never surfaces through a future, and nothing
+        // here cancels or deadlines: any non-OK terminal state — above
+        // all InvalidArgument from a cross-store snapshot — is illegal.
+        illegal.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+
+    // Cold storm: concurrent producers across this generation's stores.
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kProducers; ++t) {
+      producers.emplace_back([&, t] {
+        std::mt19937_64 rng(base_seed ^ static_cast<uint64_t>(
+                                            (phase * 10 + t + 1) * 2654435761ULL));
+        for (int q = 0; q < kStormQueries; ++q) {
+          const int s = static_cast<int>(rng() % kStores);
+          auto handle = scheduler.Submit(make_query(s, rng()));
+          if (!handle.ok()) {
+            ASSERT_EQ(handle.status().code(), StatusCode::kResourceExhausted);
+            continue;
+          }
+          record(s, handle->Get());
+        }
+      });
+    }
+    for (std::thread& producer : producers) producer.join();
+
+    // Ensure every store holds an entry before aging it: a mid-storm
+    // reap could have invalidated one, and a store the storm's RNG
+    // visited last may hold a stale-ish stamp — one sequential query
+    // per store either hits (entry exists) or re-primes it cold.
+    for (int s = 0; s < kStores; ++s) {
+      auto handle = scheduler.Submit(make_query(s, 555 + s));
+      ASSERT_TRUE(handle.ok());
+      record(s, handle->Get());
+      ASSERT_GE(scheduler.stage1_cache()->size(), s + 1);
+    }
+
+    // Age every entry past the TTL, then touch each store once: the
+    // aged entries must be evicted as stale (and re-primed by the same
+    // cold runs).
+    const SchedulerStats before_stale = scheduler.stats();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kTtl * 1.5));
+    for (int s = 0; s < kStores; ++s) {
+      auto handle = scheduler.Submit(make_query(s, 977 + s));
+      ASSERT_TRUE(handle.ok());
+      record(s, handle->Get());
+    }
+    EXPECT_GE(scheduler.stats().stage1_stale_evictions,
+              before_stale.stage1_stale_evictions + kStores)
+        << "phase " << phase << ": aged entries were not stale-evicted";
+
+    // Warm wave, bounded-retry: fresh entries exist now, so a prompt
+    // follow-up is served from cache. A slow box can outlive the TTL
+    // between waves — retry instead of asserting a single window.
+    bool warm_seen = false;
+    for (int attempt = 0; attempt < 10 && !warm_seen; ++attempt) {
+      const SchedulerStats before = scheduler.stats();
+      for (int s = 0; s < kStores; ++s) {
+        auto handle = scheduler.Submit(make_query(s, 1999 + attempt * 10 + s));
+        ASSERT_TRUE(handle.ok());
+        SchedulerItem item = handle->Get();
+        record(s, item);
+        warm_seen = warm_seen || item.match.diag.stage1_warm;
+      }
+      warm_seen = warm_seen ||
+                  scheduler.stats().stage1_hits > before.stage1_hits;
+    }
+    EXPECT_TRUE(warm_seen)
+        << "phase " << phase << ": no warm admission in 10 waves";
+
+    // Correctness ledger for the phase: every future legal, top-k
+    // matching THIS generation's planted winners within the aggregate
+    // tolerance (delta = 0.05 per query).
+    EXPECT_EQ(illegal.load(), 0) << "phase " << phase;
+    ASSERT_GT(ok_results.load(), 0);
+    EXPECT_LE(static_cast<double>(wrong_topk.load()),
+              0.25 * static_cast<double>(ok_results.load()))
+        << "phase " << phase << ": " << wrong_topk.load() << "/"
+        << ok_results.load() << " OK results had a wrong top-k";
+
+    // Drop this generation: stores die, pipelines idle out, and the
+    // janitor must invalidate the dead ids' entries (bounded poll, not
+    // a single timing window).
+    const SchedulerStats before_drop = scheduler.stats();
+    stores.clear();
+    for (int spin = 0; spin < 40000; ++spin) {
+      if (scheduler.stage1_cache()->size() == 0 &&
+          scheduler.stats().stage1_store_invalidations >
+              before_drop.stage1_store_invalidations) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+    EXPECT_EQ(scheduler.stage1_cache()->size(), 0)
+        << "phase " << phase << ": dead stores left cache entries behind";
+    EXPECT_GT(scheduler.stats().stage1_store_invalidations,
+              before_drop.stage1_store_invalidations);
+  }
+
+  // Final reconciliation: every lookup accounted for, joins enabled by
+  // the cache are a subset of joins, and every future resolved.
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.stage1_lookups, stats.stage1_hits + stats.stage1_misses);
+  EXPECT_GT(stats.stage1_hits, 0);
+  EXPECT_GT(stats.stage1_inserts, 0);
+  EXPECT_LE(stats.joins_enabled_by_cache, stats.joined_midflight);
+  EXPECT_EQ(stats.completed, stats.submitted);
+  scheduler.Shutdown();
 }
 
 }  // namespace

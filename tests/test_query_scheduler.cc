@@ -191,7 +191,7 @@ TEST(QuerySchedulerTest, StreamingAdmissionJoinsARunningScan) {
   // test_batch_executor.cc; this asserts the scheduler wires it up.
   SchedFixture f = MakeSchedFixture(30000, 6);
   bool joined = false;
-  for (int attempt = 0; attempt < 20 && !joined; ++attempt) {
+  for (int attempt = 0; attempt < 40 && !joined; ++attempt) {
     SchedulerOptions options = FastOptions();
     options.max_queue_wait_seconds = 0.001;
     QueryScheduler scheduler(options);
@@ -211,8 +211,14 @@ TEST(QuerySchedulerTest, StreamingAdmissionJoinsARunningScan) {
     auto follower = scheduler.Submit(MakeQuery(f, 2));
     ASSERT_TRUE(follower.ok());
     SchedulerItem follower_item = follower->Get();
-    ExpectTop3(follower_item);
-    ExpectTop3(first->Get());
+    // Status only, not top-k: each attempt draws fresh samples, and the
+    // top-k is a 1-delta probabilistic property — hard-asserting it
+    // inside a retry loop multiplies the per-draw violation odds into a
+    // test flake. Quality under joins is pinned (with the aggregate
+    // tolerance the guarantee actually gives) in test_batch_executor.cc
+    // and the stress suite.
+    ASSERT_TRUE(follower_item.status.ok()) << follower_item.status.ToString();
+    ASSERT_TRUE(first->Get().status.ok());
 
     SchedulerStats stats = scheduler.stats();
     EXPECT_EQ(stats.completed, 2);
@@ -227,7 +233,7 @@ TEST(QuerySchedulerTest, StreamingAdmissionJoinsARunningScan) {
     }
   }
   EXPECT_TRUE(joined)
-      << "follower never joined a running scan in 20 attempts";
+      << "follower never joined a running scan in 40 attempts";
 }
 
 TEST(QuerySchedulerTest, LateArrivalAfterScanEndGetsFreshBatch) {
@@ -597,6 +603,154 @@ TEST(QueryLifecycleTest, ShutdownResolvesEveryAcceptedQuery) {
   // And Submit after Shutdown still fails fast.
   EXPECT_EQ(scheduler.Submit(MakeQuery(f, 3)).status().code(),
             StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------- stage-1 cache
+// Scheduler-level cache wiring: cold batches populate the per-store
+// cache, later admissions (launch and join) are served warm, reaping a
+// pipeline invalidates its store's entries. Warm-start *correctness*
+// (bit-for-bit equivalence) is proven in test_batch_executor.cc; these
+// assert the scheduler drives it.
+
+TEST(Stage1CacheSchedulerTest, DisabledByDefault) {
+  SchedFixture f = MakeSchedFixture(4000, 40);
+  QueryScheduler scheduler(FastOptions());
+  EXPECT_EQ(scheduler.stage1_cache(), nullptr);
+  auto a = scheduler.Submit(MakeQuery(f, 1));
+  ASSERT_TRUE(a.ok());
+  SchedulerItem item = a->Get();
+  ExpectTop3(item);
+  EXPECT_FALSE(item.match.diag.stage1_warm);
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.stage1_lookups, 0);
+  EXPECT_EQ(stats.stage1_hits, 0);
+  EXPECT_EQ(stats.stage1_inserts, 0);
+}
+
+TEST(Stage1CacheSchedulerTest, SecondWaveIsServedWarm) {
+  SchedFixture f = MakeSchedFixture(8000, 41);
+  SchedulerOptions options = FastOptions();
+  options.stage1_cache = true;
+  QueryScheduler scheduler(options);
+  ASSERT_NE(scheduler.stage1_cache(), nullptr);
+
+  // Wave 1: cold. Stage-1 completions populate the cache.
+  std::vector<QueryHandle> wave1;
+  for (int i = 0; i < 2; ++i) {
+    auto handle = scheduler.Submit(MakeQuery(f, 100 + i));
+    ASSERT_TRUE(handle.ok());
+    wave1.push_back(std::move(*handle));
+  }
+  for (auto& handle : wave1) {
+    SchedulerItem item = handle.Get();
+    ExpectTop3(item);
+    EXPECT_FALSE(item.match.diag.stage1_warm);
+  }
+  SchedulerStats after_wave1 = scheduler.stats();
+  EXPECT_GE(after_wave1.stage1_inserts, 1);
+  EXPECT_EQ(after_wave1.stage1_hits, 0);
+
+  // Wave 2: every query's template is warm now — all served from cache,
+  // no stage-1 rows drawn from the scan.
+  std::vector<QueryHandle> wave2;
+  for (int i = 0; i < 2; ++i) {
+    auto handle = scheduler.Submit(MakeQuery(f, 200 + i));
+    ASSERT_TRUE(handle.ok());
+    wave2.push_back(std::move(*handle));
+  }
+  for (auto& handle : wave2) {
+    SchedulerItem item = handle.Get();
+    ExpectTop3(item);
+    EXPECT_TRUE(item.match.diag.stage1_warm);
+  }
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_GE(stats.stage1_hits, 2);
+  EXPECT_EQ(stats.stage1_lookups, stats.stage1_hits + stats.stage1_misses);
+}
+
+TEST(Stage1CacheSchedulerTest, WarmTemplateLiftsSuffixRefusal) {
+  // min_join_suffix_fraction = 1.0 refuses every cold join after the
+  // first consumed block (SuffixFractionPolicyRefusesLateJoins). With a
+  // warm template, stage 1 never needs the suffix, so the same follower
+  // may join — counted in joins_enabled_by_cache. The join window is
+  // probabilistic on a single-core host: bounded retries, like the
+  // streaming-admission test.
+  SchedFixture f = MakeSchedFixture(30000, 42);
+  bool lifted = false;
+  for (int attempt = 0; attempt < 40 && !lifted; ++attempt) {
+    SchedulerOptions options = FastOptions();
+    options.max_queue_wait_seconds = 0.001;
+    options.min_join_suffix_fraction = 1.0;
+    options.stage1_cache = true;
+    QueryScheduler scheduler(options);
+
+    // Prime the template: one cold query end to end.
+    auto prime = scheduler.Submit(MakeQuery(f, 1));
+    ASSERT_TRUE(prime.ok());
+    ASSERT_TRUE(prime->Get().status.ok());
+    ASSERT_GE(scheduler.stats().stage1_inserts, 1);
+
+    BoundQuery slow = MakeQuery(f, 2);
+    slow.params.epsilon = 0.03;
+    auto first = scheduler.Submit(std::move(slow));
+    ASSERT_TRUE(first.ok());
+    for (int spin = 0; scheduler.stats().batches_launched < 2 && spin < 10000;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+
+    auto follower = scheduler.Submit(MakeQuery(f, 3));
+    ASSERT_TRUE(follower.ok());
+    SchedulerItem follower_item = follower->Get();
+    // Status only inside the retry loop — top-k is a 1-delta property
+    // per draw; its quality under warm starts is pinned with the proper
+    // tolerance in test_batch_executor.cc.
+    ASSERT_TRUE(follower_item.status.ok()) << follower_item.status.ToString();
+    ASSERT_TRUE(first->Get().status.ok());
+
+    SchedulerStats stats = scheduler.stats();
+    // A join that landed before the scan consumed its first block has
+    // suffix fraction exactly 1.0 and needed no lift — keep retrying
+    // until a join lands mid-scan, where only the cache admits it.
+    if (follower_item.joined_midflight && stats.joins_enabled_by_cache >= 1) {
+      lifted = true;
+      EXPECT_TRUE(follower_item.match.diag.stage1_warm);
+      EXPECT_LE(stats.joins_enabled_by_cache, stats.joined_midflight);
+    }
+  }
+  EXPECT_TRUE(lifted)
+      << "no cache-enabled join landed in 40 attempts";
+}
+
+TEST(Stage1CacheSchedulerTest, ReapInvalidatesTheStoresEntries) {
+  SchedFixture f = MakeSchedFixture(4000, 43);
+  SchedulerOptions options = FastOptions();
+  options.stage1_cache = true;
+  options.idle_pipeline_timeout_seconds = 0.02;
+  QueryScheduler scheduler(options);
+
+  auto a = scheduler.Submit(MakeQuery(f, 1));
+  ASSERT_TRUE(a.ok());
+  ExpectTop3(a->Get());
+  ASSERT_GE(scheduler.stage1_cache()->size(), 1);
+
+  // Bounded poll: the janitor reaps the idle pipeline, then drops the
+  // store's cache entries.
+  for (int spin = 0;
+       scheduler.stats().stage1_store_invalidations < 1 && spin < 20000;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_GE(stats.pipelines_reaped, 1);
+  EXPECT_GE(stats.stage1_store_invalidations, 1);
+  EXPECT_EQ(scheduler.stage1_cache()->size(), 0);
+
+  // The store recovers transparently — and re-warms on its next batch.
+  auto b = scheduler.Submit(MakeQuery(f, 2));
+  ASSERT_TRUE(b.ok());
+  ExpectTop3(b->Get());
+  EXPECT_GE(scheduler.stats().stage1_inserts, 2);
 }
 
 }  // namespace

@@ -1,0 +1,169 @@
+// Unit tests of the service tier's stage-1 sample cache: lookup/publish
+// policy (min-rows coverage, keep-the-bigger-sample), TTL staleness,
+// LRU capacity eviction, per-store invalidation, counter reconciliation
+// (lookups == hits + misses always), and a multi-threaded smoke for the
+// internal locking.
+
+#include "service/stage1_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace fastmatch {
+namespace {
+
+std::shared_ptr<const Stage1Snapshot> MakeSnapshot(int64_t rows, int vz = 4,
+                                                   int vx = 3) {
+  auto snapshot = std::make_shared<Stage1Snapshot>();
+  snapshot->counts = CountMatrix(vz, vx);
+  snapshot->rows_drawn = rows;
+  return snapshot;
+}
+
+TEST(Stage1CacheTest, LookupMissesThenHitsAfterPublish) {
+  Stage1Cache cache;
+  EXPECT_EQ(cache.Lookup(1, 0, {1}, 100), nullptr);
+  cache.Publish(1, 0, {1}, MakeSnapshot(500));
+  auto hit = cache.Lookup(1, 0, {1}, 100);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->rows_drawn, 500);
+
+  Stage1CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 2);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.inserts, 1);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(Stage1CacheTest, KeysSeparateStoresAndTemplates) {
+  Stage1Cache cache;
+  cache.Publish(1, 0, {1}, MakeSnapshot(500));
+  // Different store id, z attribute, or grouping: all distinct entries.
+  EXPECT_EQ(cache.Lookup(2, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 2, {1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 0, {2}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 0, {1, 2}, 1), nullptr);
+  EXPECT_NE(cache.Lookup(1, 0, {1}, 1), nullptr);
+}
+
+TEST(Stage1CacheTest, EntrySmallerThanDemandIsAMiss) {
+  Stage1Cache cache;
+  cache.Publish(1, 0, {1}, MakeSnapshot(500));
+  // A 500-row sample cannot satisfy a 1000-row stage-1 demand; the
+  // entry stays (smaller demands are still served).
+  EXPECT_EQ(cache.Lookup(1, 0, {1}, 1000), nullptr);
+  EXPECT_NE(cache.Lookup(1, 0, {1}, 500), nullptr);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(Stage1CacheTest, PublishKeepsTheBiggerSample) {
+  Stage1Cache cache;
+  cache.Publish(1, 0, {1}, MakeSnapshot(1000));
+  cache.Publish(1, 0, {1}, MakeSnapshot(400));  // dominated: dropped
+  auto hit = cache.Lookup(1, 0, {1}, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->rows_drawn, 1000);
+  cache.Publish(1, 0, {1}, MakeSnapshot(2000));  // bigger: replaces
+  hit = cache.Lookup(1, 0, {1}, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->rows_drawn, 2000);
+  EXPECT_EQ(cache.size(), 1);
+  Stage1CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.publishes, 3);
+  EXPECT_EQ(stats.inserts, 2);  // the dominated publish was dropped
+}
+
+TEST(Stage1CacheTest, InvalidSnapshotsIgnored) {
+  Stage1Cache cache;
+  cache.Publish(1, 0, {1}, nullptr);
+  cache.Publish(1, 0, {1}, MakeSnapshot(0));
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(Stage1CacheTest, TtlExpiresEntriesAsStale) {
+  Stage1CacheOptions options;
+  options.ttl_seconds = 1e-9;  // everything is stale by the next lookup
+  Stage1Cache cache(options);
+  cache.Publish(1, 0, {1}, MakeSnapshot(500));
+  EXPECT_EQ(cache.Lookup(1, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.size(), 0);
+  Stage1CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.stale_evictions, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+}
+
+TEST(Stage1CacheTest, CapacityEvictsLeastRecentlyUsed) {
+  Stage1CacheOptions options;
+  options.capacity = 2;
+  Stage1Cache cache(options);
+  cache.Publish(1, 0, {1}, MakeSnapshot(100));
+  cache.Publish(2, 0, {1}, MakeSnapshot(200));
+  // Touch store 1 so store 2 is the LRU entry.
+  EXPECT_NE(cache.Lookup(1, 0, {1}, 1), nullptr);
+  cache.Publish(3, 0, {1}, MakeSnapshot(300));
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_NE(cache.Lookup(1, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(2, 0, {1}, 1), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(3, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.stats().capacity_evictions, 1);
+}
+
+TEST(Stage1CacheTest, InvalidateStoreDropsOnlyThatStore) {
+  Stage1Cache cache;
+  cache.Publish(1, 0, {1}, MakeSnapshot(100));
+  cache.Publish(1, 0, {2}, MakeSnapshot(100));
+  cache.Publish(2, 0, {1}, MakeSnapshot(100));
+  cache.InvalidateStore(1);
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.Lookup(1, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 0, {2}, 1), nullptr);
+  EXPECT_NE(cache.Lookup(2, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.stats().store_invalidations, 2);
+}
+
+TEST(Stage1CacheTest, CountersReconcileUnderConcurrentChurn) {
+  // Publishers, lookers, and invalidators hammer one cache; afterwards
+  // the books must balance: every lookup is a hit or a miss, nothing
+  // double-counted. (Run under TSan in CI via the regular suite.)
+  Stage1Cache cache(Stage1CacheOptions{/*capacity=*/8, /*ttl_seconds=*/0});
+  constexpr int kThreads = 4;
+  constexpr int kOps = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const uint64_t store = static_cast<uint64_t>((t + i) % 5);
+        switch (i % 4) {
+          case 0:
+            cache.Publish(store, 0, {1}, MakeSnapshot(100 + i));
+            break;
+          case 1:
+          case 2:
+            cache.Lookup(store, 0, {1}, 50);
+            break;
+          default:
+            if (i % 40 == 3) {
+              cache.InvalidateStore(store);
+            } else {
+              cache.Lookup(store, 0, {1}, 1000000);  // always a miss
+            }
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  Stage1CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(stats.misses, 0);
+  EXPECT_LE(cache.size(), 8);
+}
+
+}  // namespace
+}  // namespace fastmatch
