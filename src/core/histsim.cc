@@ -35,8 +35,7 @@ void HistSimMachine::RefreshTau(int i) {
 
 void HistSimMachine::MarkExact(int i) {
   if (exact_[i]) return;
-  if (prior_counts_.num_candidates() == vz_ &&
-      !prior_exact_[static_cast<size_t>(i)]) {
+  if (prior_counts_.num_candidates() == vz_) {
     // The caller's exhaustion proves ITS window's counts exact, and an
     // overlapping prior may double-count rows of that window: remove
     // the prior's row so the exact claim covers exactly the caller's
@@ -131,15 +130,21 @@ Status HistSimMachine::Begin(int num_candidates, int num_groups,
           "stage-1 prior exhausted flags do not match the candidate count");
     }
     diag_.stage1_warm = true;
-    if (prior->overlapping && !prior->all_consumed) {
-      prior_counts_ = *prior->counts;
-      prior_exact_.assign(static_cast<size_t>(vz_), false);
-      if (prior->exhausted != nullptr) prior_exact_ = *prior->exhausted;
-    }
+    // An overlapping prior's exhaustion flags are dropped, not honored:
+    // a candidate marked exact here would skip MarkExact's prior
+    // subtraction forever, yet the caller's overlapping window keeps
+    // merging that candidate's duplicate rows into the totals — an
+    // inflated count reported as exact. Exactness is instead
+    // re-established by the caller's own exhaustion signal (a small
+    // candidate runs dry in the caller's window too), which MarkExact
+    // makes sound by subtracting the prior's row.
+    const bool overlapping = prior->overlapping && !prior->all_consumed;
+    if (overlapping) prior_counts_ = *prior->counts;
     const std::vector<bool> no_exhaustion(static_cast<size_t>(vz_), false);
     return Supply(*prior->counts,
-                  prior->exhausted != nullptr ? *prior->exhausted
-                                              : no_exhaustion,
+                  prior->exhausted != nullptr && !overlapping
+                      ? *prior->exhausted
+                      : no_exhaustion,
                   prior->all_consumed, prior->rows_drawn);
   }
   return Status::OK();

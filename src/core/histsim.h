@@ -118,6 +118,11 @@ struct Stage1Prior {
   /// Optional per-candidate exhaustion knowledge: exhausted[i] asserts
   /// counts row i is EXACT (every row of candidate i is behind it), not
   /// merely that some sampling window ran dry. Empty = no knowledge.
+  /// Ignored when `overlapping` is set: the caller's window may then
+  /// re-deliver an exhausted candidate's rows, so honoring the flag
+  /// would freeze an "exact" count that later Supplies keep inflating —
+  /// exactness is instead re-derived from the caller's own exhaustion
+  /// signal with the prior's row subtracted.
   const std::vector<bool>* exhausted = nullptr;
   /// Every row of the relation is behind `counts` (all rows exact); the
   /// machine then completes immediately with the exact result.
@@ -193,9 +198,8 @@ class HistSimMachine {
   }
   /// Marks candidate i exact on the caller's exhaustion signal. With an
   /// overlapping warm prior, the prior's row is first removed from the
-  /// totals (unless the prior itself certified the row exact): the
-  /// caller's exhaustion only proves ITS window's counts exact, and the
-  /// prior's rows may double-count that window.
+  /// totals: the caller's exhaustion only proves ITS window's counts
+  /// exact, and the prior's rows may double-count that window.
   void MarkExact(int i);
 
   Status FinishStage1(const CountMatrix& fresh, int64_t rows_drawn);
@@ -224,11 +228,10 @@ class HistSimMachine {
 
   CountMatrix total_;  // cumulative counts across stages/rounds
   CountMatrix round_;  // fresh counts of the current stage-2/3 phase
-  // Overlapping warm prior: its counts (kept to subtract on exhaustion)
-  // and which rows it already certified exact. Empty when cold or when
+  // Overlapping warm prior: its counts, kept to subtract when the
+  // caller's own window exhausts a candidate. Empty when cold or when
   // the prior is disjoint from the caller's window.
   CountMatrix prior_counts_;
-  std::vector<bool> prior_exact_;
   std::vector<bool> pruned_;
   std::vector<bool> exact_;
   std::vector<double> tau_;     // estimated distance per candidate

@@ -257,6 +257,11 @@ bool QueryScheduler::GatherLaunchBatch(Pipeline* pipeline,
              static_cast<int>(queries->size()) < options_.max_batch_queries) {
         Pending pend = std::move(pipeline->pending.front());
         pipeline->pending.pop_front();
+        if (pend.join_refused) {
+          // The fallback the earlier refusal predicted actually
+          // happened: the query launches in a fresh batch.
+          counters_.join_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        }
         queries->push_back(std::move(pend.query));
         Admitted a;
         a.promise = std::move(pend.promise);
@@ -365,12 +370,10 @@ void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
           (below_policy && front.query.stage1_warm == nullptr)) {
         // Too little scan left for a statistically useful join — the
         // suffix must still cover stage 1 for a cold query. Leave the
-        // query queued; it launches in a fresh batch when this one
-        // ends. Counted once per query, not per chunk that re-refuses.
-        if (!front.join_refusal_counted) {
-          front.join_refusal_counted = true;
-          counters_.join_fallbacks.fetch_add(1, std::memory_order_relaxed);
-        }
+        // query queued; a later chunk may still join it (e.g. after a
+        // publish turns it warm), else it launches in a fresh batch
+        // when this one ends — join_fallbacks counts at that launch.
+        front.join_refused = true;
         break;
       }
       cache_lifted_refusal = below_policy;
@@ -386,10 +389,7 @@ void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
       // Defensive (the suffix check above normally fires first): the
       // executor refused the join; requeue for a fresh batch.
       std::lock_guard<std::mutex> lock(pipeline->mu);
-      if (!pend.join_refusal_counted) {
-        pend.join_refusal_counted = true;
-        counters_.join_fallbacks.fetch_add(1, std::memory_order_relaxed);
-      }
+      pend.join_refused = true;
       pipeline->pending.push_front(std::move(pend));
       break;
     }

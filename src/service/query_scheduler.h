@@ -157,7 +157,11 @@ struct SchedulerStats {
   int64_t batches_launched = 0;   // executors created
   int64_t timeout_flushes = 0;    // partial batches launched on deadline
   int64_t joined_midflight = 0;   // queries admitted via Join()
-  int64_t join_fallbacks = 0;     // joins refused (suffix too small/empty)
+  // Once-refused joins whose query then launched in a fresh batch. A
+  // refusal alone does not count: the driver re-consults every chunk,
+  // and a mid-flight cache publish can still upgrade a refused cold
+  // query to warm and join it (counted in joined_midflight instead).
+  int64_t join_fallbacks = 0;
   int64_t pipelines = 0;          // pipelines ever created
   int64_t eager_delivered = 0;    // futures fulfilled before batch retire
   int64_t deadline_exceeded = 0;  // shed while queued, deadline passed
@@ -311,9 +315,12 @@ class QueryScheduler {
     Clock::time_point enqueued;
     /// Queue-time budget; time_point::max() when none.
     Clock::time_point deadline;
-    /// Already counted in join_fallbacks (the stat is per refused
-    /// query, not per chunk boundary that re-refuses it).
-    bool join_refusal_counted = false;
+    /// A mid-flight join was refused at least once. Counted into
+    /// join_fallbacks only if the query actually launches in a fresh
+    /// batch — a later chunk boundary may still join it (the driver
+    /// re-consults each chunk, and a cache publish can upgrade a
+    /// refused cold query to warm).
+    bool join_refused = false;
   };
 
   /// One query admitted into a running executor (same index space as

@@ -1,5 +1,6 @@
 #include "service/stage1_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
@@ -23,15 +24,31 @@ void Stage1Cache::Publish(uint64_t store_id, int z_attr,
   const Clock::time_point now = Clock::now();
   if (it != entries_.end()) {
     // The store is immutable, so both samples are valid forever; keep
-    // the one that covers more demands. Either way the template proved
-    // itself warm again — renew the freshness stamp.
-    if (snapshot->rows_drawn >= it->second.snapshot->rows_drawn) {
+    // the one that covers more demands. A rows_drawn tie is broken in
+    // favor of a snapshot with a TRUE exhaustion flag over a resident
+    // without one (the flag certifies a candidate's exact counts to a
+    // disjoint consumer — strictly more information at equal coverage;
+    // an all-false vector certifies nothing); otherwise the resident
+    // wins, nothing to gain from the swap. Only a replacement counts
+    // as an insert.
+    const auto certifies = [](const Stage1Snapshot& s) {
+      return std::any_of(s.scan.exhausted.begin(), s.scan.exhausted.end(),
+                         [](bool flag) { return flag; });
+    };
+    const Entry& resident = it->second;
+    const bool replace =
+        snapshot->rows_drawn > resident.snapshot->rows_drawn ||
+        (snapshot->rows_drawn == resident.snapshot->rows_drawn &&
+         certifies(*snapshot) && !certifies(*resident.snapshot));
+    if (replace) {
       it->second.snapshot = std::move(snapshot);
       ++stats_.inserts;
     }
+    // The stamps renew even when the incoming data was dropped — ON
+    // PURPOSE: the snapshot itself never goes stale (immutable store),
+    // so TTL and LRU measure how long since the template last saw
+    // traffic, and any publish proves the template is live.
     it->second.published = now;
-    // An actively-republished entry is a live template: protect it from
-    // LRU capacity eviction too, not just from TTL.
     it->second.last_used = tick_++;
     return;
   }

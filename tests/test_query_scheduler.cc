@@ -722,6 +722,63 @@ TEST(Stage1CacheSchedulerTest, WarmTemplateLiftsSuffixRefusal) {
       << "no cache-enabled join landed in 40 attempts";
 }
 
+TEST(Stage1CacheSchedulerTest, RefusedThenJoinedQueryIsNotAFallback) {
+  // join_fallbacks counts at the fresh-batch launch, not at the
+  // refusal: a cold follower refused by the suffix policy at early
+  // chunk boundaries can still join once the running batch's own
+  // stage-1 completion publishes its template, and must then leave the
+  // counter untouched — the fallback the refusal predicted never
+  // happened. The join window is probabilistic on a single-core host:
+  // bounded retries, like the streaming-admission test.
+  SchedFixture f = MakeSchedFixture(30000, 44);
+  bool joined = false;
+  for (int attempt = 0; attempt < 40 && !joined; ++attempt) {
+    SchedulerOptions options = FastOptions();
+    options.max_queue_wait_seconds = 0.001;
+    options.min_join_suffix_fraction = 1.0;
+    options.stage1_cache = true;
+    QueryScheduler scheduler(options);
+
+    BoundQuery slow = MakeQuery(f, 1);
+    slow.params.epsilon = 0.03;
+    auto first = scheduler.Submit(std::move(slow));
+    ASSERT_TRUE(first.ok());
+    for (int spin = 0; scheduler.stats().batches_launched < 1 && spin < 10000;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    if (scheduler.stats().batches_launched < 1) {
+      // Spin cap expired before the first batch launched (1-core
+      // starvation): the follower would share the first batch and
+      // prove nothing — void the attempt.
+      continue;
+    }
+    auto follower = scheduler.Submit(MakeQuery(f, 2));
+    ASSERT_TRUE(follower.ok());
+    SchedulerItem follower_item = follower->Get();
+    ASSERT_TRUE(follower_item.status.ok()) << follower_item.status.ToString();
+    ASSERT_TRUE(first->Get().status.ok());
+
+    SchedulerStats stats = scheduler.stats();
+    if (follower_item.joined_midflight) {
+      joined = true;
+      // The follower never launched in a fresh batch, and the first
+      // query faced an idle pipeline (no running batch to refuse it):
+      // nothing may count as a fallback, however many chunk boundaries
+      // refused the follower before the publish upgraded it.
+      EXPECT_EQ(stats.join_fallbacks, 0);
+    } else {
+      // The follower really fell back: one fresh-batch launch of an
+      // (at most once-)refused query. Counted at most once, never per
+      // re-refusing chunk boundary — and zero when the first batch
+      // retired before any consult could refuse.
+      EXPECT_EQ(stats.batches_launched, 2);
+      EXPECT_LE(stats.join_fallbacks, 1);
+    }
+  }
+  EXPECT_TRUE(joined) << "no mid-flight join landed in 40 attempts";
+}
+
 TEST(Stage1CacheSchedulerTest, ReapInvalidatesTheStoresEntries) {
   SchedFixture f = MakeSchedFixture(4000, 43);
   SchedulerOptions options = FastOptions();
