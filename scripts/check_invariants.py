@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Project invariant lint gate (CI: static-analysis job).
+
+Enforces the concurrency and status discipline the compiler alone cannot:
+
+  raw-sync     No raw std::mutex / std::lock_guard / std::unique_lock /
+               std::condition_variable / std::scoped_lock / shared or
+               recursive mutexes anywhere outside src/util/sync.{h,cc}.
+               Everything locks through the annotated fastmatch::Mutex /
+               MutexLock / CondVar wrappers so Clang -Wthread-safety sees
+               every acquisition.
+
+  guarded-by   In any class that owns a fastmatch::Mutex, every mutable
+               data member must carry FASTMATCH_GUARDED_BY /
+               FASTMATCH_PT_GUARDED_BY. Exempt: the synchronization
+               members themselves (Mutex, CondVar), std::atomic,
+               std::thread (lifecycle-managed, documented at the decl),
+               const members, and members tagged `// lint: unguarded`
+               with a justification.
+
+  no-discard   Non-test code must not silence a [[nodiscard]] Status /
+               Result with a (void) or static_cast<void> cast; handle or
+               propagate instead. `// lint: discard-ok` escapes with a
+               justification. ((void)identifier; without a call is the
+               unused-parameter idiom and stays legal.)
+
+  nodiscard-attr  util::Status and util::Result keep their [[nodiscard]]
+               (the compile-time half of no-discard; this guards the
+               attribute against accidental removal).
+
+Zero third-party dependencies; line-based on purpose (a full C++ parse
+buys little for these rules and costs a clang dependency the lint gate
+must not have). Exit 0 when clean, 1 with file:line diagnostics if not.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SOURCE_DIRS = ["src", "tests", "bench", "examples"]
+SYNC_WRAPPER_FILES = {"src/util/sync.h", "src/util/sync.cc"}
+
+RAW_SYNC = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b"
+)
+
+# (void)expr-with-a-call or static_cast<void>(...): a discard, not the
+# (void)param unused-argument idiom.
+VOID_CAST_CALL = re.compile(r"\(\s*void\s*\)\s*[\w:.\->]*\w\s*\(")
+STATIC_CAST_VOID = re.compile(r"static_cast\s*<\s*void\s*>")
+
+CLASS_HEAD = re.compile(r"\b(class|struct)\s+(FASTMATCH_\w+\([^)]*\)\s+)?"
+                        r"(?P<name>[A-Za-z_]\w*)\s*(final\s*)?(:[^;{]*)?{")
+MUTEX_MEMBER = re.compile(r"\bMutex\s+[A-Za-z_]\w*\s*"
+                          r"(FASTMATCH_ACQUIRED_(BEFORE|AFTER)\([^)]*\)\s*)?;")
+GUARD_ANNOT = re.compile(r"FASTMATCH_(PT_)?GUARDED_BY\(")
+MEMBER_DECL = re.compile(r"^\s*(?:mutable\s+)?[A-Za-z_][\w:<>,\s*&]*[\s*&]"
+                         r"[A-Za-z_]\w*\s*(?:=[^;]*|{[^}]*})?;")
+NON_MEMBER = re.compile(
+    r"^\s*(public|private|protected|using|typedef|friend|static|"
+    r"FASTMATCH_\w+\s*\(|template|return|if|for|while|switch|case|explicit)\b"
+    r"|\boperator\b|=\s*(delete|default)\s*;")
+EXEMPT_TYPES = re.compile(
+    r"\b(Mutex|CondVar|std::atomic|std::thread|std::jthread)\b")
+CONST_MEMBER = re.compile(r"(^\s*const\b|\*\s*const\b|\bconst\s+std::)")
+
+
+def read(path: Path) -> str:
+    return path.read_text(encoding="utf-8", errors="replace")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure
+    and the `lint:` escape markers (kept so per-line escapes survive)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            comment = text[i:j]
+            out.append(comment if "lint:" in comment else " " * len(comment))
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i)
+            j = n if j == -1 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            q, j = c, i + 1
+            while j < n and text[j] != q:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(q + " " * (j - i - 2) + (q if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def class_bodies(text: str):
+    """Yields (header_line_no, body_text, body_start_line) for every
+    class/struct definition, innermost included."""
+    for m in CLASS_HEAD.finditer(text):
+        open_idx = text.index("{", m.start())
+        depth, j = 1, open_idx + 1
+        while j < len(text) and depth:
+            if text[j] == "{":
+                depth += 1
+            elif text[j] == "}":
+                depth -= 1
+            j += 1
+        body = text[open_idx + 1:j - 1]
+        yield (text.count("\n", 0, m.start()) + 1, body,
+               text.count("\n", 0, open_idx) + 1)
+
+
+def top_level_lines(body: str):
+    """Yields (offset_line, line) for lines at the class's own brace
+    depth — skips nested function bodies and nested classes."""
+    depth = 0
+    for k, line in enumerate(body.split("\n")):
+        stripped = line
+        if depth == 0:
+            yield k, stripped
+        depth += stripped.count("{") - stripped.count("}")
+        depth = max(depth, 0)
+
+
+def check_file(rel: str, text: str, violations: list):
+    lines = text.split("\n")
+    is_test = rel.startswith("tests/")
+    is_wrapper = rel in SYNC_WRAPPER_FILES
+
+    if not is_wrapper:
+        for k, line in enumerate(lines, 1):
+            if RAW_SYNC.search(line):
+                violations.append(
+                    (rel, k, "raw-sync",
+                     "raw std synchronization primitive; use "
+                     "fastmatch::Mutex/MutexLock/CondVar (util/sync.h)"))
+
+    if not is_test:
+        for k, line in enumerate(lines, 1):
+            if "lint: discard-ok" in line:
+                continue
+            if VOID_CAST_CALL.search(line) or STATIC_CAST_VOID.search(line):
+                violations.append(
+                    (rel, k, "no-discard",
+                     "(void)-discard of a call result; handle the Status "
+                     "or tag `// lint: discard-ok` with a reason"))
+
+    for head_line, body, body_start in class_bodies(text):
+        if not MUTEX_MEMBER.search(body):
+            continue
+        for k, line in top_level_lines(body):
+            lineno = body_start + k
+            if ("lint: unguarded" in line
+                    or GUARD_ANNOT.search(line)
+                    or EXEMPT_TYPES.search(line)
+                    or CONST_MEMBER.search(line)
+                    or NON_MEMBER.search(line)
+                    or not MEMBER_DECL.match(line)):
+                continue
+            violations.append(
+                (rel, lineno, "guarded-by",
+                 "mutable member of a Mutex-owning class lacks "
+                 "FASTMATCH_GUARDED_BY (or `// lint: unguarded` + reason)"))
+        _ = head_line
+
+
+def check_nodiscard_attr(violations: list):
+    for rel, cls in (("src/util/status.h", "Status"),
+                     ("src/util/result.h", "Result")):
+        path = REPO / rel
+        if not path.exists():
+            violations.append((rel, 1, "nodiscard-attr", "file missing"))
+            continue
+        if not re.search(r"class\s+\[\[nodiscard\]\]\s+" + cls, read(path)):
+            violations.append(
+                (rel, 1, "nodiscard-attr",
+                 f"class {cls} must stay [[nodiscard]]"))
+
+
+def main() -> int:
+    violations = []
+    for d in SOURCE_DIRS:
+        for path in sorted((REPO / d).rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            rel = path.relative_to(REPO).as_posix()
+            check_file(rel, strip_comments_and_strings(read(path)), violations)
+    check_nodiscard_attr(violations)
+    for rel, line, rule, msg in violations:
+        print(f"{rel}:{line}: [{rule}] {msg}")
+    if violations:
+        print(f"\ncheck_invariants: {len(violations)} violation(s)")
+        return 1
+    print("check_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

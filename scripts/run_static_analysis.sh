@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Runs the same static-analysis stages as CI's static-analysis job, so a
+# local run reproduces a CI failure exactly:
+#
+#   1. check_invariants.py      — project lint gate (always; pure python)
+#   2. clang -Wthread-safety    — full build with the annotation checks
+#   3. clang-tidy               — over build-sa/compile_commands.json
+#   4. clang-format --dry-run   — formatting check
+#
+# Clang-dependent stages are skipped (with a notice) when the tool is not
+# installed, never silently: the exit code is non-zero only on real
+# findings, so a GCC-only box can still run the gate it is able to run.
+# CI installs the full toolchain and therefore runs every stage.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+failures=0
+skipped=0
+
+note() { printf '== %s\n' "$*"; }
+
+note "stage 1/4: check_invariants.py"
+if ! python3 scripts/check_invariants.py; then
+  failures=$((failures + 1))
+fi
+
+CLANG_CXX="${CLANG_CXX:-$(command -v clang++ || true)}"
+if [ -n "${CLANG_CXX}" ]; then
+  note "stage 2/4: clang -Wthread-safety build (${CLANG_CXX})"
+  if ! cmake -B build-sa -S . \
+        -DCMAKE_CXX_COMPILER="${CLANG_CXX}" \
+        -DCMAKE_BUILD_TYPE=Debug \
+        -DFASTMATCH_THREAD_SAFETY=ON \
+        -DFASTMATCH_IPO=OFF >/dev/null \
+      || ! cmake --build build-sa -j "$(nproc)"; then
+    failures=$((failures + 1))
+  fi
+else
+  note "stage 2/4: SKIPPED (clang++ not installed)"
+  skipped=$((skipped + 1))
+fi
+
+CLANG_TIDY="${CLANG_TIDY:-$(command -v clang-tidy || true)}"
+if [ -n "${CLANG_TIDY}" ] && [ -f build-sa/compile_commands.json ]; then
+  note "stage 3/4: clang-tidy (${CLANG_TIDY})"
+  # Project sources only: the .clang-tidy HeaderFilterRegex scopes header
+  # diagnostics the same way.
+  mapfile -t tidy_sources < <(git ls-files 'src/**/*.cc')
+  if ! "${CLANG_TIDY}" -p build-sa --quiet "${tidy_sources[@]}"; then
+    failures=$((failures + 1))
+  fi
+else
+  note "stage 3/4: SKIPPED (clang-tidy or compile_commands.json missing)"
+  skipped=$((skipped + 1))
+fi
+
+CLANG_FORMAT="${CLANG_FORMAT:-$(command -v clang-format || true)}"
+if [ -n "${CLANG_FORMAT}" ]; then
+  note "stage 4/4: clang-format --dry-run"
+  mapfile -t fmt_sources < <(
+    git ls-files '*.cc' '*.h' | grep -Ev '^third_party/')
+  if ! "${CLANG_FORMAT}" --dry-run -Werror "${fmt_sources[@]}"; then
+    failures=$((failures + 1))
+  fi
+else
+  note "stage 4/4: SKIPPED (clang-format not installed)"
+  skipped=$((skipped + 1))
+fi
+
+note "done: ${failures} failing stage(s), ${skipped} skipped"
+exit "$((failures > 0 ? 1 : 0))"

@@ -85,6 +85,16 @@
 // snapshot's scan state (BatchOptions::resume = snapshot.scan) is
 // bit-for-bit identical to the cold run that produced the snapshot —
 // the equivalence the warm-start tests assert.
+//
+// Concurrency contract: the executor itself holds NO locks — by design
+// it has exactly one driver thread (the store's pipeline loop), which
+// calls Start/Step/Join/Evict/TakeItems strictly sequentially, and the
+// only parallelism is the per-chunk ParallelFor fork-join into the
+// shared worker pool (whose own queue is guarded inside WorkerPool;
+// see docs/ARCHITECTURE.md, "Concurrency & lock hierarchy"). Worker
+// slots write disjoint CountMatrix shards, so no executor state needs
+// a mutex and the class stays invisible to the lock hierarchy. The
+// completion callback fires synchronously on the driver thread.
 
 #ifndef FASTMATCH_ENGINE_BATCH_EXECUTOR_H_
 #define FASTMATCH_ENGINE_BATCH_EXECUTOR_H_

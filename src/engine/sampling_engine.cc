@@ -1,14 +1,13 @@
 #include "engine/sampling_engine.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 
 #include "engine/block_policy.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/sync.h"
 
 namespace fastmatch {
 
@@ -30,26 +29,26 @@ class MarkQueue {
   explicit MarkQueue(size_t capacity) : capacity_(capacity) {}
 
   void Push(MarkBatch batch) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_space_.wait(lock, [&] { return queue_.size() < capacity_; });
+    MutexLock lock(&mu_);
+    while (queue_.size() >= capacity_) cv_space_.Wait(&mu_);
     queue_.push_back(std::move(batch));
-    cv_item_.notify_one();
+    cv_item_.NotifyOne();
   }
 
   MarkBatch Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_item_.wait(lock, [&] { return !queue_.empty(); });
+    MutexLock lock(&mu_);
+    while (queue_.empty()) cv_item_.Wait(&mu_);
     MarkBatch batch = std::move(queue_.front());
     queue_.pop_front();
-    cv_space_.notify_one();
+    cv_space_.NotifyOne();
     return batch;
   }
 
  private:
   const size_t capacity_;
-  std::mutex mu_;
-  std::condition_variable cv_item_, cv_space_;
-  std::deque<MarkBatch> queue_;
+  Mutex mu_;
+  CondVar cv_item_, cv_space_;
+  std::deque<MarkBatch> queue_ FASTMATCH_GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -18,12 +18,21 @@ std::chrono::steady_clock::duration FromSeconds(double seconds) {
       std::chrono::duration<double>(seconds));
 }
 
+std::unique_ptr<Stage1Cache> MakeStage1Cache(const SchedulerOptions& options) {
+  if (!options.stage1_cache) return nullptr;
+  Stage1CacheOptions cache_options;
+  cache_options.capacity = options.stage1_cache_capacity;
+  cache_options.ttl_seconds = options.stage1_cache_ttl_seconds;
+  return std::make_unique<Stage1Cache>(cache_options);
+}
+
 }  // namespace
 
 QueryScheduler::QueryScheduler(SchedulerOptions options)
     : options_(std::move(options)),
       pool_(options_.pool != nullptr ? options_.pool
-                                     : &SharedWorkerPool::Process()) {
+                                     : &SharedWorkerPool::Process()),
+      stage1_cache_(MakeStage1Cache(options_)) {
   FASTMATCH_CHECK(options_.max_batch_queries >= 1)
       << "max_batch_queries must be >= 1";
   FASTMATCH_CHECK(options_.max_pending_per_store >= 1)
@@ -35,12 +44,6 @@ QueryScheduler::QueryScheduler(SchedulerOptions options)
       << "min_join_suffix_fraction must be in [0, 1]";
   FASTMATCH_CHECK(options_.batch.num_threads >= 1)
       << "batch.num_threads (the shared-pool quota) must be >= 1";
-  if (options_.stage1_cache) {
-    Stage1CacheOptions cache_options;
-    cache_options.capacity = options_.stage1_cache_capacity;
-    cache_options.ttl_seconds = options_.stage1_cache_ttl_seconds;
-    stage1_cache_ = std::make_unique<Stage1Cache>(cache_options);
-  }
   if (options_.idle_pipeline_timeout_seconds > 0) {
     reaper_ = std::thread(&QueryScheduler::ReaperLoop, this);
   }
@@ -60,13 +63,14 @@ Result<QueryHandle> QueryScheduler::Submit(BoundQuery query,
     // object must stay alive for the retiring re-check below.
     std::shared_ptr<Pipeline> pipeline;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (shutdown_) {
         return Status::FailedPrecondition("scheduler is shut down");
       }
       std::shared_ptr<Pipeline>& slot = pipelines_[store_id];
       if (slot == nullptr) {
         slot = std::make_shared<Pipeline>();
+        MutexLock slot_lock(&slot->mu);
         slot->last_active = Clock::now();
         slot->thread =
             std::thread(&QueryScheduler::PipelineLoop, this, slot.get());
@@ -76,9 +80,9 @@ Result<QueryHandle> QueryScheduler::Submit(BoundQuery query,
     }
 
     std::future<SchedulerItem> future;
-    std::shared_ptr<CancelFlag> cancel;
+    std::shared_ptr<CancelToken> cancel;
     {
-      std::lock_guard<std::mutex> lock(pipeline->mu);
+      MutexLock lock(&pipeline->mu);
       if (pipeline->retiring) {
         // The janitor claimed this pipeline between the map lookup and
         // here (it is already out of the map, its driver is exiting).
@@ -101,7 +105,14 @@ Result<QueryHandle> QueryScheduler::Submit(BoundQuery query,
       }
       Pending pend;
       pend.query = std::move(query);
-      pend.cancel = std::make_shared<CancelFlag>(false);
+      // The doorbell rings the pipeline's cv so a Cancel() on a queued
+      // query is shed immediately instead of at the next flush
+      // deadline; the weak_ptr keeps the ring safe after the pipeline
+      // is reaped (handles outlive pipelines).
+      pend.cancel = std::make_shared<CancelToken>(
+          [wp = std::weak_ptr<Pipeline>(pipeline)] {
+            if (std::shared_ptr<Pipeline> p = wp.lock()) p->cv.NotifyAll();
+          });
       pend.enqueued = Clock::now();
       pend.deadline = submit.deadline_seconds > 0
                           ? pend.enqueued + FromSeconds(submit.deadline_seconds)
@@ -111,7 +122,7 @@ Result<QueryHandle> QueryScheduler::Submit(BoundQuery query,
       pipeline->pending.push_back(std::move(pend));
       counters_.submitted.fetch_add(1, std::memory_order_relaxed);
     }
-    pipeline->cv.notify_all();
+    pipeline->cv.NotifyAll();
     QueryHandle handle;
     handle.cancel_ = std::move(cancel);
     handle.future_ = std::move(future);
@@ -144,7 +155,7 @@ void QueryScheduler::Resolve(std::promise<SchedulerItem>* promise,
 void QueryScheduler::ShedLocked(Pipeline* pipeline, std::vector<Shed>* shed) {
   const Clock::time_point now = Clock::now();
   for (auto it = pipeline->pending.begin(); it != pipeline->pending.end();) {
-    if (it->cancel->load(std::memory_order_relaxed)) {
+    if (it->cancel->cancelled()) {
       shed->emplace_back(std::move(*it),
                          Status::Cancelled("cancelled while queued"));
       it = pipeline->pending.erase(it);
@@ -170,10 +181,17 @@ void QueryScheduler::FulfillShed(std::vector<Shed> shed) {
   }
 }
 
+bool QueryScheduler::HasCancelledLocked(Pipeline* pipeline) const {
+  for (const Pending& pend : pipeline->pending) {
+    if (pend.cancel->cancelled()) return true;
+  }
+  return false;
+}
+
 void QueryScheduler::ShedPending(Pipeline* pipeline) {
   std::vector<Shed> shed;
   {
-    std::lock_guard<std::mutex> lock(pipeline->mu);
+    MutexLock lock(&pipeline->mu);
     ShedLocked(pipeline, &shed);
   }
   FulfillShed(std::move(shed));
@@ -182,103 +200,105 @@ void QueryScheduler::ShedPending(Pipeline* pipeline) {
 bool QueryScheduler::GatherLaunchBatch(Pipeline* pipeline,
                                        std::vector<BoundQuery>* queries,
                                        std::vector<Admitted>* admitted) {
-  std::vector<Shed> shed;
-  bool launch = false;
-  {
-    std::unique_lock<std::mutex> lock(pipeline->mu);
-    // Shed queries must be resolved NOW, not when this gather
-    // eventually launches or drains — a caller is blocked on the
-    // future. Unlock around the fulfillment, then re-evaluate from the
-    // top (the queue may have changed while unlocked).
-    const auto flush_shed = [&]() -> bool {
-      if (shed.empty()) return false;
-      lock.unlock();
-      FulfillShed(std::move(shed));
-      shed.clear();
-      lock.lock();
-      return true;
-    };
-    for (;;) {
-      pipeline->cv.wait(lock, [&] {
-        return !pipeline->pending.empty() || pipeline->shutdown ||
-               pipeline->retiring;
-      });
+  // Each iteration holds the lock for one decision round; shed queries
+  // collected in the round are fulfilled after the scope ends (promises
+  // always resolve outside the lock — a woken waiter may re-enter the
+  // scheduler), and any round that sheds or is woken early simply
+  // restarts, re-evaluating the queue from scratch.
+  for (;;) {
+    std::vector<Shed> shed;
+    bool launch = false;
+    bool drained = false;
+    {
+      MutexLock lock(&pipeline->mu);
+      while (pipeline->pending.empty() && !pipeline->shutdown &&
+             !pipeline->retiring) {
+        pipeline->cv.Wait(&pipeline->mu);
+      }
       ShedLocked(pipeline, &shed);
-      if (flush_shed()) continue;
-      if (pipeline->pending.empty()) {
-        // Exit on drain/retire with nothing left; otherwise everything
-        // woke us only to be shed — keep waiting. A deadline alone
+      if (shed.empty() && !pipeline->pending.empty()) {
+        // Batch-boundary policy: wait for a full batch, but never keep
+        // the oldest arrival waiting past max_queue_wait_seconds, wake
+        // at the earliest queued deadline so expired queries are shed
+        // on time, and drain immediately on shutdown.
+        const Clock::time_point flush =
+            pipeline->pending.front().enqueued +
+            FromSeconds(options_.max_queue_wait_seconds);
+        Clock::time_point wake = flush;
+        for (const Pending& pend : pipeline->pending) {
+          wake = std::min(wake, pend.deadline);
+        }
+        // Wait until the wake time unless something actionable happens
+        // first: a new arrival (ends the wait so `wake` is recomputed —
+        // a late Submit can carry a deadline earlier than every current
+        // one), a full batch, a drain signal, or a cancelled queued
+        // query (the cancel doorbell notifies the cv precisely so this
+        // predicate re-runs and the shed below happens immediately, not
+        // at the flush deadline).
+        const size_t size_at_wait = pipeline->pending.size();
+        while (!(pipeline->pending.size() != size_at_wait ||
+                 static_cast<int>(pipeline->pending.size()) >=
+                     options_.max_batch_queries ||
+                 pipeline->shutdown || pipeline->retiring ||
+                 HasCancelledLocked(pipeline))) {
+          if (pipeline->cv.WaitUntil(&pipeline->mu, wake) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
+        ShedLocked(pipeline, &shed);
+        if (shed.empty() && !pipeline->pending.empty()) {
+          const bool full = static_cast<int>(pipeline->pending.size()) >=
+                            options_.max_batch_queries;
+          const bool draining = pipeline->shutdown || pipeline->retiring;
+          // Launch on a full batch, a drain, or the flush deadline; a
+          // wake before all three (new arrival, or a deadline/cancel
+          // that shed nothing of ours) restarts the round to keep
+          // filling the batch.
+          if (full || draining || Clock::now() >= flush) {
+            if (!full && !draining) {
+              counters_.timeout_flushes.fetch_add(1,
+                                                  std::memory_order_relaxed);
+            }
+            const Clock::time_point now = Clock::now();
+            while (!pipeline->pending.empty() &&
+                   static_cast<int>(queries->size()) <
+                       options_.max_batch_queries) {
+              Pending pend = std::move(pipeline->pending.front());
+              pipeline->pending.pop_front();
+              if (pend.join_refused) {
+                // The fallback the earlier refusal predicted actually
+                // happened: the query launches in a fresh batch.
+                counters_.join_fallbacks.fetch_add(1,
+                                                   std::memory_order_relaxed);
+              }
+              queries->push_back(std::move(pend.query));
+              Admitted a;
+              a.promise = std::move(pend.promise);
+              a.cancel = std::move(pend.cancel);
+              a.enqueued = pend.enqueued;
+              a.admitted = now;
+              admitted->push_back(std::move(a));
+            }
+            pipeline->busy = true;
+            pipeline->last_active = now;
+            counters_.batches_launched.fetch_add(1, std::memory_order_relaxed);
+            launch = true;
+          }
+        }
+      }
+      if (!launch && shed.empty() && pipeline->pending.empty() &&
+          (pipeline->shutdown || pipeline->retiring)) {
+        // Exit on drain/retire with nothing left. A deadline alone
         // never launches: the batch timer only starts once a query is
         // pending, so an empty flush cannot launch an empty batch.
-        if (pipeline->shutdown || pipeline->retiring) break;
-        continue;
+        drained = true;
       }
-
-      // Batch-boundary policy: wait for a full batch, but never keep
-      // the oldest arrival waiting past max_queue_wait_seconds, wake at
-      // the earliest queued deadline so expired queries are shed on
-      // time, and drain immediately on shutdown.
-      const Clock::time_point flush =
-          pipeline->pending.front().enqueued +
-          FromSeconds(options_.max_queue_wait_seconds);
-      Clock::time_point wake = flush;
-      for (const Pending& pend : pipeline->pending) {
-        wake = std::min(wake, pend.deadline);
-      }
-      // Any new arrival ends the wait so `wake` is recomputed — a late
-      // Submit can carry a deadline earlier than every current one.
-      const size_t size_at_wait = pipeline->pending.size();
-      pipeline->cv.wait_until(lock, wake, [&] {
-        return pipeline->pending.size() != size_at_wait ||
-               static_cast<int>(pipeline->pending.size()) >=
-                   options_.max_batch_queries ||
-               pipeline->shutdown || pipeline->retiring;
-      });
-      ShedLocked(pipeline, &shed);
-      if (flush_shed()) continue;
-      if (pipeline->pending.empty()) {
-        if (pipeline->shutdown || pipeline->retiring) break;
-        continue;
-      }
-      const bool full = static_cast<int>(pipeline->pending.size()) >=
-                        options_.max_batch_queries;
-      const bool draining = pipeline->shutdown || pipeline->retiring;
-      if (!full && !draining && Clock::now() < flush) {
-        // Woken at a queued query's deadline, not the flush deadline:
-        // that query was just shed; keep filling the batch.
-        continue;
-      }
-      if (!full && !draining) {
-        counters_.timeout_flushes.fetch_add(1, std::memory_order_relaxed);
-      }
-
-      const Clock::time_point now = Clock::now();
-      while (!pipeline->pending.empty() &&
-             static_cast<int>(queries->size()) < options_.max_batch_queries) {
-        Pending pend = std::move(pipeline->pending.front());
-        pipeline->pending.pop_front();
-        if (pend.join_refused) {
-          // The fallback the earlier refusal predicted actually
-          // happened: the query launches in a fresh batch.
-          counters_.join_fallbacks.fetch_add(1, std::memory_order_relaxed);
-        }
-        queries->push_back(std::move(pend.query));
-        Admitted a;
-        a.promise = std::move(pend.promise);
-        a.cancel = std::move(pend.cancel);
-        a.enqueued = pend.enqueued;
-        a.admitted = now;
-        admitted->push_back(std::move(a));
-      }
-      pipeline->busy = true;
-      pipeline->last_active = now;
-      counters_.batches_launched.fetch_add(1, std::memory_order_relaxed);
-      launch = true;
-      break;
     }
+    FulfillShed(std::move(shed));
+    if (launch) return true;
+    if (drained) return false;
   }
-  FASTMATCH_CHECK(shed.empty());  // flushed before every break
-  return launch;
 }
 
 void QueryScheduler::FulfillAdmitted(Admitted* a, BatchItem item,
@@ -318,7 +338,7 @@ void QueryScheduler::EvictCancelled(BatchExecutor* executor,
   for (size_t i = 0; i < admitted->size(); ++i) {
     Admitted& a = (*admitted)[i];
     if (a.fulfilled || a.evict_attempted || a.cancel == nullptr ||
-        !a.cancel->load(std::memory_order_relaxed)) {
+        !a.cancel->cancelled()) {
       continue;
     }
     a.evict_attempted = true;
@@ -343,7 +363,7 @@ void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
     Pending pend;
     bool cache_lifted_refusal = false;
     {
-      std::lock_guard<std::mutex> lock(pipeline->mu);
+      MutexLock lock(&pipeline->mu);
       // Never join a query that is already cancelled or past deadline.
       ShedLocked(pipeline, &shed);
       if (pipeline->pending.empty() ||
@@ -388,7 +408,7 @@ void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
     if (!joined.ok()) {
       // Defensive (the suffix check above normally fires first): the
       // executor refused the join; requeue for a fresh batch.
-      std::lock_guard<std::mutex> lock(pipeline->mu);
+      MutexLock lock(&pipeline->mu);
       pend.join_refused = true;
       pipeline->pending.push_front(std::move(pend));
       break;
@@ -505,7 +525,7 @@ void QueryScheduler::PipelineLoop(Pipeline* pipeline) {
     if (!GatherLaunchBatch(pipeline, &queries, &admitted)) break;
     RunBatch(pipeline, std::move(queries), std::move(admitted));
     {
-      std::lock_guard<std::mutex> lock(pipeline->mu);
+      MutexLock lock(&pipeline->mu);
       pipeline->busy = false;
       pipeline->last_active = Clock::now();
     }
@@ -517,7 +537,7 @@ void QueryScheduler::PipelineLoop(Pipeline* pipeline) {
   // than leaking a never-ready future.
   std::vector<Shed> orphans;
   {
-    std::lock_guard<std::mutex> lock(pipeline->mu);
+    MutexLock lock(&pipeline->mu);
     while (!pipeline->pending.empty()) {
       orphans.emplace_back(
           std::move(pipeline->pending.front()),
@@ -533,9 +553,12 @@ void QueryScheduler::ReaperLoop() {
       FromSeconds(options_.idle_pipeline_timeout_seconds);
   const Clock::duration period = FromSeconds(
       std::max(options_.idle_pipeline_timeout_seconds / 4.0, 1e-3));
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (;;) {
-    reaper_cv_.wait_for(lock, period, [&] { return shutdown_; });
+    const Clock::time_point tick = Clock::now() + period;
+    while (!shutdown_) {
+      if (reaper_cv_.WaitUntil(&mu_, tick) == std::cv_status::timeout) break;
+    }
     if (shutdown_) return;
     const Clock::time_point now = Clock::now();
     std::vector<std::shared_ptr<Pipeline>> dead;
@@ -544,7 +567,7 @@ void QueryScheduler::ReaperLoop() {
       Pipeline* pipeline = it->second.get();
       bool reap = false;
       {
-        std::lock_guard<std::mutex> plock(pipeline->mu);
+        MutexLock plock(&pipeline->mu);
         if (!pipeline->busy && pipeline->pending.empty() &&
             !pipeline->shutdown &&
             now - pipeline->last_active >= timeout) {
@@ -567,9 +590,9 @@ void QueryScheduler::ReaperLoop() {
     if (dead.empty()) continue;
     // Join outside mu_ so Submits to other stores are never blocked on
     // a dying driver.
-    lock.unlock();
+    lock.Unlock();
     for (std::shared_ptr<Pipeline>& pipeline : dead) {
-      pipeline->cv.notify_all();
+      pipeline->cv.NotifyAll();
       pipeline->thread.join();
       counters_.pipelines_reaped.fetch_add(1, std::memory_order_relaxed);
     }
@@ -584,32 +607,32 @@ void QueryScheduler::ReaperLoop() {
         stage1_cache_->InvalidateStore(store_id);
       }
     }
-    lock.lock();
+    lock.Lock();
   }
 }
 
 void QueryScheduler::Shutdown() {
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  MutexLock shutdown_lock(&shutdown_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;  // no new pipelines after this; janitor exits
   }
-  reaper_cv_.notify_all();
+  reaper_cv_.NotifyAll();
   if (reaper_.joinable()) reaper_.join();
   // The janitor is gone: the pipeline map is stable from here on.
   std::vector<std::shared_ptr<Pipeline>> pipelines;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& [store_id, pipeline] : pipelines_) {
       pipelines.push_back(pipeline);
     }
   }
   for (const std::shared_ptr<Pipeline>& pipeline : pipelines) {
     {
-      std::lock_guard<std::mutex> lock(pipeline->mu);
+      MutexLock lock(&pipeline->mu);
       pipeline->shutdown = true;
     }
-    pipeline->cv.notify_all();
+    pipeline->cv.NotifyAll();
   }
   for (const std::shared_ptr<Pipeline>& pipeline : pipelines) {
     if (pipeline->thread.joinable()) pipeline->thread.join();

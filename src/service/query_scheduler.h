@@ -71,12 +71,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -85,6 +84,7 @@
 #include "engine/executor.h"
 #include "service/stage1_cache.h"
 #include "util/result.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace fastmatch {
@@ -209,6 +209,38 @@ struct SchedulerItem {
 
 class QueryScheduler;
 
+/// \brief One query's cancellation state: a sticky flag plus a doorbell
+/// that wakes the query's pipeline driver so a cancelled QUEUED query
+/// is shed immediately instead of at the next flush wakeup.
+///
+/// The doorbell is installed at construction and immutable afterwards
+/// (no set-after-publish race); it must be safe to invoke from any
+/// thread at any time, including after the scheduler is gone — the
+/// scheduler passes a weak_ptr-guarded notify.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(std::function<void()> doorbell)
+      : doorbell_(std::move(doorbell)) {}
+
+  /// \brief Sets the flag (idempotent) and rings the doorbell on the
+  /// first call. Never blocks.
+  void Cancel() {
+    if (!cancelled_.exchange(true, std::memory_order_relaxed) &&
+        doorbell_ != nullptr) {
+      doorbell_();
+    }
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  const std::function<void()> doorbell_;
+};
+
 /// \brief Move-only owner of one submitted query's outcome: a future
 /// plus a cancellation token.
 ///
@@ -245,9 +277,12 @@ class QueryHandle {
   }
 
   /// \brief Requests cancellation. Safe from any thread, any time,
-  /// including after the scheduler is gone; never blocks.
+  /// including after the scheduler is gone; never blocks. Rings the
+  /// pipeline's doorbell so a queued query is shed (and its future
+  /// resolved Cancelled) at the next driver wakeup, not the next flush
+  /// deadline.
   void Cancel() {
-    if (cancel_ != nullptr) cancel_->store(true, std::memory_order_relaxed);
+    if (cancel_ != nullptr) cancel_->Cancel();
   }
 
   /// \brief Blocks for the terminal outcome. Valid exactly once.
@@ -263,7 +298,7 @@ class QueryHandle {
 
  private:
   friend class QueryScheduler;
-  std::shared_ptr<std::atomic<bool>> cancel_;
+  std::shared_ptr<CancelToken> cancel_;
   std::future<SchedulerItem> future_;
 };
 
@@ -289,12 +324,13 @@ class QueryScheduler {
   /// status. Every accepted Submit's future resolves exactly once with
   /// a result, DeadlineExceeded, Cancelled, or Unavailable — including
   /// across Shutdown() and pipeline-reap races.
-  Result<QueryHandle> Submit(BoundQuery query, SubmitOptions submit = {});
+  Result<QueryHandle> Submit(BoundQuery query, SubmitOptions submit = {})
+      FASTMATCH_EXCLUDES(mu_);
 
   /// \brief Stops accepting queries, drains every pending and running
   /// batch (all outstanding futures resolve), and joins the pipeline
   /// and janitor threads. Idempotent; called by the destructor.
-  void Shutdown();
+  void Shutdown() FASTMATCH_EXCLUDES(mu_, shutdown_mu_);
 
   /// \brief Snapshot of the behaviour counters.
   SchedulerStats stats() const;
@@ -305,13 +341,12 @@ class QueryScheduler {
 
  private:
   using Clock = std::chrono::steady_clock;
-  using CancelFlag = std::atomic<bool>;
 
   /// One not-yet-admitted query with its delivery promise.
   struct Pending {
     BoundQuery query;
     std::promise<SchedulerItem> promise;
-    std::shared_ptr<CancelFlag> cancel;
+    std::shared_ptr<CancelToken> cancel;
     Clock::time_point enqueued;
     /// Queue-time budget; time_point::max() when none.
     Clock::time_point deadline;
@@ -327,7 +362,7 @@ class QueryScheduler {
   /// BatchExecutor::TakeItems).
   struct Admitted {
     std::promise<SchedulerItem> promise;
-    std::shared_ptr<CancelFlag> cancel;
+    std::shared_ptr<CancelToken> cancel;
     Clock::time_point enqueued;
     Clock::time_point admitted;
     bool joined_midflight = false;
@@ -340,39 +375,59 @@ class QueryScheduler {
   };
 
   /// Per-store pipeline: bounded pending queue + driver thread.
+  /// `mu` sits below the scheduler's map lock mu_ in the hierarchy
+  /// (the janitor holds mu_ while claiming a pipeline) and above the
+  /// Stage1Cache/WorkerPool leaf locks.
   struct Pipeline {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Pending> pending;
-    bool shutdown = false;  // global drain: finish the queue, then exit
-    bool retiring = false;  // janitor claimed it: no new enqueues, exit
-    bool busy = false;      // driver inside RunBatch
-    Clock::time_point last_active;
+    Mutex mu;
+    CondVar cv;
+    std::deque<Pending> pending FASTMATCH_GUARDED_BY(mu);
+    // global drain: finish the queue, then exit
+    bool shutdown FASTMATCH_GUARDED_BY(mu) = false;
+    // janitor claimed it: no new enqueues, exit
+    bool retiring FASTMATCH_GUARDED_BY(mu) = false;
+    bool busy FASTMATCH_GUARDED_BY(mu) = false;  // driver inside RunBatch
+    Clock::time_point last_active FASTMATCH_GUARDED_BY(mu);
+    /// Started under the scheduler map lock when the pipeline is
+    /// created; joined by exactly one of {janitor, Shutdown} after the
+    /// entry left the map — never concurrently, so no guard.
     std::thread thread;
   };
 
   /// A pending query shed before admission, with its terminal status.
   using Shed = std::pair<Pending, Status>;
 
-  void PipelineLoop(Pipeline* pipeline);
+  void PipelineLoop(Pipeline* pipeline) FASTMATCH_EXCLUDES(pipeline->mu);
   /// Pops pending queries into a full-or-flushed launch batch. Returns
   /// false when the pipeline should exit (shutdown/retire, queue
   /// drained).
   bool GatherLaunchBatch(Pipeline* pipeline, std::vector<BoundQuery>* queries,
-                         std::vector<Admitted>* admitted);
+                         std::vector<Admitted>* admitted)
+      FASTMATCH_EXCLUDES(pipeline->mu);
   /// Runs one executor to completion: joins, sheds, evictions, and
   /// eager deliveries all happen at chunk boundaries.
   void RunBatch(Pipeline* pipeline, std::vector<BoundQuery> queries,
-                std::vector<Admitted> admitted);
+                std::vector<Admitted> admitted)
+      FASTMATCH_EXCLUDES(pipeline->mu);
   /// Admits pending queries into the running scan while policy allows.
   void TryJoins(Pipeline* pipeline, BatchExecutor* executor,
-                int64_t num_blocks, std::vector<Admitted>* admitted);
-  /// Removes cancelled/expired entries from the pending deque (caller
-  /// holds pipeline->mu); terminal fulfillment happens in FulfillShed,
-  /// outside the lock.
-  void ShedLocked(Pipeline* pipeline, std::vector<Shed>* shed);
-  /// Lock-free shed pass: lock, ShedLocked, unlock, FulfillShed.
-  void ShedPending(Pipeline* pipeline);
+                int64_t num_blocks, std::vector<Admitted>* admitted)
+      FASTMATCH_EXCLUDES(pipeline->mu);
+  /// Removes cancelled/expired entries from the pending deque; terminal
+  /// fulfillment happens in FulfillShed, outside the lock (the
+  /// promise-resolution rule, now compiler-visible: this method REQUIRES
+  /// the lock FulfillShed must not run under).
+  void ShedLocked(Pipeline* pipeline, std::vector<Shed>* shed)
+      FASTMATCH_REQUIRES(pipeline->mu);
+  /// True when any queued query's cancel flag is set — the condition
+  /// the cancel doorbell wakes the gather wait to re-test.
+  bool HasCancelledLocked(Pipeline* pipeline) const
+      FASTMATCH_REQUIRES(pipeline->mu);
+  /// Shed pass: lock, ShedLocked, unlock, FulfillShed.
+  void ShedPending(Pipeline* pipeline) FASTMATCH_EXCLUDES(pipeline->mu);
+  /// Resolves shed promises. Must run with NO pipeline lock held: a
+  /// woken waiter may re-enter the scheduler (Submit, stats) from the
+  /// future's continuation.
   void FulfillShed(std::vector<Shed> shed);
   /// Resolves one admitted query's promise with `item` (exactly once).
   void FulfillAdmitted(Admitted* a, BatchItem item, Clock::time_point batch_start,
@@ -381,10 +436,11 @@ class QueryScheduler {
   void EvictCancelled(BatchExecutor* executor, std::vector<Admitted>* admitted);
   /// Looks the query's template up in the stage-1 cache and attaches
   /// the snapshot on a hit (no-op when the cache is disabled or the
-  /// query already carries a warm snapshot).
+  /// query already carries a warm snapshot). The cache lock is a leaf:
+  /// callers may hold a pipeline lock.
   void AttachWarmStage1(BoundQuery* query);
   /// Janitor: joins pipelines idle past the timeout.
-  void ReaperLoop();
+  void ReaperLoop() FASTMATCH_EXCLUDES(mu_);
 
   /// Lock-free counters (incremented under assorted mutexes; atomics
   /// keep stats() safe without a lock-order relationship to them).
@@ -411,26 +467,34 @@ class QueryScheduler {
   /// waiter never observes a stats() snapshot missing its query).
   void Resolve(std::promise<SchedulerItem>* promise, SchedulerItem item);
 
-  SchedulerOptions options_;
-  SharedWorkerPool* pool_;  // options_.pool or the process pool
+  const SchedulerOptions options_;
+  SharedWorkerPool* const pool_;  // options_.pool or the process pool
   /// Created when options_.stage1_cache; executors publish into it
   /// (BatchOptions::stage1_sink) and admission/join paths Lookup it.
-  /// Internally locked — safe from pipeline threads and the janitor.
-  std::unique_ptr<Stage1Cache> stage1_cache_;
+  /// Internally locked (leaf) — safe from pipeline threads and the
+  /// janitor. The pointer itself is immutable after construction.
+  const std::unique_ptr<Stage1Cache> stage1_cache_;
 
-  std::mutex mu_;           // guards pipelines_ map, shutdown_, reaper_cv_
-  std::mutex shutdown_mu_;  // serializes Shutdown callers end to end
-  std::condition_variable reaper_cv_;
+  /// Serializes Shutdown callers end to end; top of the lock hierarchy.
+  Mutex shutdown_mu_;
+  /// Map lock: pipelines_ / shutdown_ / the janitor's wait. Acquired
+  /// after shutdown_mu_ and before any Pipeline::mu (the janitor claims
+  /// pipelines under both).
+  Mutex mu_ FASTMATCH_ACQUIRED_AFTER(shutdown_mu_);
+  CondVar reaper_cv_;
   /// Keyed by ColumnStore::id(), NOT the store pointer: a freed store's
   /// address can be recycled for a new store, which must not alias the
   /// dead store's pipeline. shared_ptr, not unique_ptr: a Submit holds
   /// its pipeline reference across an unlocked window (mu_ released
   /// before pipeline->mu is taken), during which the janitor may reap
   /// the entry — the object must outlive every such holder.
-  std::map<uint64_t, std::shared_ptr<Pipeline>> pipelines_;
-  bool shutdown_ = false;
+  std::map<uint64_t, std::shared_ptr<Pipeline>> pipelines_
+      FASTMATCH_GUARDED_BY(mu_);
+  bool shutdown_ FASTMATCH_GUARDED_BY(mu_) = false;
+  /// Started in the constructor, joined in Shutdown (which serializes
+  /// via shutdown_mu_), never touched elsewhere.
   std::thread reaper_;
-  Counters counters_;
+  Counters counters_;  // lint: unguarded (std::atomic members only)
 };
 
 }  // namespace fastmatch

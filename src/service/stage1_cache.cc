@@ -17,7 +17,7 @@ void Stage1Cache::Publish(uint64_t store_id, int z_attr,
                           const std::vector<int>& x_attrs,
                           std::shared_ptr<const Stage1Snapshot> snapshot) {
   if (snapshot == nullptr || snapshot->rows_drawn <= 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.publishes;
   Key key{store_id, z_attr, x_attrs};
   auto it = entries_.find(key);
@@ -71,7 +71,7 @@ void Stage1Cache::Publish(uint64_t store_id, int z_attr,
 std::shared_ptr<const Stage1Snapshot> Stage1Cache::Lookup(
     uint64_t store_id, int z_attr, const std::vector<int>& x_attrs,
     int64_t min_rows) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.lookups;
   auto it = entries_.find(Key{store_id, z_attr, x_attrs});
   if (it == entries_.end()) {
@@ -98,7 +98,7 @@ std::shared_ptr<const Stage1Snapshot> Stage1Cache::Lookup(
 }
 
 void Stage1Cache::InvalidateStore(uint64_t store_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (std::get<0>(it->first) == store_id) {
       it = entries_.erase(it);
@@ -110,12 +110,12 @@ void Stage1Cache::InvalidateStore(uint64_t store_id) {
 }
 
 int64_t Stage1Cache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(entries_.size());
 }
 
 Stage1CacheStats Stage1Cache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

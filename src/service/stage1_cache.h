@@ -37,11 +37,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <tuple>
 #include <vector>
 
 #include "engine/batch_executor.h"
+#include "util/sync.h"
 
 namespace fastmatch {
 
@@ -82,23 +82,25 @@ class Stage1Cache : public Stage1Sink {
   /// carries a true exhaustion flag and the resident has none. Evicts
   /// the least-recently-used entry when over capacity.
   void Publish(uint64_t store_id, int z_attr, const std::vector<int>& x_attrs,
-               std::shared_ptr<const Stage1Snapshot> snapshot) override;
+               std::shared_ptr<const Stage1Snapshot> snapshot) override
+      FASTMATCH_EXCLUDES(mu_);
 
   /// \brief Returns the template's snapshot when one exists, is within
   /// TTL, and holds at least `min_rows` rows (a smaller sample would
   /// under-satisfy the querier's stage-1 demand); null otherwise.
   std::shared_ptr<const Stage1Snapshot> Lookup(uint64_t store_id, int z_attr,
                                                const std::vector<int>& x_attrs,
-                                               int64_t min_rows);
+                                               int64_t min_rows)
+      FASTMATCH_EXCLUDES(mu_);
 
   /// \brief Drops every entry of one store (the store id disappeared:
   /// janitor reap, store teardown).
-  void InvalidateStore(uint64_t store_id);
+  void InvalidateStore(uint64_t store_id) FASTMATCH_EXCLUDES(mu_);
 
   /// \brief Live entries.
-  int64_t size() const;
+  int64_t size() const FASTMATCH_EXCLUDES(mu_);
 
-  Stage1CacheStats stats() const;
+  Stage1CacheStats stats() const FASTMATCH_EXCLUDES(mu_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -109,11 +111,14 @@ class Stage1Cache : public Stage1Sink {
     uint64_t last_used = 0;  // LRU tick
   };
 
-  Stage1CacheOptions options_;
-  mutable std::mutex mu_;
-  std::map<Key, Entry> entries_;
-  uint64_t tick_ = 0;
-  Stage1CacheStats stats_;
+  const Stage1CacheOptions options_;
+  /// Leaf lock of the service tier: Lookup/Publish run under the
+  /// scheduler's pipeline lock, so mu_ must never wrap a call back into
+  /// scheduler code (see docs/ARCHITECTURE.md, lock hierarchy).
+  mutable Mutex mu_;
+  std::map<Key, Entry> entries_ FASTMATCH_GUARDED_BY(mu_);
+  uint64_t tick_ FASTMATCH_GUARDED_BY(mu_) = 0;
+  Stage1CacheStats stats_ FASTMATCH_GUARDED_BY(mu_);
 };
 
 }  // namespace fastmatch

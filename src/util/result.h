@@ -14,9 +14,11 @@ namespace fastmatch {
 /// \brief Holds either a value of type T or a non-OK Status.
 ///
 /// Accessing the value of an errored Result is a checked fatal error
-/// (never undefined behavior), so misuse fails loudly in tests.
+/// (never undefined behavior), so misuse fails loudly in tests. Marked
+/// [[nodiscard]] like Status: discarding one drops the failure AND the
+/// value, which is never intentional.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

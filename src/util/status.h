@@ -35,7 +35,10 @@ std::string_view StatusCodeName(StatusCode code);
 /// \brief Cheap value type describing success or a categorized failure.
 ///
 /// An OK status carries no allocation; error statuses carry a message.
-class Status {
+/// [[nodiscard]]: a dropped Status silently swallows a failure, so every
+/// caller must branch on it, propagate it, or cast it away explicitly —
+/// the build treats a discard as an error (-Werror=unused-result).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

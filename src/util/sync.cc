@@ -1,0 +1,33 @@
+#include "util/sync.h"
+
+namespace fastmatch {
+
+// The waits adopt the already-held std::mutex into a unique_lock for
+// the duration of the std::condition_variable call, then release the
+// unique_lock's ownership claim so the Mutex wrapper keeps it. The
+// REQUIRES(mu) annotation models the net effect correctly: held on
+// entry, held on return.
+
+void CondVar::Wait(Mutex* mu) {
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+std::cv_status CondVar::WaitUntil(
+    Mutex* mu, std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_until(lock, deadline);
+  lock.release();
+  return status;
+}
+
+std::cv_status CondVar::WaitFor(Mutex* mu,
+                                std::chrono::steady_clock::duration timeout) {
+  std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_for(lock, timeout);
+  lock.release();
+  return status;
+}
+
+}  // namespace fastmatch

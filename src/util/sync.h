@@ -1,0 +1,206 @@
+// Annotated synchronization primitives: every lock in the repo goes
+// through these wrappers so Clang's thread-safety analysis
+// (-Wthread-safety) can check locking discipline at compile time.
+//
+// The types mirror Abseil's Mutex/MutexLock/CondVar surface over
+// std::mutex / std::condition_variable, carrying the Clang capability
+// attributes (CAPABILITY, GUARDED_BY, REQUIRES, ACQUIRE/RELEASE,
+// EXCLUDES, ...). Under Clang the annotations make lock contracts part
+// of the type system: a GUARDED_BY member touched without its mutex, a
+// REQUIRES method called unlocked, or a lock-order inversion against an
+// ACQUIRED_AFTER declaration is a compile error (-Werror in CI's
+// static-analysis job; tests/compile_fail/ proves the warnings fire).
+// Under GCC the attribute macros expand to nothing and the wrappers are
+// zero-cost aliases for the std primitives.
+//
+// Raw std::mutex / std::lock_guard / std::condition_variable are banned
+// outside this header — scripts/check_invariants.py enforces it — so
+// new concurrent code cannot opt out of the analysis by accident.
+//
+// Condition waits: CondVar deliberately has NO predicate overloads.
+// The analysis cannot see through a predicate lambda (its body is
+// analyzed without the caller's lock set), so waits are written as
+// explicit loops in the caller, where every guarded access is visibly
+// under the lock:
+//
+//   MutexLock lock(&mu_);
+//   while (!ready_) cv_.Wait(&mu_);        // ready_ GUARDED_BY(mu_)
+//
+// The lock hierarchy these annotations encode is documented in
+// docs/ARCHITECTURE.md ("Concurrency & lock hierarchy").
+
+#ifndef FASTMATCH_UTIL_SYNC_H_
+#define FASTMATCH_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety attribute macros (no-ops under other compilers).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define FASTMATCH_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define FASTMATCH_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define FASTMATCH_CAPABILITY(x) FASTMATCH_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose lifetime acquires/releases a capability.
+#define FASTMATCH_SCOPED_CAPABILITY FASTMATCH_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only with `x` held.
+#define FASTMATCH_GUARDED_BY(x) FASTMATCH_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose POINTEE is protected by `x` (the pointer itself
+/// may be read freely).
+#define FASTMATCH_PT_GUARDED_BY(x) FASTMATCH_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-order declarations, checked under -Wthread-safety-beta: this
+/// mutex must be acquired before/after the listed ones.
+#define FASTMATCH_ACQUIRED_BEFORE(...) \
+  FASTMATCH_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define FASTMATCH_ACQUIRED_AFTER(...) \
+  FASTMATCH_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// The function may only be called with the listed capabilities held.
+#define FASTMATCH_REQUIRES(...) \
+  FASTMATCH_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities (and does not release
+/// them before returning).
+#define FASTMATCH_ACQUIRE(...) \
+  FASTMATCH_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities.
+#define FASTMATCH_RELEASE(...) \
+  FASTMATCH_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability and reports success via
+/// its return value (`ret` is the success value).
+#define FASTMATCH_TRY_ACQUIRE(ret, ...) \
+  FASTMATCH_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// The function must NOT be called with the listed capabilities held
+/// (deadlock guard for non-reentrant locks).
+#define FASTMATCH_EXCLUDES(...) \
+  FASTMATCH_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held; informs the analysis.
+#define FASTMATCH_ASSERT_CAPABILITY(x) \
+  FASTMATCH_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define FASTMATCH_RETURN_CAPABILITY(x) \
+  FASTMATCH_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function's locking cannot be expressed to the
+/// analysis. Use sparingly and leave a comment saying why.
+#define FASTMATCH_NO_THREAD_SAFETY_ANALYSIS \
+  FASTMATCH_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace fastmatch {
+
+class CondVar;
+
+/// \brief An annotated exclusive mutex (std::mutex underneath).
+///
+/// Prefer MutexLock for scoped holds; Lock()/Unlock() exist for the
+/// rare hand-over-hand pattern and for CondVar's internals.
+class FASTMATCH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() FASTMATCH_ACQUIRE() { mu_.lock(); }
+  void Unlock() FASTMATCH_RELEASE() { mu_.unlock(); }
+  bool TryLock() FASTMATCH_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// \brief Tells the analysis the mutex is held on paths it cannot
+  /// prove (e.g. a callback documented to run under the lock). Purely
+  /// an analysis fact; no runtime check.
+  void AssertHeld() const FASTMATCH_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over a Mutex, releasable and re-acquirable
+/// mid-scope (the pattern scheduler gathers use to fulfill promises
+/// outside the lock, then re-enter).
+///
+/// The analysis tracks the held state across Unlock()/Lock() calls, so
+/// a guarded access in the unlocked window is a compile error.
+class FASTMATCH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) FASTMATCH_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_->Lock();
+  }
+  ~MutexLock() FASTMATCH_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// \brief Releases the mutex before scope end. The destructor then
+  /// does nothing unless Lock() re-acquires.
+  void Unlock() FASTMATCH_RELEASE() {
+    held_ = false;
+    mu_->Unlock();
+  }
+
+  /// \brief Re-acquires after Unlock().
+  void Lock() FASTMATCH_ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* const mu_;
+  bool held_;
+};
+
+/// \brief Condition variable paired with Mutex.
+///
+/// No predicate overloads ON PURPOSE: the analysis cannot check a
+/// predicate lambda against the caller's lock set, so waits are written
+/// as explicit `while (!cond) cv.Wait(&mu);` loops (see the header
+/// comment). All waits assume (and the annotations require) the mutex
+/// is held; it is atomically released during the block and re-acquired
+/// before returning, which the REQUIRES annotation models soundly.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// \brief Blocks until notified (or spuriously woken — always re-test
+  /// the condition in a loop).
+  void Wait(Mutex* mu) FASTMATCH_REQUIRES(mu);
+
+  /// \brief Blocks until notified or `deadline`; returns
+  /// std::cv_status::timeout when the deadline passed.
+  std::cv_status WaitUntil(Mutex* mu,
+                           std::chrono::steady_clock::time_point deadline)
+      FASTMATCH_REQUIRES(mu);
+
+  /// \brief Blocks until notified or `timeout` elapsed.
+  std::cv_status WaitFor(Mutex* mu, std::chrono::steady_clock::duration timeout)
+      FASTMATCH_REQUIRES(mu);
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_UTIL_SYNC_H_

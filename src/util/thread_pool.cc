@@ -18,10 +18,10 @@ WorkerPool::WorkerPool(int num_threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_task_.notify_all();
+  cv_task_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -29,33 +29,33 @@ void WorkerPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && tasks_.empty()) cv_task_.Wait(&mu_);
       if (tasks_.empty()) return;  // stop requested and queue drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--pending_ == 0) cv_idle_.notify_all();
+      MutexLock lock(&mu_);
+      if (--pending_ == 0) cv_idle_.NotifyAll();
     }
   }
 }
 
 void WorkerPool::Submit(std::function<void()> fn) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     FASTMATCH_CHECK(!stop_) << "Submit on a stopping WorkerPool";
     tasks_.push_back(std::move(fn));
     ++pending_;
   }
-  cv_task_.notify_one();
+  cv_task_.NotifyOne();
 }
 
 void WorkerPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(&mu_);
+  while (pending_ != 0) cv_idle_.Wait(&mu_);
 }
 
 void WorkerPool::ParallelFor(int64_t n,
@@ -75,18 +75,18 @@ void WorkerPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn,
   // Fork-join state private to this call, so concurrent ParallelFors (or
   // unrelated Submits) never observe each other's completion.
   std::atomic<int64_t> next{0};
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   int remaining = fanout;
   auto body = [&] {
     int64_t i;
     while ((i = next.fetch_add(1, std::memory_order_relaxed)) < n) fn(i);
-    std::unique_lock<std::mutex> lock(mu);
-    if (--remaining == 0) cv.notify_one();
+    MutexLock lock(&mu);
+    if (--remaining == 0) cv.NotifyOne();
   };
   for (int w = 0; w < fanout; ++w) Submit(body);
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return remaining == 0; });
+  MutexLock lock(&mu);
+  while (remaining != 0) cv.Wait(&mu);
 }
 
 SharedWorkerPool& SharedWorkerPool::Process() {

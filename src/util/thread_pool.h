@@ -15,13 +15,13 @@
 #ifndef FASTMATCH_UTIL_THREAD_POOL_H_
 #define FASTMATCH_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace fastmatch {
 
@@ -59,12 +59,14 @@ class WorkerPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_task_;  // workers wait for tasks or stop
-  std::condition_variable cv_idle_;  // Wait() waits for pending_ == 0
-  std::deque<std::function<void()>> tasks_;
-  int64_t pending_ = 0;  // queued + running tasks
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_task_;  // workers wait for tasks or stop
+  CondVar cv_idle_;  // Wait() waits for pending_ == 0
+  std::deque<std::function<void()>> tasks_ FASTMATCH_GUARDED_BY(mu_);
+  int64_t pending_ FASTMATCH_GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool stop_ FASTMATCH_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor, joined only by the destructor;
+  /// size() reads the stable vector length.
   std::vector<std::thread> threads_;
 };
 

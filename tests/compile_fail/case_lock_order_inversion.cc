@@ -1,0 +1,23 @@
+// MUST NOT COMPILE under -Wthread-safety -Wthread-safety-beta -Werror:
+// acquires two mutexes against their declared ACQUIRED_AFTER order (the
+// shape of the scheduler's shutdown_mu_ -> mu_ hierarchy).
+#include "util/sync.h"
+
+namespace fastmatch {
+
+class TwoLocks {
+ public:
+  void Inverted() {
+    MutexLock inner(&inner_mu_);
+    MutexLock outer(&outer_mu_);  // expected: 'outer_mu_' acquired after
+                                  // 'inner_mu_', order contradiction
+  }
+
+ private:
+  Mutex outer_mu_;
+  Mutex inner_mu_ FASTMATCH_ACQUIRED_AFTER(outer_mu_);
+};
+
+void Use() { TwoLocks().Inverted(); }
+
+}  // namespace fastmatch

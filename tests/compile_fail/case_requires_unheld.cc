@@ -1,0 +1,20 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: calls a
+// REQUIRES(mu) function (CondVar::Wait) without holding the mutex.
+#include "util/sync.h"
+
+namespace fastmatch {
+
+class Waiter {
+ public:
+  void BrokenWait() {
+    cv_.Wait(&mu_);  // expected: requires holding mutex 'mu_'
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+};
+
+void Use() { Waiter().BrokenWait(); }
+
+}  // namespace fastmatch

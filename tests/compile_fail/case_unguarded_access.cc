@@ -1,0 +1,20 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: writes a GUARDED_BY
+// member with no lock held.
+#include "util/sync.h"
+
+namespace fastmatch {
+
+class Counter {
+ public:
+  void Bump() {
+    ++count_;  // expected: writing variable requires holding mutex 'mu_'
+  }
+
+ private:
+  Mutex mu_;
+  int count_ FASTMATCH_GUARDED_BY(mu_) = 0;
+};
+
+void Use() { Counter().Bump(); }
+
+}  // namespace fastmatch

@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: touches a guarded
+// member inside a MutexLock's Unlock()/Lock() window — the analysis
+// tracks the relockable scoped capability's held state across the gap.
+#include "util/sync.h"
+
+namespace fastmatch {
+
+class Window {
+ public:
+  void Broken() {
+    MutexLock lock(&mu_);
+    ++count_;       // fine: lock held
+    lock.Unlock();
+    ++count_;       // expected: requires holding mutex 'mu_'
+    lock.Lock();
+  }
+
+ private:
+  Mutex mu_;
+  int count_ FASTMATCH_GUARDED_BY(mu_) = 0;
+};
+
+void Use() { Window().Broken(); }
+
+}  // namespace fastmatch

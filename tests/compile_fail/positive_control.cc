@@ -1,0 +1,57 @@
+// MUST COMPILE cleanly under -Wthread-safety -Wthread-safety-beta
+// -Werror: exercises every pattern the case_*.cc files break —
+// guarded access under a MutexLock, an explicit cv wait loop, the
+// declared lock order, and the Unlock()/Lock() window used correctly.
+// If this fails, the harness flags are wrong, not the annotations.
+#include "util/sync.h"
+
+namespace fastmatch {
+
+class Correct {
+ public:
+  void Produce() {
+    {
+      MutexLock lock(&inner_mu_);
+      ++count_;
+      ready_ = true;
+    }
+    cv_.NotifyOne();
+  }
+
+  void Consume() {
+    MutexLock lock(&inner_mu_);
+    while (!ready_) cv_.Wait(&inner_mu_);
+    ready_ = false;
+  }
+
+  void Ordered() {
+    MutexLock outer(&outer_mu_);
+    MutexLock inner(&inner_mu_);
+  }
+
+  void Windowed() {
+    MutexLock lock(&inner_mu_);
+    ++count_;
+    lock.Unlock();
+    // guarded state untouched in the gap
+    lock.Lock();
+    ++count_;
+  }
+
+ private:
+  Mutex outer_mu_;
+  Mutex inner_mu_ FASTMATCH_ACQUIRED_AFTER(outer_mu_);
+  CondVar cv_;
+  int count_ FASTMATCH_GUARDED_BY(inner_mu_) = 0;
+  bool ready_ FASTMATCH_GUARDED_BY(inner_mu_) = false;
+};
+
+void Use() {
+  Correct c;
+  c.Produce();
+  c.Consume();
+  c.Ordered();
+  c.Windowed();
+}
+
+}  // namespace fastmatch

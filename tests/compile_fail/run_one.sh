@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# run_one.sh <compiler> FAIL|PASS <source.cc> <flag>...
+#
+# PASS: the TU must compile (syntax-only). FAIL: the TU must be rejected
+# AND the diagnostics must mention thread safety — a case failing for an
+# unrelated reason (typo, missing include) is a harness bug, not a
+# negative-compile proof. Exits 77 (ctest SKIP via SKIP_RETURN_CODE)
+# when the compiler is not Clang: only Clang implements -Wthread-safety.
+set -u
+
+compiler="$1"; expect="$2"; source="$3"; shift 3
+
+if ! "${compiler}" --version 2>/dev/null | grep -qi clang; then
+  echo "SKIP: ${compiler} is not Clang; -Wthread-safety unavailable"
+  exit 77
+fi
+
+output="$("${compiler}" "$@" "${source}" 2>&1)"
+status=$?
+
+case "${expect}" in
+  PASS)
+    if [ "${status}" -ne 0 ]; then
+      echo "expected ${source} to compile, but it failed:"
+      echo "${output}"
+      exit 1
+    fi
+    ;;
+  FAIL)
+    if [ "${status}" -eq 0 ]; then
+      echo "expected ${source} to be rejected, but it compiled"
+      exit 1
+    fi
+    if ! echo "${output}" | grep -q "thread-safety"; then
+      echo "rejected for the wrong reason (no thread-safety diagnostic):"
+      echo "${output}"
+      exit 1
+    fi
+    ;;
+  *)
+    echo "unknown expectation '${expect}' (want PASS or FAIL)"
+    exit 1
+    ;;
+esac
+exit 0

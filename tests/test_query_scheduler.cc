@@ -385,6 +385,34 @@ TEST(QueryLifecycleTest, CancelWhileQueuedShedsBeforeLaunch) {
   EXPECT_EQ(stats.batches_launched, 0);
 }
 
+TEST(QueryLifecycleTest, CancelDoorbellShedsLongBeforeFlushDeadline) {
+  // The cancel doorbell: Cancel() on a queued query rings the
+  // pipeline's cv, so the shed happens at the ring — not at the flush
+  // deadline. With a 60-second queue window, a future that resolves in
+  // milliseconds is only explainable by the doorbell (pre-doorbell, the
+  // gather slept the full window before noticing the cancel flag).
+  SchedFixture f = MakeSchedFixture(2000, 29);
+  SchedulerOptions options = FastOptions();
+  options.max_queue_wait_seconds = 60.0;
+  QueryScheduler scheduler(options);
+
+  auto handle = scheduler.Submit(MakeQuery(f, 1));
+  ASSERT_TRUE(handle.ok());
+  const auto start = std::chrono::steady_clock::now();
+  handle->Cancel();
+  SchedulerItem item = handle->Get();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(item.status.code(), StatusCode::kCancelled);
+  // Generous bound for loaded CI machines; still 6x below the only
+  // other wake-up the gather has.
+  EXPECT_LT(seconds, 10.0);
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.batches_launched, 0);
+}
+
 TEST(QueryLifecycleTest, CancelRunningQueryEvictsFromBatch) {
   // A slow scan (tight epsilon over a larger store) cancelled
   // mid-flight: the query is evicted at a chunk boundary and its future

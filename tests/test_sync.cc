@@ -1,0 +1,184 @@
+// Runtime tests of the annotated synchronization wrappers
+// (util/sync.h): mutual exclusion, MutexLock's Unlock()/Lock() window,
+// TryLock, and CondVar wait/notify + timed-wait semantics. The
+// compile-time half — the thread-safety analysis rejecting misuse — is
+// proven by tests/compile_fail/.
+
+#include "util/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace fastmatch {
+namespace {
+
+TEST(MutexTest, MutualExclusionUnderContention) {
+  Mutex mu;
+  int count = 0;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(&mu);
+        ++count;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(count, kThreads * kIters);
+}
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  // Held here: another thread's TryLock must fail (std::mutex TryLock
+  // on the owning thread would be UB, so probe from a second thread).
+  bool second = true;
+  std::thread probe([&] { second = mu.TryLock(); });
+  probe.join();
+  EXPECT_FALSE(second);
+  mu.Unlock();
+  std::thread again([&] {
+    ASSERT_TRUE(mu.TryLock());
+    mu.Unlock();
+  });
+  again.join();
+}
+
+TEST(MutexLockTest, UnlockWindowReleasesTheMutex) {
+  Mutex mu;
+  MutexLock lock(&mu);
+  lock.Unlock();
+  // The mutex must be genuinely free in the window.
+  std::thread probe([&] {
+    MutexLock inner(&mu);
+  });
+  probe.join();
+  lock.Lock();  // and re-acquirable afterwards
+}
+
+TEST(MutexLockTest, DestructorAfterUnlockDoesNotDoubleRelease) {
+  Mutex mu;
+  {
+    MutexLock lock(&mu);
+    lock.Unlock();
+    // Scope end with held_ == false: the destructor must not unlock an
+    // unheld mutex (UB with std::mutex underneath).
+  }
+  {
+    MutexLock lock(&mu);  // still usable
+  }
+}
+
+TEST(CondVarTest, WaitNotifyRoundTrip) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+  });
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int awake = 0;
+  std::vector<std::thread> waiters;
+  constexpr int kWaiters = 3;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(&mu);
+      while (!go) cv.Wait(&mu);
+      ++awake;
+    });
+  }
+  {
+    MutexLock lock(&mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(awake, kWaiters);
+}
+
+TEST(CondVarTest, WaitForTimesOutWhenNeverNotified) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(&mu);
+  EXPECT_EQ(cv.WaitFor(&mu, std::chrono::milliseconds(5)),
+            std::cv_status::timeout);
+}
+
+TEST(CondVarTest, WaitUntilReturnsNoTimeoutOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool waiting = false;
+  bool ready = false;
+  std::cv_status last = std::cv_status::timeout;
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    waiting = true;
+    while (!ready) {
+      last = cv.WaitUntil(&mu, deadline);
+      if (last == std::cv_status::timeout) break;
+    }
+  });
+  // Only notify once the waiter is provably inside WaitUntil: observing
+  // waiting == true under the lock means the waiter set it and then
+  // released the mutex, which Wait* do only while blocking.
+  for (;;) {
+    MutexLock lock(&mu);
+    if (waiting) {
+      ready = true;
+      break;
+    }
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_EQ(last, std::cv_status::no_timeout);
+}
+
+TEST(CondVarTest, WaitReacquiresTheLockBeforeReturning) {
+  // After Wait returns, the waiter must hold the mutex again: the
+  // notifier immediately tries to take the lock and mutate; the waiter
+  // reads its guarded state consistently after waking.
+  Mutex mu;
+  CondVar cv;
+  int phase = 0;
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (phase != 1) cv.Wait(&mu);
+    // Holding the lock here; the main thread's phase=2 write must not
+    // interleave until this critical section ends.
+    EXPECT_EQ(phase, 1);
+    phase = 3;
+  });
+  {
+    MutexLock lock(&mu);
+    phase = 1;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(phase, 3);
+}
+
+}  // namespace
+}  // namespace fastmatch
