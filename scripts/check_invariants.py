@@ -28,6 +28,14 @@ Enforces the concurrency and status discipline the compiler alone cannot:
                (the compile-time half of no-discard; this guards the
                attribute against accidental removal).
 
+  lock-hierarchy  Every src/ file that declares a fastmatch::Mutex
+               member must be named in the "Concurrency & lock
+               hierarchy" section of docs/ARCHITECTURE.md: a new lock
+               cannot enter the codebase without a documented place in
+               the ordering. (Mutex-free layers — storage partitions,
+               the batch executors' single-driver design — stay out by
+               construction.)
+
 Zero third-party dependencies; line-based on purpose (a full C++ parse
 buys little for these rules and costs a clang dependency the lint gate
 must not have). Exit 0 when clean, 1 with file:line diagnostics if not.
@@ -174,6 +182,32 @@ def check_file(rel: str, text: str, violations: list):
         _ = head_line
 
 
+def check_lock_hierarchy_doc(mutex_files: list, violations: list):
+    """Every Mutex-owning src/ file must appear, by path, in the lock
+    hierarchy section of docs/ARCHITECTURE.md."""
+    doc_rel = "docs/ARCHITECTURE.md"
+    doc_path = REPO / doc_rel
+    if not doc_path.exists():
+        violations.append((doc_rel, 1, "lock-hierarchy", "file missing"))
+        return
+    text = read(doc_path)
+    m = re.search(r"^##\s+Concurrency & lock hierarchy\s*$", text,
+                  re.MULTILINE)
+    if not m:
+        violations.append(
+            (doc_rel, 1, "lock-hierarchy",
+             'no "## Concurrency & lock hierarchy" section'))
+        return
+    end = text.find("\n## ", m.end())
+    section = text[m.start():end if end != -1 else len(text)]
+    for rel in mutex_files:
+        if rel not in section:
+            violations.append(
+                (rel, 1, "lock-hierarchy",
+                 "declares a Mutex member but is not named in the lock "
+                 f"hierarchy section of {doc_rel}"))
+
+
 def check_nodiscard_attr(violations: list):
     for rel, cls in (("src/util/status.h", "Status"),
                      ("src/util/result.h", "Result")):
@@ -189,12 +223,18 @@ def check_nodiscard_attr(violations: list):
 
 def main() -> int:
     violations = []
+    mutex_files = []
     for d in SOURCE_DIRS:
         for path in sorted((REPO / d).rglob("*")):
             if path.suffix not in (".h", ".cc"):
                 continue
             rel = path.relative_to(REPO).as_posix()
-            check_file(rel, strip_comments_and_strings(read(path)), violations)
+            stripped = strip_comments_and_strings(read(path))
+            check_file(rel, stripped, violations)
+            if rel.startswith("src/") and rel not in SYNC_WRAPPER_FILES \
+                    and MUTEX_MEMBER.search(stripped):
+                mutex_files.append(rel)
+    check_lock_hierarchy_doc(mutex_files, violations)
     check_nodiscard_attr(violations)
     for rel, line, rule, msg in violations:
         print(f"{rel}:{line}: [{rule}] {msg}")

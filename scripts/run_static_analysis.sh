@@ -3,7 +3,12 @@
 # local run reproduces a CI failure exactly:
 #
 #   1. check_invariants.py      — project lint gate (always; pure python)
-#   2. clang -Wthread-safety    — full build with the annotation checks
+#   2. clang -Wthread-safety    — full build with the annotation checks,
+#                                 then the tests/compile_fail negative
+#                                 proofs, hard-required to RUN (a clang
+#                                 build must never skip them — CI sets
+#                                 FASTMATCH_REQUIRE_COMPILE_FAIL the
+#                                 same way)
 #   3. clang-tidy               — over build-sa/compile_commands.json
 #   4. clang-format --dry-run   — formatting check
 #
@@ -32,7 +37,9 @@ if [ -n "${CLANG_CXX}" ]; then
         -DCMAKE_BUILD_TYPE=Debug \
         -DFASTMATCH_THREAD_SAFETY=ON \
         -DFASTMATCH_IPO=OFF >/dev/null \
-      || ! cmake --build build-sa -j "$(nproc)"; then
+      || ! cmake --build build-sa -j "$(nproc)" \
+      || ! FASTMATCH_REQUIRE_COMPILE_FAIL=1 \
+           ctest --test-dir build-sa --output-on-failure -L compile_fail; then
     failures=$((failures + 1))
   fi
 else

@@ -14,10 +14,17 @@ BatchExecutor::BatchExecutor(std::shared_ptr<const ColumnStore> store,
     : store_(std::move(store)),
       options_(std::move(options)),
       num_blocks_(store_->num_blocks()),
-      consumed_(num_blocks_) {}
+      consumed_(num_blocks_) {
+  // Degenerate partition list: the whole store at offset 0. The sharded
+  // factory overwrites this before any query is bound.
+  Partition whole;
+  whole.store = store_;
+  whole.begin_block = 0;
+  parts_.push_back(std::move(whole));
+}
 
-Result<std::unique_ptr<BatchExecutor>> BatchExecutor::Create(
-    const std::vector<BoundQuery>& queries, BatchOptions options) {
+Status BatchExecutor::ValidateBatch(const std::vector<BoundQuery>& queries,
+                                    const BatchOptions& options) {
   if (queries.empty()) {
     return Status::InvalidArgument("batch has no queries");
   }
@@ -50,9 +57,11 @@ Result<std::unique_ptr<BatchExecutor>> BatchExecutor::Create(
       return Status::InvalidArgument("resume cursor out of range");
     }
   }
+  return Status::OK();
+}
 
-  auto executor =
-      std::unique_ptr<BatchExecutor>(new BatchExecutor(store, options));
+Status BatchExecutor::Initialize(BatchExecutor* executor,
+                                 const std::vector<BoundQuery>& queries) {
   if (executor->options_.resume.has_value()) {
     executor->consumed_ = executor->options_.resume->consumed;
     executor->consumed_blocks_ = executor->consumed_.Popcount();
@@ -83,6 +92,22 @@ Result<std::unique_ptr<BatchExecutor>> BatchExecutor::Create(
   }
   executor->stats_.num_templates =
       static_cast<int>(executor->templates_.size());
+  executor->stats_.num_partitions = static_cast<int>(executor->parts_.size());
+  return Status::OK();
+}
+
+Result<std::unique_ptr<BatchExecutor>> BatchExecutor::Create(
+    const std::vector<BoundQuery>& queries, BatchOptions options) {
+  FASTMATCH_RETURN_IF_ERROR(ValidateBatch(queries, options));
+  for (const BoundQuery& q : queries) {
+    if (q.partitions != nullptr) {
+      return Status::InvalidArgument(
+          "query carries a partition set; use ShardedBatchExecutor::Create");
+    }
+  }
+  auto executor = std::unique_ptr<BatchExecutor>(
+      new BatchExecutor(queries.front().store, std::move(options)));
+  FASTMATCH_RETURN_IF_ERROR(Initialize(executor.get(), queries));
   return executor;
 }
 
@@ -114,15 +139,20 @@ Status BatchExecutor::BindQuery(const BoundQuery& query, QueryState* qs) {
     }
   }
   if (t == templates_.size()) {
-    FASTMATCH_ASSIGN_OR_RETURN(
-        auto io, IoManager::Create(store_, query.z_attr, query.x_attrs));
     TemplateState ts;
     ts.z_attr = query.z_attr;
     ts.x_attrs = query.x_attrs;
-    ts.cum = CountMatrix(io->num_candidates(), io->num_groups());
-    ts.exhausted.assign(io->num_candidates(), false);
-    ts.unmet_seen.assign(io->num_candidates(), false);
-    ts.io = std::move(io);
+    // One reader per partition; the degenerate single-partition list
+    // makes this the whole-store reader of the unpartitioned path.
+    for (const Partition& part : parts_) {
+      FASTMATCH_ASSIGN_OR_RETURN(
+          auto io, IoManager::Create(part.store, query.z_attr, query.x_attrs));
+      ts.ios.push_back(std::move(io));
+    }
+    const IoManager& domain = *ts.ios.front();
+    ts.cum = CountMatrix(domain.num_candidates(), domain.num_groups());
+    ts.exhausted.assign(domain.num_candidates(), false);
+    ts.unmet_seen.assign(domain.num_candidates(), false);
     SizeShards(&ts);  // no-op before Start
     templates_.push_back(std::move(ts));
   }
@@ -143,6 +173,56 @@ Status BatchExecutor::BindQuery(const BoundQuery& query, QueryState* qs) {
   qs->tmpl = t;
   Stage1Prior prior;
   const Stage1Prior* prior_ptr = nullptr;
+  // Merged warm-parts counts; declared at function scope because Begin
+  // reads prior.counts synchronously (and copies when overlapping).
+  CountMatrix merged_parts;
+  if (!query.stage1_warm_parts.empty()) {
+    if (partitions_ == nullptr) {
+      return Status::InvalidArgument(
+          "stage1_warm_parts requires a partitioned batch");
+    }
+    if (query.stage1_warm != nullptr) {
+      return Status::InvalidArgument(
+          "query carries both stage1_warm and stage1_warm_parts");
+    }
+    if (query.stage1_warm_parts.size() != parts_.size()) {
+      return Status::InvalidArgument(
+          "stage1_warm_parts size does not match the partition count");
+    }
+    const IoManager& domain = *ts.ios.front();
+    merged_parts = CountMatrix(domain.num_candidates(), domain.num_groups());
+    int64_t rows = 0;
+    for (const std::shared_ptr<const Stage1Snapshot>& part :
+         query.stage1_warm_parts) {
+      if (part == nullptr) continue;  // partition without a warm sample
+      if (part->counts.num_candidates() != domain.num_candidates() ||
+          part->counts.num_groups() != domain.num_groups()) {
+        return Status::InvalidArgument(
+            "partition stage-1 snapshot does not match the sampling domain");
+      }
+      merged_parts.Merge(part->counts);
+      rows += part->rows_drawn;
+    }
+    if (rows > 0) {
+      // The union of per-partition scan prefixes occupies a fixed set
+      // of positions of the pre-shuffled relation, so it is one uniform
+      // without-replacement sample of size Σ rows_p — the stratified-
+      // sampling argument (docs/PAPER_MAP.md). The partition-LOCAL
+      // consumed maps don't translate into this scan's logical block
+      // space, so the prior is conservatively marked overlapping: no
+      // donor exhaustion flags are honored, and exactness is re-derived
+      // from this scan's own window (the PR 5 overlap semantics) —
+      // sound, merely forgoing an optimization. Disjoint partitions
+      // with Σ rows_p == |relation| cover every row exactly once:
+      // all_consumed completes the machine instantly with the exact
+      // result.
+      prior.counts = &merged_parts;
+      prior.rows_drawn = rows;
+      prior.overlapping = true;
+      prior.all_consumed = rows >= store_->num_rows();
+      prior_ptr = &prior;
+    }
+  }
   if (query.stage1_warm != nullptr) {
     const Stage1Snapshot& warm = *query.stage1_warm;
     prior.counts = &warm.counts;
@@ -172,8 +252,8 @@ Status BatchExecutor::BindQuery(const BoundQuery& query, QueryState* qs) {
     prior.overlapping = !disjoint;
     prior_ptr = &prior;
   }
-  FASTMATCH_RETURN_IF_ERROR(qs->machine.Begin(ts.io->num_candidates(),
-                                              ts.io->num_groups(),
+  FASTMATCH_RETURN_IF_ERROR(qs->machine.Begin(ts.ios.front()->num_candidates(),
+                                              ts.ios.front()->num_groups(),
                                               store_->num_rows(), prior_ptr));
   if (prior_ptr != nullptr) ++stats_.warm_queries;
   // Fresh counts for the query's NEXT phase are cumulative minus this
@@ -236,28 +316,7 @@ void BatchExecutor::SupplyPhase(QueryState* q, bool all_consumed) {
   const Status status =
       q->machine.Supply(fresh, ts.exhausted, all_consumed, drawn);
   if (stage1_phase && options_.stage1_sink != nullptr && drawn > 0) {
-    // Export the completed stage-1 phase. The counts are published even
-    // when Supply failed (an all-pruned error is parameter-specific;
-    // the sample itself is target-independent and reusable), and even
-    // for mid-batch windows: any fresh window of the pre-shuffled
-    // store's scan is a uniform without-replacement sample.
-    auto snapshot = std::make_shared<Stage1Snapshot>();
-    snapshot->counts = std::move(fresh);
-    snapshot->rows_drawn = drawn;
-    snapshot->scan.consumed = consumed_;
-    snapshot->scan.cursor = cursor_;
-    if (!options_.resume.has_value() && q->snap_rows == 0 &&
-        ts.rows_cum == consumed_rows_) {
-      // Only when the counts cover every consumed row does a template
-      // exhaustion flag certify the counts as exact — the Stage1Snapshot
-      // contract. A joined query's window (snap_rows > 0), a resumed
-      // scan's hidden prefix, or a template that missed early chunks
-      // (rows_cum < consumed_rows_) all break that coverage.
-      snapshot->scan.exhausted = ts.exhausted;
-    }
-    options_.stage1_sink->Publish(store_->id(), ts.z_attr, ts.x_attrs,
-                                  std::move(snapshot));
-    ++stats_.stage1_exports;
+    ExportStage1(*q, ts, std::move(fresh), drawn);
   }
   if (!status.ok()) {
     q->status = status;
@@ -270,6 +329,69 @@ void BatchExecutor::SupplyPhase(QueryState* q, bool all_consumed) {
   } else {
     q->snapshot = ts.cum;
     q->snap_rows = ts.rows_cum;
+  }
+}
+
+void BatchExecutor::ExportStage1(const QueryState& q, const TemplateState& ts,
+                                 CountMatrix fresh, int64_t drawn) {
+  if (partitions_ == nullptr) {
+    // Export the completed stage-1 phase. The counts are published even
+    // when Supply failed (an all-pruned error is parameter-specific;
+    // the sample itself is target-independent and reusable), and even
+    // for mid-batch windows: any fresh window of the pre-shuffled
+    // store's scan is a uniform without-replacement sample.
+    auto snapshot = std::make_shared<Stage1Snapshot>();
+    snapshot->counts = std::move(fresh);
+    snapshot->rows_drawn = drawn;
+    snapshot->scan.consumed = consumed_;
+    snapshot->scan.cursor = cursor_;
+    if (!options_.resume.has_value() && q.snap_rows == 0 &&
+        ts.rows_cum == consumed_rows_) {
+      // Only when the counts cover every consumed row does a template
+      // exhaustion flag certify the counts as exact — the Stage1Snapshot
+      // contract. A joined query's window (snap_rows > 0), a resumed
+      // scan's hidden prefix, or a template that missed early chunks
+      // (rows_cum < consumed_rows_) all break that coverage.
+      snapshot->scan.exhausted = ts.exhausted;
+    }
+    options_.stage1_sink->Publish(store_->id(), kWholeStorePartition,
+                                  ts.z_attr, ts.x_attrs, std::move(snapshot));
+    ++stats_.stage1_exports;
+    return;
+  }
+  // Sharded export: one snapshot per partition, each covering that
+  // partition's share of the stage-1 draw. The per-partition
+  // decomposition exists only for a query whose phase started at zero
+  // (fresh == cum == Σ part_cum) on a template that saw every chunk of
+  // an unresumed scan — joined queries' windows and resumed scans have
+  // no per-partition split, so they simply don't export.
+  if (ts.part_cum.empty() || options_.resume.has_value() || q.snap_rows != 0 ||
+      ts.rows_cum != consumed_rows_) {
+    return;
+  }
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    if (ts.part_rows_cum[p] <= 0) continue;
+    const Partition& part = parts_[p];
+    const int64_t local_blocks = part.store->num_blocks();
+    auto snapshot = std::make_shared<Stage1Snapshot>();
+    snapshot->counts = ts.part_cum[p];
+    snapshot->rows_drawn = ts.part_rows_cum[p];
+    // Partition-local scan state: the slice of the logical consumed map
+    // covering this partition's block range, cursor clamped into it.
+    // Exhaustion flags are never published — ts.exhausted certifies
+    // enumeration over the LOGICAL store, which a partition-local
+    // consumer must not mistake for its own.
+    snapshot->scan.consumed = BitVector(local_blocks);
+    for (int64_t b = 0; b < local_blocks; ++b) {
+      if (consumed_.Get(part.begin_block + b)) snapshot->scan.consumed.Set(b);
+    }
+    snapshot->scan.cursor =
+        (cursor_ >= part.begin_block && cursor_ < part.begin_block + local_blocks)
+            ? cursor_ - part.begin_block
+            : 0;
+    options_.stage1_sink->Publish(partitions_->id(), part.store->id(),
+                                  ts.z_attr, ts.x_attrs, std::move(snapshot));
+    ++stats_.stage1_exports;
   }
 }
 
@@ -373,11 +495,27 @@ void BatchExecutor::ReadChunk() {
   streak_ = 0;
 
   // Shared read: one pass over the chunk's blocks feeds every template
-  // that still has a live query. Worker slots scan contiguous slices into
-  // private shards; the merge below is an integer sum, so the cumulative
-  // matrix is identical for every pool size and for every shared-pool
-  // quota.
+  // that still has a live query. Worker slots scan contiguous slices of
+  // the SAME logical block list as the unpartitioned run into private
+  // per-partition shards; the merge below is an integer sum, so the
+  // cumulative matrix is identical for every pool size, shared-pool
+  // quota, AND partition count (scatter changes which reader touches a
+  // block, never which blocks are read or how counts add).
   const size_t num_reads = to_read.size();
+  const size_t num_parts = parts_.size();
+  if (num_parts > 1) {
+    // Scatter: map each marked logical block to (partition, local
+    // block) — pure offset arithmetic thanks to block-aligned
+    // partitions.
+    read_part_.resize(num_reads);
+    read_local_.resize(num_reads);
+    for (size_t i = 0; i < num_reads; ++i) {
+      const int p = PartitionOf(to_read[i]);
+      read_part_[i] = p;
+      read_local_[i] =
+          to_read[i] - parts_[static_cast<size_t>(p)].begin_block;
+    }
+  }
   const size_t slots = static_cast<size_t>(NumSlots());
   const auto read_slice = [&](int64_t w) {
     const size_t begin = num_reads * static_cast<size_t>(w) / slots;
@@ -385,8 +523,19 @@ void BatchExecutor::ReadChunk() {
     if (begin == end) return;
     for (TemplateState& ts : templates_) {
       if (!ts.has_active) continue;
-      ts.io->ReadBlocks(to_read, begin, end,
-                        &ts.shards[static_cast<size_t>(w)]);
+      if (num_parts == 1) {
+        ts.ios.front()->ReadBlocks(
+            to_read, begin, end,
+            &ts.shards[static_cast<size_t>(w)]);
+        continue;
+      }
+      for (size_t i = begin; i < end; ++i) {
+        const size_t p = static_cast<size_t>(read_part_[i]);
+        ts.ios[p]->ReadBlock(
+            read_local_[i],
+            &ts.shards[static_cast<size_t>(w) * num_parts + p],
+            /*fresh_counts=*/nullptr);
+      }
     }
   };
   if (options_.shared_pool != nullptr) {
@@ -396,12 +545,22 @@ void BatchExecutor::ReadChunk() {
     pool_->ParallelFor(static_cast<int64_t>(slots), read_slice);
   }
 
+  // Gather accounting (single-threaded, deterministic): logical rows per
+  // chunk plus each partition's share.
+  chunk_part_rows_.assign(num_parts, 0);
   int64_t rows = 0;
-  for (BlockId b : to_read) {
+  for (size_t i = 0; i < num_reads; ++i) {
+    const BlockId b = to_read[i];
     RowId row_begin, row_end;
     store_->BlockRowRange(b, &row_begin, &row_end);
-    rows += row_end - row_begin;
+    const int64_t block_rows = row_end - row_begin;
+    rows += block_rows;
     consumed_.Set(b);
+    const size_t p =
+        num_parts == 1 ? 0 : static_cast<size_t>(read_part_[i]);
+    chunk_part_rows_[p] += block_rows;
+    ++parts_[p].blocks_read;
+    parts_[p].rows_read += block_rows;
   }
   consumed_blocks_ += static_cast<int64_t>(num_reads);
   consumed_rows_ += rows;
@@ -410,13 +569,26 @@ void BatchExecutor::ReadChunk() {
 
   for (TemplateState& ts : templates_) {
     if (!ts.has_active) continue;
-    for (CountMatrix& shard : ts.shards) {
-      ts.cum.Merge(shard);
-      shard.Reset();
+    for (size_t s = 0; s < ts.shards.size(); ++s) {
+      ts.cum.Merge(ts.shards[s]);
+      if (!ts.part_cum.empty()) {
+        ts.part_cum[s % num_parts].Merge(ts.shards[s]);
+      }
+      ts.shards[s].Reset();
     }
     ts.rows_cum += rows;
+    if (!ts.part_rows_cum.empty()) {
+      for (size_t p = 0; p < num_parts; ++p) {
+        ts.part_rows_cum[p] += chunk_part_rows_[p];
+      }
+    }
     stats_.block_scans += static_cast<int64_t>(num_reads);
   }
+}
+
+int BatchExecutor::PartitionOf(BlockId b) const {
+  if (parts_.size() == 1) return 0;
+  return partitions_->PartitionOfBlock(b);
 }
 
 int BatchExecutor::NumSlots() const {
@@ -426,9 +598,21 @@ int BatchExecutor::NumSlots() const {
 
 void BatchExecutor::SizeShards(TemplateState* ts) {
   if (!started_) return;
+  const IoManager& domain = *ts->ios.front();
+  const size_t num_parts = parts_.size();
+  // Layout [slot * P + partition]: each worker slot owns a private run of
+  // P matrices, so the scatter read writes without synchronization, and
+  // the P=1 case degenerates to one matrix per slot (today's layout).
   ts->shards.assign(
-      static_cast<size_t>(NumSlots()),
-      CountMatrix(ts->io->num_candidates(), ts->io->num_groups()));
+      static_cast<size_t>(NumSlots()) * num_parts,
+      CountMatrix(domain.num_candidates(), domain.num_groups()));
+  if (partitions_ != nullptr && options_.stage1_sink != nullptr &&
+      ts->part_cum.empty()) {
+    ts->part_cum.assign(num_parts,
+                        CountMatrix(domain.num_candidates(),
+                                    domain.num_groups()));
+    ts->part_rows_cum.assign(num_parts, 0);
+  }
 }
 
 void BatchExecutor::SetCompletionCallback(
@@ -525,6 +709,13 @@ Result<size_t> BatchExecutor::Join(const BoundQuery& query) {
   if (query.store.get() != store_.get()) {
     return Status::InvalidArgument(
         "joined query must share the batch's ColumnStore");
+  }
+  if ((query.partitions != nullptr) != (partitions_ != nullptr) ||
+      (query.partitions != nullptr &&
+       query.partitions->id() != partitions_->id())) {
+    return Status::InvalidArgument(
+        "joined query must share the batch's partition set (or carry none "
+        "for an unpartitioned batch)");
   }
   if (consumed_blocks_ == num_blocks_) {
     // Nothing left to feed the newcomer: every block is consumed, so its

@@ -86,6 +86,17 @@
 // bit-for-bit identical to the cold run that produced the snapshot —
 // the equivalence the warm-start tests assert.
 //
+// Horizontal sharding (ShardedBatchExecutor, engine/
+// sharded_batch_executor.h): the scan substrate is partition-aware —
+// every batch reads through a list of (partition store, block offset)
+// slices, which has exactly one entry (the whole store) unless the
+// batch was created over a PartitionedStore. The sharded run keeps the
+// SAME logical cursor, chunk schedule, marking, and exhaustion logic in
+// logical block space and only scatters each marked block's read to its
+// partition's IoManager, gathering per-worker-per-partition CountMatrix
+// shards with commutative integer-sum merges — which is why a P-way run
+// is bit-for-bit identical to the P=1 run at every thread count.
+//
 // Concurrency contract: the executor itself holds NO locks — by design
 // it has exactly one driver thread (the store's pipeline loop), which
 // calls Start/Step/Join/Evict/TakeItems strictly sequentially, and the
@@ -111,6 +122,7 @@
 #include "index/bitmap_index.h"
 #include "index/bitvector.h"
 #include "storage/column_store.h"
+#include "storage/partitioned_store.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -154,6 +166,11 @@ struct Stage1Snapshot {
   ScanResume scan;
 };
 
+/// \brief Partition sub-key for stage-1 publishes that cover a whole
+/// (unpartitioned) store's scan. ColumnStore ids start at 1, so 0 can
+/// never collide with a real partition store's id.
+inline constexpr uint64_t kWholeStorePartition = 0;
+
 /// \brief Where the batch executor publishes stage-1 snapshots
 /// (implemented by the service tier's Stage1Cache). One executor
 /// publishes from its single driving thread, but many executors share a
@@ -161,10 +178,17 @@ struct Stage1Snapshot {
 class Stage1Sink {
  public:
   virtual ~Stage1Sink() = default;
-  /// \brief Offers a snapshot for (store_id, z_attr, x_attrs). The sink
-  /// owns admission policy (keep the bigger sample, TTL, capacity); a
-  /// publish may be dropped silently.
-  virtual void Publish(uint64_t store_id, int z_attr,
+  /// \brief Offers a snapshot for (store_id, partition_id, z_attr,
+  /// x_attrs). An unpartitioned scan publishes under
+  /// kWholeStorePartition; a sharded scan publishes one snapshot per
+  /// partition, keyed by the partition store's own ColumnStore::id()
+  /// with the partition SET's id as store_id — warm starts stay
+  /// per-partition-sound (a partition's snapshot is a uniform sample of
+  /// the relation drawn from THAT partition's rows only, so it must
+  /// never serve another partition's sub-key). The sink owns admission
+  /// policy (keep the bigger sample, TTL, capacity); a publish may be
+  /// dropped silently.
+  virtual void Publish(uint64_t store_id, uint64_t partition_id, int z_attr,
                        const std::vector<int>& x_attrs,
                        std::shared_ptr<const Stage1Snapshot> snapshot) = 0;
 };
@@ -223,6 +247,9 @@ struct BatchStats {
   int64_t stage1_exports = 0;
   /// Distinct (z_attr, x_attrs) templates in the batch.
   int num_templates = 0;
+  /// Scan partitions fed by the scatter-gather read path (1 unless the
+  /// batch runs over a PartitionedStore).
+  int num_partitions = 1;
 };
 
 /// \brief Per-query outcome of a batch run (same order as the input;
@@ -339,18 +366,66 @@ class BatchExecutor {
   /// \brief I/O accounting so far (final after the last Step()/Run()).
   const BatchStats& stats() const { return stats_; }
 
+ protected:
+  /// One slice of the logical scan: a partition store plus its block
+  /// offset in logical block space, with per-partition I/O accounting.
+  /// An unpartitioned batch has exactly one entry — the whole store at
+  /// offset 0 — so the scatter-gather read path is the only read path.
+  struct Partition {
+    std::shared_ptr<const ColumnStore> store;
+    BlockId begin_block = 0;
+    int64_t blocks_read = 0;
+    int64_t rows_read = 0;
+  };
+
+  BatchExecutor(std::shared_ptr<const ColumnStore> store,
+                BatchOptions options);
+
+  /// Shared Create tail for the plain and sharded factories: installs
+  /// resume state, binds every query, validates resume exhaustion
+  /// flags. The caller has already validated options, store sharing,
+  /// and (for the sharded factory) partition-set consistency.
+  static Status Initialize(BatchExecutor* executor,
+                           const std::vector<BoundQuery>& queries);
+
+  /// Structural validation shared by both factories: options ranges,
+  /// one shared store, non-empty store, resume geometry.
+  static Status ValidateBatch(const std::vector<BoundQuery>& queries,
+                              const BatchOptions& options);
+
+  /// The logical scan's partitions (size 1 unless sharded). Filled by
+  /// the constructor (whole store) or the sharded factory; immutable
+  /// once the first query is bound.
+  std::vector<Partition> parts_;
+  /// Non-null iff this batch scatter-gathers over a PartitionedStore
+  /// (set by ShardedBatchExecutor before Initialize).
+  std::shared_ptr<const PartitionedStore> partitions_;
+
  private:
-  /// Per-(z_attr, x_attrs) shared state: one scan kernel, one cumulative
-  /// count matrix, sticky exhaustion, and per-worker shards.
+  /// Per-(z_attr, x_attrs) shared state: one scan kernel per partition,
+  /// one cumulative count matrix, sticky exhaustion, and per-worker
+  /// per-partition shards.
   struct TemplateState {
     int z_attr = -1;
     std::vector<int> x_attrs;
-    std::unique_ptr<IoManager> io;
+    /// One reader per partition (ios[p] reads parts_[p].store);
+    /// ios.front() doubles as the domain authority (num_candidates /
+    /// num_groups are schema-wide, identical across partitions).
+    std::vector<std::unique_ptr<IoManager>> ios;
     std::shared_ptr<const BitmapIndex> index;  // null => no block skipping
     CountMatrix cum;
     int64_t rows_cum = 0;
+    /// Sharded stage-1 export bookkeeping (sized only when the batch is
+    /// partitioned AND a stage1_sink is set): partition p's share of
+    /// `cum` / `rows_cum`, so a completed stage-1 phase can be
+    /// published per partition.
+    std::vector<CountMatrix> part_cum;
+    std::vector<int64_t> part_rows_cum;
     std::vector<bool> exhausted;  // sticky: candidate fully enumerated
-    std::vector<CountMatrix> shards;  // one per worker slot
+    /// Worker-slot shard matrices, laid out [slot * P + partition]: a
+    /// slot writes only its own P matrices, so shards stay disjoint
+    /// across workers and merges stay commutative integer sums.
+    std::vector<CountMatrix> shards;
     std::vector<uint64_t> scratch;
     std::vector<uint8_t> marks;
     BlockDemand demand;            // per-chunk union of unmet candidates
@@ -371,9 +446,6 @@ class BatchExecutor {
     double wall_seconds = 0;
   };
 
-  BatchExecutor(std::shared_ptr<const ColumnStore> store,
-                BatchOptions options);
-
   void AddQuery(const BoundQuery& query);
   Status BindQuery(const BoundQuery& query, QueryState* qs);
   bool AnyActive() const;
@@ -386,6 +458,13 @@ class BatchExecutor {
   /// Marks and reads one shared-scan window; maintains the zero-read
   /// streak that drives the exhaustion rule.
   void ReadChunk();
+  /// Partition covering logical block b (0 when unpartitioned).
+  int PartitionOf(BlockId b) const;
+  /// Publishes a completed stage-1 phase to the sink: one whole-store
+  /// snapshot when unpartitioned, one snapshot per partition when
+  /// sharded (and the per-partition decomposition is available).
+  void ExportStage1(const QueryState& q, const TemplateState& ts,
+                    CountMatrix fresh, int64_t drawn);
   /// Worker slots feeding per-chunk reads (private pool size or the
   /// shared-pool quota); valid after Start().
   int NumSlots() const;
@@ -408,6 +487,12 @@ class BatchExecutor {
   std::vector<QueryState> queries_;
   std::unique_ptr<WorkerPool> pool_;
   std::vector<uint8_t> marked_;  // per-chunk OR of template marks
+  // Per-chunk scatter scratch: to_read[i] maps to partition
+  // read_part_[i], local block read_local_[i]; chunk_part_rows_[p] is
+  // the chunk's decoded rows in partition p.
+  std::vector<int> read_part_;
+  std::vector<BlockId> read_local_;
+  std::vector<int64_t> chunk_part_rows_;
   std::function<void(size_t, BatchItem)> on_complete_;
   BatchStats stats_;
   WallTimer timer_;  // restarted at Start(); item wall_seconds base

@@ -31,7 +31,8 @@ enum class Approach {
 
 std::string_view ApproachName(Approach a);
 
-struct Stage1Snapshot;  // engine/batch_executor.h
+struct Stage1Snapshot;   // engine/batch_executor.h
+class PartitionedStore;  // storage/partitioned_store.h
 
 /// \brief A fully bound query: data, index, attributes, resolved target,
 /// algorithm parameters, engine knobs.
@@ -54,6 +55,16 @@ struct BoundQuery {
   /// cache hit made explicit). Must match the query's (store, z_attr,
   /// x_attrs) domain. Ignored by the single-query RunQuery approaches.
   std::shared_ptr<const Stage1Snapshot> stage1_warm;
+  /// Partition set for sharded execution: when set, `store` must be the
+  /// set's source store and the query routes to a scatter-gather batch
+  /// (ShardedBatchExecutor). Queries in one batch must all carry the
+  /// same set. Ignored by the single-query RunQuery approaches.
+  std::shared_ptr<const PartitionedStore> partitions;
+  /// Per-partition warm starts for sharded execution: when non-empty,
+  /// must have exactly `partitions->num_partitions()` slots (nulls mark
+  /// partitions with no cached state); non-null entries merge into one
+  /// overlapping stage-1 prior. Mutually exclusive with `stage1_warm`.
+  std::vector<std::shared_ptr<const Stage1Snapshot>> stage1_warm_parts;
 };
 
 /// \brief Timing and I/O accounting for one run.

@@ -1,0 +1,60 @@
+#include "engine/sharded_batch_executor.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace fastmatch {
+
+Result<std::unique_ptr<ShardedBatchExecutor>> ShardedBatchExecutor::Create(
+    const std::vector<BoundQuery>& queries,
+    std::shared_ptr<const PartitionedStore> partitions, BatchOptions options) {
+  if (partitions == nullptr) {
+    return Status::InvalidArgument("Create: partition set is null");
+  }
+  FASTMATCH_RETURN_IF_ERROR(ValidateBatch(queries, options));
+  if (queries.front().store.get() != partitions->source().get()) {
+    return Status::InvalidArgument(
+        "queries must run over the partition set's source store");
+  }
+  for (const BoundQuery& query : queries) {
+    if (query.partitions == nullptr ||
+        query.partitions->id() != partitions->id()) {
+      return Status::InvalidArgument(
+          "every query in a sharded batch must carry the batch's partition "
+          "set");
+    }
+  }
+
+  auto executor = std::unique_ptr<ShardedBatchExecutor>(
+      new ShardedBatchExecutor(queries.front().store, std::move(options)));
+  executor->partitions_ = std::move(partitions);
+  executor->parts_.clear();
+  const int num_parts = executor->partitions_->num_partitions();
+  executor->parts_.reserve(static_cast<size_t>(num_parts));
+  for (int p = 0; p < num_parts; ++p) {
+    Partition part;
+    part.store = executor->partitions_->partition(p);
+    part.begin_block = executor->partitions_->partition_begin_block(p);
+    executor->parts_.push_back(std::move(part));
+  }
+  FASTMATCH_RETURN_IF_ERROR(Initialize(executor.get(), queries));
+  return executor;
+}
+
+std::vector<PartitionIoStats> ShardedBatchExecutor::partition_stats() const {
+  std::vector<PartitionIoStats> out;
+  out.reserve(parts_.size());
+  for (const Partition& part : parts_) {
+    PartitionIoStats s;
+    s.partition_store_id = part.store->id();
+    s.blocks_read = part.blocks_read;
+    s.rows_read = part.rows_read;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace fastmatch

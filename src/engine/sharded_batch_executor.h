@@ -1,0 +1,84 @@
+// Scatter-gather batch execution over a PartitionedStore.
+//
+// The sharded executor IS the batch executor with a partition-aware read
+// path: it keeps ONE logical scan — the same cursor start (seed), chunk
+// schedule, block marking, consumed set, zero-read streak, and
+// exhaustion rule as the unpartitioned run, all in LOGICAL block space —
+// and only the physical read of each marked block is scattered to the
+// partition that owns it (partition-local block = logical block minus
+// the partition's begin_block; see storage/partitioned_store.h for the
+// block-alignment guarantee). Each worker slot scans into private
+// per-partition CountMatrix shards ([slot * P + partition] layout), and
+// the gather at the chunk boundary is a commutative integer-sum merge
+// into the template's one cumulative matrix — so HistSimMachine sees ONE
+// logical count stream and the P-way run is bit-for-bit identical to the
+// P=1 run for every thread count, partition count, and seed (the
+// equivalence the sharded property tests assert).
+//
+// What sharding adds on top of the base executor:
+//   * per-partition I/O accounting (partition_stats());
+//   * per-partition stage-1 export: a completed cold stage-1 phase is
+//     published as P snapshots keyed (partition set id, partition store
+//     id), each covering only its partition's rows — sound warm starts
+//     for any future batch over the same partition set (stage-1 cache
+//     entries never cross partitions);
+//   * per-partition warm consumption: BoundQuery::stage1_warm_parts
+//     merges the available partitions' snapshots into one overlapping
+//     stage-1 prior (counts and rows add across disjoint partitions; the
+//     merged set of row positions is fixed, hence a uniform
+//     without-replacement sample of the pre-shuffled relation).
+//
+// Lifecycle (Start/Step/Join/Evict/TakeItems/completion callback) is
+// inherited unchanged, and so is the concurrency contract: NO locks, one
+// driver thread, per-chunk ParallelFor fork-join only.
+
+#ifndef FASTMATCH_ENGINE_SHARDED_BATCH_EXECUTOR_H_
+#define FASTMATCH_ENGINE_SHARDED_BATCH_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/batch_executor.h"
+#include "storage/partitioned_store.h"
+#include "util/result.h"
+
+namespace fastmatch {
+
+/// \brief Per-partition share of one batch's I/O.
+struct PartitionIoStats {
+  uint64_t partition_store_id = 0;
+  int64_t blocks_read = 0;
+  int64_t rows_read = 0;
+};
+
+/// \brief BatchExecutor whose scan scatter-gathers over the partitions
+/// of one PartitionedStore.
+class ShardedBatchExecutor : public BatchExecutor {
+ public:
+  /// \brief Creates a sharded executor. Every query must carry
+  /// `partitions` as its partition set (BoundQuery::partitions), and the
+  /// set's source must be the queries' shared ColumnStore — the logical
+  /// scan runs in the source's block space. Structural problems fail
+  /// here; per-query problems surface as per-item statuses, exactly as
+  /// in BatchExecutor::Create.
+  static Result<std::unique_ptr<ShardedBatchExecutor>> Create(
+      const std::vector<BoundQuery>& queries,
+      std::shared_ptr<const PartitionedStore> partitions,
+      BatchOptions options);
+
+  const std::shared_ptr<const PartitionedStore>& partitions() const {
+    return partitions_;
+  }
+
+  /// \brief Per-partition I/O so far (indices match the partition set).
+  /// Sums to stats().blocks_read / stats().rows_read: the scatter
+  /// re-routes reads, it never adds or drops any.
+  std::vector<PartitionIoStats> partition_stats() const;
+
+ private:
+  using BatchExecutor::BatchExecutor;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_ENGINE_SHARDED_BATCH_EXECUTOR_H_

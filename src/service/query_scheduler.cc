@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "engine/sharded_batch_executor.h"
 #include "util/logging.h"
 
 namespace fastmatch {
@@ -56,7 +57,18 @@ Result<QueryHandle> QueryScheduler::Submit(BoundQuery query,
   if (query.store == nullptr) {
     return Status::InvalidArgument("query has no store");
   }
-  const uint64_t store_id = query.store->id();
+  if (query.partitions != nullptr &&
+      query.partitions->source().get() != query.store.get()) {
+    return Status::InvalidArgument(
+        "query's partition set was not split from its store");
+  }
+  // Partitioned queries route by the partition SET's identity: they can
+  // only batch with queries over the same set, and the janitor's
+  // invalidation of a reaped pipeline's cache entries matches this same
+  // id.
+  const uint64_t store_id = query.partitions != nullptr
+                                ? query.partitions->id()
+                                : query.store->id();
   for (;;) {
     // A shared_ptr copy, not a raw pointer: between releasing mu_ and
     // locking pipeline->mu the janitor may reap this entry, and the
@@ -325,11 +337,36 @@ void QueryScheduler::FulfillAdmitted(Admitted* a, BatchItem item,
 }
 
 void QueryScheduler::AttachWarmStage1(BoundQuery* query) {
-  if (stage1_cache_ == nullptr || query->stage1_warm != nullptr) return;
+  if (stage1_cache_ == nullptr || IsWarm(*query)) return;
+  if (query->partitions != nullptr) {
+    // Per-partition warm set, all-or-nothing: each partition's share of
+    // the stage-1 demand is proportional to its row count (rounded up,
+    // so the shares sum to at least the full demand) — a partial set
+    // would leave the merged prior short and the machine would re-run
+    // stage 1 anyway. Misses here count per lookup, like every other
+    // consult event.
+    const PartitionedStore& parts = *query->partitions;
+    const int64_t total_rows = parts.num_rows();
+    std::vector<std::shared_ptr<const Stage1Snapshot>> warm(
+        static_cast<size_t>(parts.num_partitions()));
+    for (int p = 0; p < parts.num_partitions(); ++p) {
+      const int64_t part_rows = parts.partition(p)->num_rows();
+      const int64_t min_rows =
+          (query->params.stage1_samples * part_rows + total_rows - 1) /
+          total_rows;
+      warm[static_cast<size_t>(p)] =
+          stage1_cache_->Lookup(parts.id(), parts.partition(p)->id(),
+                                query->z_attr, query->x_attrs, min_rows);
+      if (warm[static_cast<size_t>(p)] == nullptr) return;
+    }
+    query->stage1_warm_parts = std::move(warm);
+    return;
+  }
   // A hit must cover the query's full stage-1 demand; the cache treats
   // smaller entries as misses.
   query->stage1_warm =
-      stage1_cache_->Lookup(query->store->id(), query->z_attr, query->x_attrs,
+      stage1_cache_->Lookup(query->store->id(), kWholeStorePartition,
+                            query->z_attr, query->x_attrs,
                             query->params.stage1_samples);
 }
 
@@ -387,7 +424,7 @@ void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
       const bool below_policy =
           suffix_fraction < options_.min_join_suffix_fraction;
       if (executor->consumed_blocks() == num_blocks ||
-          (below_policy && front.query.stage1_warm == nullptr)) {
+          (below_policy && !IsWarm(front.query))) {
         // Too little scan left for a statistically useful join — the
         // suffix must still cover stage 1 for a cold query. Leave the
         // query queued; a later chunk may still join it (e.g. after a
@@ -448,8 +485,44 @@ void QueryScheduler::RunBatch(Pipeline* pipeline,
   BatchOptions batch_options = options_.batch;
   batch_options.shared_pool = pool_;
   batch_options.stage1_sink = stage1_cache_.get();
-  Result<std::unique_ptr<BatchExecutor>> create =
-      BatchExecutor::Create(queries, batch_options);
+  // Warm-batch scan resume: when EVERY query of a fresh unpartitioned
+  // batch is warm from the SAME snapshot, the batch continues the
+  // donor's scan instead of starting fresh — the donor's prefix blocks
+  // are pre-consumed and never re-read, and the disjointness makes each
+  // warm prior exact (no overlapping downgrade). One shared snapshot
+  // implies one template, so the resume's exhaustion flags are valid.
+  if (!batch_options.resume.has_value() &&
+      queries.front().partitions == nullptr &&
+      queries.front().stage1_warm != nullptr) {
+    const std::shared_ptr<const Stage1Snapshot>& snap =
+        queries.front().stage1_warm;
+    bool all_same = true;
+    for (const BoundQuery& query : queries) {
+      if (query.stage1_warm != snap) {
+        all_same = false;
+        break;
+      }
+    }
+    if (all_same && snap->scan.consumed.size() == num_blocks &&
+        snap->scan.consumed.Popcount() < num_blocks) {
+      batch_options.resume = snap->scan;
+      counters_.warm_batches_resumed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  Result<std::unique_ptr<BatchExecutor>> create = [&] {
+    if (queries.front().partitions == nullptr) {
+      return BatchExecutor::Create(queries, batch_options);
+    }
+    counters_.sharded_batches.fetch_add(1, std::memory_order_relaxed);
+    Result<std::unique_ptr<ShardedBatchExecutor>> sharded =
+        ShardedBatchExecutor::Create(queries, queries.front().partitions,
+                                     batch_options);
+    if (!sharded.ok()) {
+      return Result<std::unique_ptr<BatchExecutor>>(sharded.status());
+    }
+    return Result<std::unique_ptr<BatchExecutor>>(
+        std::unique_ptr<BatchExecutor>(std::move(*sharded)));
+  }();
   if (!create.ok()) {
     // Structural failure (e.g. empty store): every query of the batch
     // learns the same status through its future.
@@ -507,6 +580,8 @@ void QueryScheduler::RunBatch(Pipeline* pipeline,
     deliver_ready();
   }
 
+  counters_.batch_blocks_read.fetch_add(executor->stats().blocks_read,
+                                        std::memory_order_relaxed);
   std::vector<BatchItem> items = executor->TakeItems();
   FASTMATCH_CHECK_EQ(items.size(), admitted.size());
   for (size_t i = 0; i < items.size(); ++i) {
@@ -662,6 +737,11 @@ SchedulerStats QueryScheduler::stats() const {
       counters_.pipelines_reaped.load(std::memory_order_relaxed);
   s.joins_enabled_by_cache =
       counters_.joins_enabled_by_cache.load(std::memory_order_relaxed);
+  s.sharded_batches = counters_.sharded_batches.load(std::memory_order_relaxed);
+  s.warm_batches_resumed =
+      counters_.warm_batches_resumed.load(std::memory_order_relaxed);
+  s.batch_blocks_read =
+      counters_.batch_blocks_read.load(std::memory_order_relaxed);
   if (stage1_cache_ != nullptr) {
     const Stage1CacheStats cache = stage1_cache_->stats();
     s.stage1_lookups = cache.lookups;

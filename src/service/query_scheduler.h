@@ -9,9 +9,15 @@
 // answering sooner cuts queue time — and (c) push back when the worker
 // pool saturates. QueryScheduler is that tier.
 //
-// One pipeline per ColumnStore (keyed by the store's identity token,
-// ColumnStore::id(), never its address), each with its own driver
-// thread:
+// One pipeline per logical store (keyed by the store's identity token —
+// ColumnStore::id() for a plain query, PartitionedStore::id() for a
+// query carrying a partition set — never an address), each with its own
+// driver thread. Partitioned queries over a store and plain queries
+// over the same store therefore run in SEPARATE pipelines: their
+// batches are not mixable (a batch is either one shared scan or one
+// scatter-gather), and distinct identity tokens keep the routing,
+// janitor reaping, and stage-1 cache invalidation uniform across both
+// kinds.
 //
 //   Submit(query) ──► per-store pending queue (bounded: back-pressure)
 //                          │
@@ -185,6 +191,15 @@ struct SchedulerStats {
   int64_t joins_enabled_by_cache = 0;  // joins the suffix policy would have
                                        // refused, admitted because stage 1
                                        // came from cache
+  // Sharded execution and warm-batch resume.
+  int64_t sharded_batches = 0;        // batches run scatter-gather over a
+                                      // PartitionedStore
+  int64_t warm_batches_resumed = 0;   // fresh batches whose every query was
+                                      // warm from one snapshot, launched with
+                                      // BatchOptions::resume = snapshot.scan
+                                      // (the donor's prefix is never re-read)
+  int64_t batch_blocks_read = 0;      // blocks read across all retired
+                                      // batches (executor stats, summed)
 };
 
 /// \brief Per-query outcome delivered through the handle's future.
@@ -436,9 +451,19 @@ class QueryScheduler {
   void EvictCancelled(BatchExecutor* executor, std::vector<Admitted>* admitted);
   /// Looks the query's template up in the stage-1 cache and attaches
   /// the snapshot on a hit (no-op when the cache is disabled or the
-  /// query already carries a warm snapshot). The cache lock is a leaf:
-  /// callers may hold a pipeline lock.
+  /// query already carries warm state). A partitioned query looks up
+  /// every partition's entry — each partition's share of the stage-1
+  /// demand is proportional to its row count — and attaches
+  /// stage1_warm_parts only when ALL partitions hit (a partial warm set
+  /// would leave the merged prior under the demand). The cache lock is
+  /// a leaf: callers may hold a pipeline lock.
   void AttachWarmStage1(BoundQuery* query);
+  /// True when the query will skip stage 1 (whole-store snapshot or a
+  /// full per-partition warm set) — the condition that lifts the
+  /// min_join_suffix_fraction refusal.
+  static bool IsWarm(const BoundQuery& query) {
+    return query.stage1_warm != nullptr || !query.stage1_warm_parts.empty();
+  }
   /// Janitor: joins pipelines idle past the timeout.
   void ReaperLoop() FASTMATCH_EXCLUDES(mu_);
 
@@ -460,6 +485,9 @@ class QueryScheduler {
     std::atomic<int64_t> unavailable{0};
     std::atomic<int64_t> pipelines_reaped{0};
     std::atomic<int64_t> joins_enabled_by_cache{0};
+    std::atomic<int64_t> sharded_batches{0};
+    std::atomic<int64_t> warm_batches_resumed{0};
+    std::atomic<int64_t> batch_blocks_read{0};
   };
 
   /// Counts the terminal status into the right counters and resolves

@@ -13,13 +13,13 @@ Stage1Cache::Stage1Cache(Stage1CacheOptions options)
       << "Stage1Cache capacity must be >= 1";
 }
 
-void Stage1Cache::Publish(uint64_t store_id, int z_attr,
-                          const std::vector<int>& x_attrs,
+void Stage1Cache::Publish(uint64_t store_id, uint64_t partition_id,
+                          int z_attr, const std::vector<int>& x_attrs,
                           std::shared_ptr<const Stage1Snapshot> snapshot) {
   if (snapshot == nullptr || snapshot->rows_drawn <= 0) return;
   MutexLock lock(&mu_);
   ++stats_.publishes;
-  Key key{store_id, z_attr, x_attrs};
+  Key key{store_id, partition_id, z_attr, x_attrs};
   auto it = entries_.find(key);
   const Clock::time_point now = Clock::now();
   if (it != entries_.end()) {
@@ -69,11 +69,11 @@ void Stage1Cache::Publish(uint64_t store_id, int z_attr,
 }
 
 std::shared_ptr<const Stage1Snapshot> Stage1Cache::Lookup(
-    uint64_t store_id, int z_attr, const std::vector<int>& x_attrs,
-    int64_t min_rows) {
+    uint64_t store_id, uint64_t partition_id, int z_attr,
+    const std::vector<int>& x_attrs, int64_t min_rows) {
   MutexLock lock(&mu_);
   ++stats_.lookups;
-  auto it = entries_.find(Key{store_id, z_attr, x_attrs});
+  auto it = entries_.find(Key{store_id, partition_id, z_attr, x_attrs});
   if (it == entries_.end()) {
     ++stats_.misses;
     return nullptr;

@@ -23,12 +23,20 @@
 // from an earlier scan's prefix changes nothing the statistics rely
 // on. See docs/PAPER_MAP.md ("stage-1 cache soundness").
 //
-// Keys are ColumnStore::id() — the process-unique identity token, never
-// the store pointer — so a freed store's recycled address can never
-// alias a dead store's counts; InvalidateStore() drops a store's
-// entries when the scheduler's janitor reaps its pipeline. Entries
-// never go stale data-wise (stores are immutable after load); the TTL
-// and capacity knobs are memory hygiene, not correctness.
+// Keys are (store id, partition id, z_attr, x_attrs). The store id is
+// ColumnStore::id() — the process-unique identity token, never the
+// store pointer — so a freed store's recycled address can never alias a
+// dead store's counts; for a sharded scan it is the PartitionedStore's
+// id. The partition id is kWholeStorePartition for whole-store
+// snapshots and the partition store's own ColumnStore::id() for a
+// sharded scan's per-partition snapshots — a partition's snapshot
+// samples only THAT partition's rows, so it must never serve another
+// partition (or the whole store). InvalidateStore() matches the store
+// id alone and therefore drops ALL partitions' entries of a partitioned
+// store at once, which is what the scheduler's janitor needs when it
+// reaps the pipeline keyed on that id. Entries never go stale data-wise
+// (stores are immutable after load); the TTL and capacity knobs are
+// memory hygiene, not correctness.
 
 #ifndef FASTMATCH_SERVICE_STAGE1_CACHE_H_
 #define FASTMATCH_SERVICE_STAGE1_CACHE_H_
@@ -70,7 +78,7 @@ struct Stage1CacheStats {
 };
 
 /// \brief Thread-safe cache of stage-1 snapshots keyed by
-/// (ColumnStore::id(), z_attr, x_attrs).
+/// (store id, partition id, z_attr, x_attrs).
 class Stage1Cache : public Stage1Sink {
  public:
   explicit Stage1Cache(Stage1CacheOptions options = {});
@@ -81,20 +89,27 @@ class Stage1Cache : public Stage1Sink {
   /// could). A same-size snapshot still replaces the resident when it
   /// carries a true exhaustion flag and the resident has none. Evicts
   /// the least-recently-used entry when over capacity.
-  void Publish(uint64_t store_id, int z_attr, const std::vector<int>& x_attrs,
+  void Publish(uint64_t store_id, uint64_t partition_id, int z_attr,
+               const std::vector<int>& x_attrs,
                std::shared_ptr<const Stage1Snapshot> snapshot) override
       FASTMATCH_EXCLUDES(mu_);
 
   /// \brief Returns the template's snapshot when one exists, is within
   /// TTL, and holds at least `min_rows` rows (a smaller sample would
-  /// under-satisfy the querier's stage-1 demand); null otherwise.
-  std::shared_ptr<const Stage1Snapshot> Lookup(uint64_t store_id, int z_attr,
+  /// under-satisfy the querier's stage-1 demand); null otherwise. Pass
+  /// kWholeStorePartition for an unpartitioned scan's entry; a
+  /// partition's entry only ever answers its exact (store id, partition
+  /// id) pair.
+  std::shared_ptr<const Stage1Snapshot> Lookup(uint64_t store_id,
+                                               uint64_t partition_id,
+                                               int z_attr,
                                                const std::vector<int>& x_attrs,
                                                int64_t min_rows)
       FASTMATCH_EXCLUDES(mu_);
 
   /// \brief Drops every entry of one store (the store id disappeared:
-  /// janitor reap, store teardown).
+  /// janitor reap, store teardown). Matches the store id only, so a
+  /// partitioned store's entries vanish for every partition at once.
   void InvalidateStore(uint64_t store_id) FASTMATCH_EXCLUDES(mu_);
 
   /// \brief Live entries.
@@ -104,7 +119,9 @@ class Stage1Cache : public Stage1Sink {
 
  private:
   using Clock = std::chrono::steady_clock;
-  using Key = std::tuple<uint64_t, int, std::vector<int>>;
+  /// (store id, partition id, z_attr, x_attrs); the store id leads so
+  /// InvalidateStore can match on it alone.
+  using Key = std::tuple<uint64_t, uint64_t, int, std::vector<int>>;
   struct Entry {
     std::shared_ptr<const Stage1Snapshot> snapshot;
     Clock::time_point published;

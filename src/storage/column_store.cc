@@ -8,13 +8,13 @@
 
 namespace fastmatch {
 
-uint64_t ColumnStore::NextId() {
+uint64_t ColumnStore::AllocateId() {
   static std::atomic<uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 ColumnStore::ColumnStore(Schema schema, StorageOptions options)
-    : schema_(std::move(schema)), options_(options), id_(NextId()) {
+    : schema_(std::move(schema)), options_(options), id_(AllocateId()) {
   columns_.reserve(schema_.num_attributes());
   for (int i = 0; i < schema_.num_attributes(); ++i) {
     columns_.emplace_back(schema_.attribute(i).type());

@@ -85,6 +85,13 @@ class ColumnStore {
   /// \brief Total physical bytes across columns.
   int64_t TotalBytes() const;
 
+  /// \brief Draws a fresh token from the process-unique identity pool
+  /// that id() values come from. Store-like aggregates (e.g. the
+  /// partitioned-store wrapper) allocate their logical identity here so
+  /// one registry — scheduler pipelines, the stage-1 cache — can key
+  /// plain stores and aggregates without collisions.
+  static uint64_t AllocateId();
+
  private:
   Schema schema_;
   StorageOptions options_;
@@ -94,7 +101,6 @@ class ColumnStore {
   uint64_t id_ = 0;
 
   void ComputeRowsPerBlock();
-  static uint64_t NextId();
 };
 
 }  // namespace fastmatch

@@ -1,0 +1,74 @@
+#include "storage/partitioned_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace fastmatch {
+
+Result<std::shared_ptr<const PartitionedStore>> PartitionedStore::Split(
+    std::shared_ptr<const ColumnStore> source, int num_partitions) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("Split: source store is null");
+  }
+  if (source->num_rows() == 0) {
+    return Status::FailedPrecondition("Split: source store is empty");
+  }
+  const int64_t num_blocks = source->num_blocks();
+  if (num_partitions < 1 || num_partitions > num_blocks) {
+    return Status::InvalidArgument(
+        "Split: num_partitions must be in [1, source->num_blocks()]");
+  }
+
+  auto partitioned = std::shared_ptr<PartitionedStore>(new PartitionedStore());
+  partitioned->id_ = ColumnStore::AllocateId();
+  partitioned->source_ = source;
+  partitioned->parts_.reserve(static_cast<size_t>(num_partitions));
+  partitioned->begin_blocks_.reserve(static_cast<size_t>(num_partitions) + 1);
+
+  // Partition stores inherit the source's block grid so local and
+  // logical block ids differ only by the partition's block offset.
+  StorageOptions options;
+  options.rows_per_block_override = source->rows_per_block();
+  const int num_attrs = source->schema().num_attributes();
+  for (int p = 0; p < num_partitions; ++p) {
+    const BlockId begin_block = num_blocks * p / num_partitions;
+    const BlockId end_block = num_blocks * (p + 1) / num_partitions;
+    const RowId row_begin = begin_block * source->rows_per_block();
+    const RowId row_end =
+        std::min<RowId>(source->num_rows(),
+                        end_block * source->rows_per_block());
+    std::vector<std::vector<Value>> columns(static_cast<size_t>(num_attrs));
+    for (int a = 0; a < num_attrs; ++a) {
+      std::vector<Value>& values = columns[static_cast<size_t>(a)];
+      values.reserve(static_cast<size_t>(row_end - row_begin));
+      const Column& column = source->column(a);
+      for (RowId r = row_begin; r < row_end; ++r) {
+        values.push_back(column.Get(r));
+      }
+    }
+    FASTMATCH_ASSIGN_OR_RETURN(
+        auto part,
+        ColumnStore::FromColumns(source->schema(), std::move(columns),
+                                 options));
+    FASTMATCH_CHECK_EQ(part->num_blocks(), end_block - begin_block)
+        << "partition block grid does not line up with the source grid";
+    partitioned->begin_blocks_.push_back(begin_block);
+    partitioned->parts_.push_back(std::move(part));
+  }
+  partitioned->begin_blocks_.push_back(num_blocks);
+  return std::shared_ptr<const PartitionedStore>(std::move(partitioned));
+}
+
+int PartitionedStore::PartitionOfBlock(BlockId b) const {
+  FASTMATCH_CHECK(b >= 0 && b < num_blocks())
+      << "PartitionOfBlock: block id out of range";
+  // First partition whose range starts past b, minus one. begin_blocks_
+  // has the num_blocks sentinel, so the result is always valid.
+  const auto it = std::upper_bound(begin_blocks_.begin(), begin_blocks_.end(),
+                                   b);
+  return static_cast<int>(it - begin_blocks_.begin()) - 1;
+}
+
+}  // namespace fastmatch

@@ -1,0 +1,108 @@
+// Horizontal sharding of one logical store into P disjoint row-range
+// partitions (ROADMAP item 2, the stepping stone to multi-process
+// serving).
+//
+// A partition is itself a ColumnStore: the logical store's rows
+// [begin_block * rows_per_block, end_block * rows_per_block) copied
+// verbatim, with the SAME rows-per-block grid (forced through
+// StorageOptions::rows_per_block_override), so partition-local block b
+// is exactly logical block begin_block + b. That block alignment is
+// what lets the sharded executor keep ONE logical scan cursor — the
+// same cursor, chunk schedule, and marking as the unpartitioned run —
+// and scatter each marked logical block to (partition, local block) by
+// pure offset arithmetic, which is how the P-way run stays bit-for-bit
+// identical to the P=1 run (see engine/sharded_batch_executor.h).
+//
+// Sampling soundness (the stratified-sampling argument, documented in
+// docs/PAPER_MAP.md): the source store is pre-shuffled, so ANY fixed
+// set of row positions — in particular each partition's contiguous
+// range, or any per-partition scan prefix — holds a uniform
+// without-replacement sample of the relation, and counts over disjoint
+// uniform partitions simply add. Each partition is therefore
+// "pre-shuffled uniform" in its own right, and merged per-partition
+// count streams are statistically indistinguishable from one logical
+// scan's stream.
+//
+// Identity: the partition set carries its own id() from the
+// ColumnStore identity pool (process-unique, never a live ColumnStore's
+// id), used as the logical key for scheduler pipelines and stage-1
+// cache invalidation; each partition store additionally has its own
+// ColumnStore::id(), used as the cache's partition sub-key.
+//
+// Thread safety: immutable after Split() — shared freely across
+// threads, like ColumnStore itself. No mutexes, no lock-hierarchy
+// entry.
+
+#ifndef FASTMATCH_STORAGE_PARTITIONED_STORE_H_
+#define FASTMATCH_STORAGE_PARTITIONED_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/column_store.h"
+#include "util/result.h"
+
+namespace fastmatch {
+
+/// \brief P disjoint block-aligned row-range partitions of one logical
+/// ColumnStore, each a ColumnStore of its own.
+class PartitionedStore {
+ public:
+  /// \brief Splits `source` into `num_partitions` contiguous
+  /// block-aligned ranges (partition p covers logical blocks
+  /// [p*B/P, (p+1)*B/P), so partition sizes differ by at most one
+  /// block). Requires a non-null, non-empty source and
+  /// 1 <= num_partitions <= source->num_blocks(). The source is
+  /// retained; partition stores are fresh copies with the source's
+  /// rows-per-block grid.
+  static Result<std::shared_ptr<const PartitionedStore>> Split(
+      std::shared_ptr<const ColumnStore> source, int num_partitions);
+
+  /// \brief Logical identity of the partition SET, drawn from the
+  /// ColumnStore id pool so it never collides with any store's id.
+  /// Scheduler pipelines for partitioned execution key on this, and
+  /// stage-1 cache entries use it as their store key (InvalidateStore
+  /// on it drops every partition's entries at once).
+  uint64_t id() const { return id_; }
+
+  const std::shared_ptr<const ColumnStore>& source() const {
+    return source_;
+  }
+
+  int num_partitions() const { return static_cast<int>(parts_.size()); }
+
+  const std::shared_ptr<const ColumnStore>& partition(int p) const {
+    return parts_.at(static_cast<size_t>(p));
+  }
+
+  /// \brief Logical block id of partition p's first block; partition-
+  /// local block b corresponds to logical block partition_begin_block(p)
+  /// + b.
+  BlockId partition_begin_block(int p) const {
+    return begin_blocks_.at(static_cast<size_t>(p));
+  }
+
+  /// \brief Partition containing logical block `b` (in [0, num_blocks)).
+  int PartitionOfBlock(BlockId b) const;
+
+  // Logical (source) geometry, forwarded for callers that only hold the
+  // partition set.
+  int64_t num_rows() const { return source_->num_rows(); }
+  int64_t num_blocks() const { return source_->num_blocks(); }
+  int rows_per_block() const { return source_->rows_per_block(); }
+  const Schema& schema() const { return source_->schema(); }
+
+ private:
+  PartitionedStore() = default;
+
+  uint64_t id_ = 0;
+  std::shared_ptr<const ColumnStore> source_;
+  std::vector<std::shared_ptr<const ColumnStore>> parts_;
+  /// begin_blocks_[p] = partition p's first logical block;
+  /// begin_blocks_[P] = num_blocks (sentinel for PartitionOfBlock).
+  std::vector<BlockId> begin_blocks_;
+};
+
+}  // namespace fastmatch
+
+#endif  // FASTMATCH_STORAGE_PARTITIONED_STORE_H_

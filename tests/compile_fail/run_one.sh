@@ -6,11 +6,21 @@
 # unrelated reason (typo, missing include) is a harness bug, not a
 # negative-compile proof. Exits 77 (ctest SKIP via SKIP_RETURN_CODE)
 # when the compiler is not Clang: only Clang implements -Wthread-safety.
+#
+# FASTMATCH_REQUIRE_COMPILE_FAIL=1 turns that skip into a hard failure:
+# environments that exist to run these proofs (CI's clang
+# static-analysis job) set it so a toolchain regression can never
+# demote the whole suite to SKIP and pass vacuously.
 set -u
 
 compiler="$1"; expect="$2"; source="$3"; shift 3
 
 if ! "${compiler}" --version 2>/dev/null | grep -qi clang; then
+  if [ "${FASTMATCH_REQUIRE_COMPILE_FAIL:-0}" != "0" ]; then
+    echo "FAIL: ${compiler} is not Clang, but FASTMATCH_REQUIRE_COMPILE_FAIL" \
+         "is set — this environment must RUN the negative-compile proofs"
+    exit 1
+  fi
   echo "SKIP: ${compiler} is not Clang; -Wthread-safety unavailable"
   exit 77
 fi

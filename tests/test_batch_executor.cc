@@ -812,7 +812,7 @@ TEST(BatchExecutorWarmTest, WarmResumeFromSnapshotMatchesColdRunBitForBit) {
       EXPECT_EQ(cold->stats().warm_queries, 0);
 
       auto snapshot =
-          cache.Lookup(f.store->id(), 0, {1}, q.params.stage1_samples);
+          cache.Lookup(f.store->id(), kWholeStorePartition, 0, {1}, q.params.stage1_samples);
       ASSERT_NE(snapshot, nullptr);
       ASSERT_GE(snapshot->rows_drawn, q.params.stage1_samples);
 
@@ -870,7 +870,7 @@ TEST(BatchExecutorWarmTest, WarmJoinMatchesWarmSoloResumeEveryThreadCount) {
     ScanResume capture = exec->CaptureScanState();
 
     auto snapshot =
-        cache.Lookup(f.store->id(), 0, {1}, w.params.stage1_samples);
+        cache.Lookup(f.store->id(), kWholeStorePartition, 0, {1}, w.params.stage1_samples);
     ASSERT_NE(snapshot, nullptr);
     BoundQuery warm_w = w;
     warm_w.stage1_warm = snapshot;
@@ -922,7 +922,7 @@ TEST(BatchExecutorWarmTest, WarmQueriesMeetGuarantees) {
       BatchExecutor::Create({MakeQuery(f, f.target, 1)}, prime_options)
           .value();
   ASSERT_TRUE(prime->Run()[0].status.ok());
-  auto snapshot = cache.Lookup(f.store->id(), 0, {1}, 3000);
+  auto snapshot = cache.Lookup(f.store->id(), kWholeStorePartition, 0, {1}, 3000);
   ASSERT_NE(snapshot, nullptr);
 
   std::vector<BoundQuery> warm_queries = {
@@ -986,7 +986,7 @@ TEST(BatchExecutorWarmTest, OverlappingWarmExhaustionReportsTrueExactCounts) {
   auto prime = BatchExecutor::Create({donor}, donor_options).value();
   ASSERT_TRUE(prime->Run()[0].status.ok());
 
-  auto snapshot = cache.Lookup(f.store->id(), 0, {1}, 100);
+  auto snapshot = cache.Lookup(f.store->id(), kWholeStorePartition, 0, {1}, 100);
   ASSERT_NE(snapshot, nullptr);
   ASSERT_LT(snapshot->rows_drawn, f.store->num_rows());
 
@@ -1069,7 +1069,7 @@ TEST(BatchExecutorWarmTest, FullCoverageSnapshotCompletesAtBind) {
   auto prime = BatchExecutor::Create({donor}, donor_options).value();
   ASSERT_TRUE(prime->Run()[0].status.ok());
 
-  auto snapshot = cache.Lookup(f.store->id(), 0, {1}, f.store->num_rows());
+  auto snapshot = cache.Lookup(f.store->id(), kWholeStorePartition, 0, {1}, f.store->num_rows());
   ASSERT_NE(snapshot, nullptr);
   ASSERT_EQ(snapshot->rows_drawn, f.store->num_rows());
 

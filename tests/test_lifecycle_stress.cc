@@ -5,7 +5,9 @@
 // deadlines across K stores while the scheduler reaps idle pipelines on
 // a timeout shorter than the test's natural pauses — so admission,
 // eager delivery, eviction, shedding, reaping, and shutdown all race
-// for real. The RNG is seeded (FASTMATCH_STRESS_SEED) so failures
+// for real. Half the queries carry each store's partition set, so
+// scatter-gather pipelines (keyed by the set's id, separate from the
+// plain store pipeline) churn through the same lifecycle storm. The RNG is seeded (FASTMATCH_STRESS_SEED) so failures
 // reproduce; FASTMATCH_STRESS_ITERS scales rounds for CI soak runs.
 //
 // Invariants checked:
@@ -39,6 +41,7 @@
 
 #include "index/bitmap_index.h"
 #include "service/query_scheduler.h"
+#include "storage/partitioned_store.h"
 #include "test_helpers.h"
 #include "util/env.h"
 
@@ -51,6 +54,7 @@ using testing_util::PlantedDistributions;
 struct StressStore {
   std::shared_ptr<ColumnStore> store;
   std::shared_ptr<const BitmapIndex> index;
+  std::shared_ptr<const PartitionedStore> partitions;
 };
 
 StressStore MakeStressStore(uint64_t seed) {
@@ -60,6 +64,7 @@ StressStore MakeStressStore(uint64_t seed) {
   auto dists = PlantedDistributions(12, 8, offsets);
   s.store = MakeExactStore(std::vector<int64_t>(12, 1500), dists, seed, 50);
   s.index = BitmapIndex::Build(*s.store, 0).value();
+  s.partitions = PartitionedStore::Split(s.store, 3).value();
   return s;
 }
 
@@ -158,6 +163,10 @@ TEST(LifecycleStressTest, RandomizedSubmitCancelAbandonChurn) {
             query.x_attrs = {1};
             query.target = UniformDistribution(8);
             query.params = StressParams(rng());
+            // Half the traffic runs scatter-gather: the partition set
+            // routes it to the store's sharded pipeline, which lives
+            // (and dies, and is reaped) independently of the plain one.
+            if (rng() % 2 == 0) query.partitions = target_store.partitions;
 
             const double draw = uni(rng);
             Action action;
@@ -299,10 +308,11 @@ TEST(LifecycleStressTest, RandomizedSubmitCancelAbandonChurn) {
         << "round " << round << ": " << wrong_topk << "/" << ok_results
         << " OK results had a wrong top-k";
 
-    // Thread bound: shared pool workers + one driver per live store
-    // pipeline (old and new can overlap briefly around a reap) + the
-    // janitor + producers + monitor + slack for the test harness.
-    const int bound = baseline_threads + pool.size() + 2 * kStores + 1 +
+    // Thread bound: shared pool workers + one driver per live pipeline
+    // — up to two per store (plain + sharded), and old and new can
+    // overlap briefly around a reap — + the janitor + producers +
+    // monitor + slack for the test harness.
+    const int bound = baseline_threads + pool.size() + 2 * (2 * kStores) + 1 +
                       kProducers + 1 + 4;
     EXPECT_LE(max_threads.load(), bound)
         << "round " << round << ": thread count not bounded";
@@ -365,6 +375,7 @@ TEST(LifecycleStressTest, CacheChurnAcrossStoreLifetimes) {
     struct PhaseStore {
       std::shared_ptr<ColumnStore> store;
       std::shared_ptr<const BitmapIndex> index;
+      std::shared_ptr<const PartitionedStore> partitions;
       Distribution target;
       std::set<int> winners;
     };
@@ -385,11 +396,13 @@ TEST(LifecycleStressTest, CacheChurnAcrossStoreLifetimes) {
                                                 phase * 100 + s),
                                 50);
       ps.index = BitmapIndex::Build(*ps.store, 0).value();
+      ps.partitions = PartitionedStore::Split(ps.store, 2).value();
       ps.target = UniformDistribution(vx);
       stores.push_back(std::move(ps));
     }
 
-    const auto make_query = [&](int s, uint64_t seed) {
+    const auto make_query = [&](int s, uint64_t seed,
+                                bool partitioned = false) {
       BoundQuery query;
       query.store = stores[static_cast<size_t>(s)].store;
       query.z_index = stores[static_cast<size_t>(s)].index;
@@ -397,6 +410,9 @@ TEST(LifecycleStressTest, CacheChurnAcrossStoreLifetimes) {
       query.x_attrs = {1};
       query.target = stores[static_cast<size_t>(s)].target;
       query.params = StressParams(seed);
+      if (partitioned) {
+        query.partitions = stores[static_cast<size_t>(s)].partitions;
+      }
       return query;
     };
     std::atomic<int64_t> ok_results{0};
@@ -425,7 +441,11 @@ TEST(LifecycleStressTest, CacheChurnAcrossStoreLifetimes) {
                                             (phase * 10 + t + 1) * 2654435761ULL));
         for (int q = 0; q < kStormQueries; ++q) {
           const int s = static_cast<int>(rng() % kStores);
-          auto handle = scheduler.Submit(make_query(s, rng()));
+          // Half the storm is scatter-gather: its per-partition cache
+          // entries (keyed by the set's id) must honor the same churn
+          // invariants, and the phase-end reap must drop them too.
+          auto handle =
+              scheduler.Submit(make_query(s, rng(), rng() % 2 == 0));
           if (!handle.ok()) {
             ASSERT_EQ(handle.status().code(), StatusCode::kResourceExhausted);
             continue;

@@ -1,0 +1,120 @@
+// Unit tests of PartitionedStore::Split: block-aligned geometry (local
+// block b == logical block begin_block + b, same rows-per-block grid),
+// verbatim row copies, PartitionOfBlock routing, identity-pool
+// allocation, and validation errors.
+
+#include "storage/partitioned_store.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "test_helpers.h"
+
+namespace fastmatch {
+namespace {
+
+using testing_util::MakeExactStore;
+using testing_util::PlantedDistributions;
+
+std::shared_ptr<ColumnStore> MakeStore(int64_t rows_per_candidate,
+                                       uint64_t seed, int rows_per_block) {
+  auto dists = PlantedDistributions(6, 4, {0.0, 0.02, 0.05, 0.1, 0.15, 0.2});
+  return MakeExactStore(std::vector<int64_t>(6, rows_per_candidate), dists,
+                        seed, rows_per_block);
+}
+
+TEST(PartitionedStoreTest, SplitValidation) {
+  auto store = MakeStore(200, 1, 50);
+  EXPECT_FALSE(PartitionedStore::Split(nullptr, 2).ok());
+  EXPECT_FALSE(PartitionedStore::Split(store, 0).ok());
+  EXPECT_FALSE(PartitionedStore::Split(store, -1).ok());
+  // More partitions than blocks cannot be block-aligned.
+  EXPECT_FALSE(
+      PartitionedStore::Split(store, static_cast<int>(store->num_blocks()) + 1)
+          .ok());
+  EXPECT_TRUE(PartitionedStore::Split(store, 1).ok());
+  EXPECT_TRUE(
+      PartitionedStore::Split(store, static_cast<int>(store->num_blocks()))
+          .ok());
+}
+
+TEST(PartitionedStoreTest, GeometryIsBlockAlignedAndExhaustive) {
+  auto store = MakeStore(205, 2, 50);  // short last block
+  for (int P : {1, 2, 3, 4, 7}) {
+    auto partitioned = PartitionedStore::Split(store, P).value();
+    ASSERT_EQ(partitioned->num_partitions(), P);
+    EXPECT_EQ(partitioned->num_rows(), store->num_rows());
+    EXPECT_EQ(partitioned->num_blocks(), store->num_blocks());
+    EXPECT_EQ(partitioned->rows_per_block(), store->rows_per_block());
+    EXPECT_EQ(partitioned->source().get(), store.get());
+
+    int64_t total_rows = 0, total_blocks = 0;
+    for (int p = 0; p < P; ++p) {
+      const ColumnStore& part = *partitioned->partition(p);
+      // Same grid: partition-local block b is logical block
+      // begin_block + b, which is the whole scatter-gather contract.
+      EXPECT_EQ(part.rows_per_block(), store->rows_per_block());
+      if (p + 1 < P) {
+        EXPECT_EQ(partitioned->partition_begin_block(p) + part.num_blocks(),
+                  partitioned->partition_begin_block(p + 1));
+      }
+      total_rows += part.num_rows();
+      total_blocks += part.num_blocks();
+    }
+    EXPECT_EQ(total_rows, store->num_rows());
+    EXPECT_EQ(total_blocks, store->num_blocks());
+  }
+}
+
+TEST(PartitionedStoreTest, PartitionsHoldVerbatimRowRanges) {
+  auto store = MakeStore(137, 3, 25);
+  auto partitioned = PartitionedStore::Split(store, 3).value();
+  const int num_attrs = store->schema().num_attributes();
+  for (int p = 0; p < 3; ++p) {
+    const ColumnStore& part = *partitioned->partition(p);
+    const RowId offset =
+        partitioned->partition_begin_block(p) * store->rows_per_block();
+    for (RowId r = 0; r < part.num_rows(); ++r) {
+      for (int a = 0; a < num_attrs; ++a) {
+        ASSERT_EQ(part.column(a).Get(r), store->column(a).Get(offset + r))
+            << "partition " << p << " row " << r << " attr " << a;
+      }
+    }
+  }
+}
+
+TEST(PartitionedStoreTest, PartitionOfBlockRoutesEveryLogicalBlock) {
+  auto store = MakeStore(411, 4, 30);
+  for (int P : {1, 2, 5}) {
+    auto partitioned = PartitionedStore::Split(store, P).value();
+    for (BlockId b = 0; b < store->num_blocks(); ++b) {
+      const int p = partitioned->PartitionOfBlock(b);
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, P);
+      const BlockId local = b - partitioned->partition_begin_block(p);
+      ASSERT_GE(local, 0);
+      ASSERT_LT(local, partitioned->partition(p)->num_blocks());
+    }
+  }
+}
+
+TEST(PartitionedStoreTest, IdentitiesAreDistinctPoolTokens) {
+  auto store = MakeStore(200, 5, 50);
+  auto a = PartitionedStore::Split(store, 2).value();
+  auto b = PartitionedStore::Split(store, 2).value();
+  // The set's id, every partition store's id, and the source's id are
+  // pairwise distinct — they share one process-unique pool, so a
+  // registry keyed on ids can hold all of them at once.
+  std::set<uint64_t> ids = {store->id(), a->id(), b->id()};
+  for (const auto& set : {a, b}) {
+    for (int p = 0; p < set->num_partitions(); ++p) {
+      ids.insert(set->partition(p)->id());
+    }
+  }
+  EXPECT_EQ(ids.size(), 7u);
+}
+
+}  // namespace
+}  // namespace fastmatch

@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "core/verify.h"
+#include "engine/batch_executor.h"
 #include "index/bitmap_index.h"
+#include "storage/partitioned_store.h"
 #include "test_helpers.h"
 #include "workload/traffic.h"
 
@@ -807,6 +809,60 @@ TEST(Stage1CacheSchedulerTest, RefusedThenJoinedQueryIsNotAFallback) {
   EXPECT_TRUE(joined) << "no mid-flight join landed in 40 attempts";
 }
 
+TEST(Stage1CacheSchedulerTest, WarmWaveResumesTheDonorsScan) {
+  SchedFixture f = MakeSchedFixture(8000, 45);
+  SchedulerOptions options = FastOptions();
+  options.stage1_cache = true;
+  QueryScheduler scheduler(options);
+
+  // Donor: one cold query end to end. Its published snapshot records
+  // the scan prefix the donor consumed.
+  auto donor = scheduler.Submit(MakeQuery(f, 1));
+  ASSERT_TRUE(donor.ok());
+  ExpectTop3(donor->Get());
+  std::shared_ptr<const Stage1Snapshot> snap = scheduler.stage1_cache()->Lookup(
+      f.store->id(), kWholeStorePartition, 0, {1}, 1);
+  ASSERT_NE(snap, nullptr);
+  const int64_t num_blocks = f.store->num_blocks();
+  const int64_t prefix_blocks = snap->scan.consumed.Popcount();
+  ASSERT_GT(prefix_blocks, 0);
+  ASSERT_LT(prefix_blocks, num_blocks);
+
+  // The donor's item can be delivered eagerly at a chunk boundary,
+  // before its batch retires and adds its blocks to the counter — wait
+  // for that accounting so the baseline covers all donor I/O.
+  for (int spin = 0; scheduler.stats().batch_blocks_read == 0 && spin < 10000;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  SchedulerStats before = scheduler.stats();
+  ASSERT_GE(before.batch_blocks_read, prefix_blocks);
+  // Warm wave: every query is served from the same snapshot, so each
+  // fresh batch resumes the donor's scan instead of starting its own.
+  std::vector<QueryHandle> wave;
+  for (int i = 0; i < 3; ++i) {
+    auto handle = scheduler.Submit(MakeQuery(f, 10 + i));
+    ASSERT_TRUE(handle.ok());
+    wave.push_back(std::move(*handle));
+  }
+  for (auto& handle : wave) {
+    SchedulerItem item = handle.Get();
+    ExpectTop3(item);
+    EXPECT_TRUE(item.match.diag.stage1_warm);
+  }
+
+  SchedulerStats after = scheduler.stats();
+  const int64_t batches = after.batches_launched - before.batches_launched;
+  ASSERT_GE(batches, 1);
+  // The wave may flush as one batch or several; each is all-warm from
+  // the one snapshot, so each resumes.
+  EXPECT_EQ(after.warm_batches_resumed - before.warm_batches_resumed, batches);
+  // Zero prefix blocks re-read: a resumed batch can touch at most the
+  // suffix the donor left unconsumed.
+  EXPECT_LE(after.batch_blocks_read - before.batch_blocks_read,
+            batches * (num_blocks - prefix_blocks));
+}
+
 TEST(Stage1CacheSchedulerTest, ReapInvalidatesTheStoresEntries) {
   SchedFixture f = MakeSchedFixture(4000, 43);
   SchedulerOptions options = FastOptions();
@@ -836,6 +892,86 @@ TEST(Stage1CacheSchedulerTest, ReapInvalidatesTheStoresEntries) {
   ASSERT_TRUE(b.ok());
   ExpectTop3(b->Get());
   EXPECT_GE(scheduler.stats().stage1_inserts, 2);
+}
+
+TEST(ShardedSchedulerTest, PartitionedQueriesCompleteThroughTheScheduler) {
+  SchedFixture f = MakeSchedFixture(8000, 50);
+  auto partitions = PartitionedStore::Split(f.store, 4).value();
+  QueryScheduler scheduler(FastOptions());
+
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < 3; ++i) {
+    BoundQuery q = MakeQuery(f, 300 + i);
+    q.partitions = partitions;
+    auto handle = scheduler.Submit(std::move(q));
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    handles.push_back(std::move(*handle));
+  }
+  // A plain query over the same store routes to its OWN pipeline: the
+  // partition set carries its own identity token, and mixing the two
+  // forms in one batch would be unlaunchable.
+  auto plain = scheduler.Submit(MakeQuery(f, 400));
+  ASSERT_TRUE(plain.ok());
+
+  for (auto& handle : handles) ExpectTop3(handle.Get());
+  ExpectTop3(plain->Get());
+
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.pipelines, 2);
+  EXPECT_GE(stats.sharded_batches, 1);
+  EXPECT_EQ(stats.completed, 4);
+  EXPECT_GE(stats.batch_blocks_read, 1);
+}
+
+TEST(ShardedSchedulerTest, SubmitRejectsAForeignPartitionSet) {
+  SchedFixture f = MakeSchedFixture(2000, 51);
+  SchedFixture other = MakeSchedFixture(2000, 52);
+  QueryScheduler scheduler(FastOptions());
+  BoundQuery q = MakeQuery(f, 1);
+  q.partitions = PartitionedStore::Split(other.store, 2).value();
+  EXPECT_EQ(scheduler.Submit(std::move(q)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedSchedulerTest, SecondPartitionedWaveIsServedWarmPerPartition) {
+  SchedFixture f = MakeSchedFixture(2000, 53);  // 480 blocks
+  auto partitions = PartitionedStore::Split(f.store, 2).value();
+  SchedulerOptions options = FastOptions();
+  options.stage1_cache = true;
+  QueryScheduler scheduler(options);
+
+  // Wave 1: cold exporter. A stage-1 demand of 15000 rows (300 blocks)
+  // exceeds either partition's 240, so the scan provably crosses both
+  // partitions wherever its random start lands — each partition's
+  // snapshot is published with margin over wave 2's per-partition
+  // demand.
+  BoundQuery cold = MakeQuery(f, 500);
+  cold.partitions = partitions;
+  cold.params.stage1_samples = 15000;
+  auto first = scheduler.Submit(std::move(cold));
+  ASSERT_TRUE(first.ok());
+  ExpectTop3(first->Get());
+  ASSERT_GE(scheduler.stage1_cache()->size(), 2);
+
+  // Wave 2 at the default demand (2000 rows, 1000 per partition):
+  // every partition's lookup hits, so the merged per-partition prior
+  // serves stage 1 whole.
+  std::vector<QueryHandle> wave2;
+  for (int i = 0; i < 2; ++i) {
+    BoundQuery q = MakeQuery(f, 600 + i);
+    q.partitions = partitions;
+    auto handle = scheduler.Submit(std::move(q));
+    ASSERT_TRUE(handle.ok());
+    wave2.push_back(std::move(*handle));
+  }
+  for (auto& handle : wave2) {
+    SchedulerItem item = handle.Get();
+    ExpectTop3(item);
+    EXPECT_TRUE(item.match.diag.stage1_warm);
+  }
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_GE(stats.sharded_batches, 2);
+  EXPECT_GE(stats.stage1_hits, 4);  // 2 warm queries x 2 partitions
 }
 
 }  // namespace

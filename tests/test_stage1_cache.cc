@@ -1,8 +1,10 @@
 // Unit tests of the service tier's stage-1 sample cache: lookup/publish
 // policy (min-rows coverage, keep-the-bigger-sample), TTL staleness,
-// LRU capacity eviction, per-store invalidation, counter reconciliation
-// (lookups == hits + misses always), and a multi-threaded smoke for the
-// internal locking.
+// LRU capacity eviction, per-store invalidation, partition-key
+// isolation (a partition's snapshot never serves another partition, and
+// invalidating the logical store drops every partition's entries),
+// counter reconciliation (lookups == hits + misses always), and a
+// multi-threaded smoke for the internal locking.
 
 #include "service/stage1_cache.h"
 
@@ -15,6 +17,8 @@
 namespace fastmatch {
 namespace {
 
+constexpr uint64_t kWhole = kWholeStorePartition;
+
 std::shared_ptr<const Stage1Snapshot> MakeSnapshot(int64_t rows, int vz = 4,
                                                    int vx = 3) {
   auto snapshot = std::make_shared<Stage1Snapshot>();
@@ -25,9 +29,9 @@ std::shared_ptr<const Stage1Snapshot> MakeSnapshot(int64_t rows, int vz = 4,
 
 TEST(Stage1CacheTest, LookupMissesThenHitsAfterPublish) {
   Stage1Cache cache;
-  EXPECT_EQ(cache.Lookup(1, 0, {1}, 100), nullptr);
-  cache.Publish(1, 0, {1}, MakeSnapshot(500));
-  auto hit = cache.Lookup(1, 0, {1}, 100);
+  EXPECT_EQ(cache.Lookup(1, kWhole, 0, {1}, 100), nullptr);
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshot(500));
+  auto hit = cache.Lookup(1, kWhole, 0, {1}, 100);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->rows_drawn, 500);
 
@@ -41,39 +45,86 @@ TEST(Stage1CacheTest, LookupMissesThenHitsAfterPublish) {
 
 TEST(Stage1CacheTest, KeysSeparateStoresAndTemplates) {
   Stage1Cache cache;
-  cache.Publish(1, 0, {1}, MakeSnapshot(500));
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshot(500));
   // Different store id, z attribute, or grouping: all distinct entries.
-  EXPECT_EQ(cache.Lookup(2, 0, {1}, 1), nullptr);
-  EXPECT_EQ(cache.Lookup(1, 2, {1}, 1), nullptr);
-  EXPECT_EQ(cache.Lookup(1, 0, {2}, 1), nullptr);
-  EXPECT_EQ(cache.Lookup(1, 0, {1, 2}, 1), nullptr);
-  EXPECT_NE(cache.Lookup(1, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(2, kWhole, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(1, kWhole, 2, {1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(1, kWhole, 0, {2}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(1, kWhole, 0, {1, 2}, 1), nullptr);
+  EXPECT_NE(cache.Lookup(1, kWhole, 0, {1}, 1), nullptr);
+}
+
+TEST(Stage1CacheTest, PartitionKeysNeverCrossServe) {
+  // A partition's snapshot samples only that partition's rows: a
+  // publish under partition i must never serve partition j, nor the
+  // whole-store key, nor vice versa — same store id, same template.
+  Stage1Cache cache;
+  cache.Publish(9, /*partition_id=*/101, 0, {1}, MakeSnapshot(500));
+  EXPECT_EQ(cache.Lookup(9, /*partition_id=*/102, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(9, kWhole, 0, {1}, 1), nullptr);
+  auto hit = cache.Lookup(9, /*partition_id=*/101, 0, {1}, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->rows_drawn, 500);
+
+  // The reverse direction: a whole-store publish answers only the
+  // whole-store sub-key.
+  cache.Publish(9, kWhole, 0, {2}, MakeSnapshot(300));
+  EXPECT_EQ(cache.Lookup(9, /*partition_id=*/101, 0, {2}, 1), nullptr);
+  EXPECT_NE(cache.Lookup(9, kWhole, 0, {2}, 1), nullptr);
+
+  // Publishes under two partitions of one store coexist as separate
+  // entries with independent coverage.
+  cache.Publish(9, /*partition_id=*/102, 0, {1}, MakeSnapshot(200));
+  EXPECT_EQ(cache.size(), 3);
+  EXPECT_EQ(cache.Lookup(9, 102, 0, {1}, 300), nullptr);  // too small
+  EXPECT_NE(cache.Lookup(9, 101, 0, {1}, 300), nullptr);
+}
+
+TEST(Stage1CacheTest, InvalidateStoreDropsAllPartitions) {
+  // The janitor invalidates by the logical store id alone; every
+  // partition's entries (and the whole-store entry) must vanish
+  // together, leaving other stores untouched.
+  Stage1Cache cache;
+  cache.Publish(7, kWhole, 0, {1}, MakeSnapshot(100));
+  cache.Publish(7, /*partition_id=*/31, 0, {1}, MakeSnapshot(100));
+  cache.Publish(7, /*partition_id=*/32, 0, {1}, MakeSnapshot(100));
+  cache.Publish(7, /*partition_id=*/32, 5, {2}, MakeSnapshot(100));
+  cache.Publish(8, /*partition_id=*/31, 0, {1}, MakeSnapshot(100));
+  ASSERT_EQ(cache.size(), 5);
+  cache.InvalidateStore(7);
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.Lookup(7, kWhole, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(7, 31, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(7, 32, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(7, 32, 5, {2}, 1), nullptr);
+  EXPECT_NE(cache.Lookup(8, 31, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.stats().store_invalidations, 4);
 }
 
 TEST(Stage1CacheTest, EntrySmallerThanDemandIsAMiss) {
   Stage1Cache cache;
-  cache.Publish(1, 0, {1}, MakeSnapshot(500));
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshot(500));
   // A 500-row sample cannot satisfy a 1000-row stage-1 demand; the
   // entry stays (smaller demands are still served).
-  EXPECT_EQ(cache.Lookup(1, 0, {1}, 1000), nullptr);
-  EXPECT_NE(cache.Lookup(1, 0, {1}, 500), nullptr);
+  EXPECT_EQ(cache.Lookup(1, kWhole, 0, {1}, 1000), nullptr);
+  EXPECT_NE(cache.Lookup(1, kWhole, 0, {1}, 500), nullptr);
   EXPECT_EQ(cache.size(), 1);
 }
 
 TEST(Stage1CacheTest, PublishKeepsTheBiggerSample) {
   Stage1Cache cache;
-  cache.Publish(1, 0, {1}, MakeSnapshot(1000));
-  cache.Publish(1, 0, {1}, MakeSnapshot(400));  // dominated: dropped
-  auto hit = cache.Lookup(1, 0, {1}, 1);
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshot(1000));
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshot(400));  // dominated: dropped
+  auto hit = cache.Lookup(1, kWhole, 0, {1}, 1);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->rows_drawn, 1000);
-  cache.Publish(1, 0, {1}, MakeSnapshot(2000));  // bigger: replaces
-  hit = cache.Lookup(1, 0, {1}, 1);
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshot(2000));  // bigger: replaces
+  hit = cache.Lookup(1, kWhole, 0, {1}, 1);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->rows_drawn, 2000);
   auto resident = hit;
-  cache.Publish(1, 0, {1}, MakeSnapshot(2000));  // tie: resident wins
-  hit = cache.Lookup(1, 0, {1}, 1);
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshot(2000));  // tie: resident wins
+  hit = cache.Lookup(1, kWhole, 0, {1}, 1);
   EXPECT_EQ(hit, resident);
   // An all-false exhausted vector (the common executor export)
   // certifies nothing: a tie carrying one must not displace the
@@ -82,8 +133,8 @@ TEST(Stage1CacheTest, PublishKeepsTheBiggerSample) {
   allfalse_mut->counts = CountMatrix(4, 3);
   allfalse_mut->rows_drawn = 2000;
   allfalse_mut->scan.exhausted = {false, false, false, false};
-  cache.Publish(1, 0, {1}, allfalse_mut);
-  hit = cache.Lookup(1, 0, {1}, 1);
+  cache.Publish(1, kWhole, 0, {1}, allfalse_mut);
+  hit = cache.Lookup(1, kWhole, 0, {1}, 1);
   EXPECT_EQ(hit, resident);
   // A tied snapshot with a TRUE exhaustion flag outranks a resident
   // without one: at equal coverage the flag certifies a candidate's
@@ -93,11 +144,11 @@ TEST(Stage1CacheTest, PublishKeepsTheBiggerSample) {
   flagged_mut->rows_drawn = 2000;
   flagged_mut->scan.exhausted = {true, false, false, false};
   std::shared_ptr<const Stage1Snapshot> flagged = flagged_mut;
-  cache.Publish(1, 0, {1}, flagged);
-  hit = cache.Lookup(1, 0, {1}, 1);
+  cache.Publish(1, kWhole, 0, {1}, flagged);
+  hit = cache.Lookup(1, kWhole, 0, {1}, 1);
   EXPECT_EQ(hit, flagged);
-  cache.Publish(1, 0, {1}, MakeSnapshot(2000));  // flagless tie: dropped
-  hit = cache.Lookup(1, 0, {1}, 1);
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshot(2000));  // flagless tie:
+  hit = cache.Lookup(1, kWhole, 0, {1}, 1);              // dropped
   EXPECT_EQ(hit, flagged);
   EXPECT_EQ(cache.size(), 1);
   Stage1CacheStats stats = cache.stats();
@@ -109,8 +160,8 @@ TEST(Stage1CacheTest, PublishKeepsTheBiggerSample) {
 
 TEST(Stage1CacheTest, InvalidSnapshotsIgnored) {
   Stage1Cache cache;
-  cache.Publish(1, 0, {1}, nullptr);
-  cache.Publish(1, 0, {1}, MakeSnapshot(0));
+  cache.Publish(1, kWhole, 0, {1}, nullptr);
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshot(0));
   EXPECT_EQ(cache.size(), 0);
 }
 
@@ -118,8 +169,8 @@ TEST(Stage1CacheTest, TtlExpiresEntriesAsStale) {
   Stage1CacheOptions options;
   options.ttl_seconds = 1e-9;  // everything is stale by the next lookup
   Stage1Cache cache(options);
-  cache.Publish(1, 0, {1}, MakeSnapshot(500));
-  EXPECT_EQ(cache.Lookup(1, 0, {1}, 1), nullptr);
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshot(500));
+  EXPECT_EQ(cache.Lookup(1, kWhole, 0, {1}, 1), nullptr);
   EXPECT_EQ(cache.size(), 0);
   Stage1CacheStats stats = cache.stats();
   EXPECT_EQ(stats.stale_evictions, 1);
@@ -131,35 +182,37 @@ TEST(Stage1CacheTest, CapacityEvictsLeastRecentlyUsed) {
   Stage1CacheOptions options;
   options.capacity = 2;
   Stage1Cache cache(options);
-  cache.Publish(1, 0, {1}, MakeSnapshot(100));
-  cache.Publish(2, 0, {1}, MakeSnapshot(200));
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshot(100));
+  cache.Publish(2, kWhole, 0, {1}, MakeSnapshot(200));
   // Touch store 1 so store 2 is the LRU entry.
-  EXPECT_NE(cache.Lookup(1, 0, {1}, 1), nullptr);
-  cache.Publish(3, 0, {1}, MakeSnapshot(300));
+  EXPECT_NE(cache.Lookup(1, kWhole, 0, {1}, 1), nullptr);
+  cache.Publish(3, kWhole, 0, {1}, MakeSnapshot(300));
   EXPECT_EQ(cache.size(), 2);
-  EXPECT_NE(cache.Lookup(1, 0, {1}, 1), nullptr);
-  EXPECT_EQ(cache.Lookup(2, 0, {1}, 1), nullptr);  // evicted
-  EXPECT_NE(cache.Lookup(3, 0, {1}, 1), nullptr);
+  EXPECT_NE(cache.Lookup(1, kWhole, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(2, kWhole, 0, {1}, 1), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(3, kWhole, 0, {1}, 1), nullptr);
   EXPECT_EQ(cache.stats().capacity_evictions, 1);
 }
 
 TEST(Stage1CacheTest, InvalidateStoreDropsOnlyThatStore) {
   Stage1Cache cache;
-  cache.Publish(1, 0, {1}, MakeSnapshot(100));
-  cache.Publish(1, 0, {2}, MakeSnapshot(100));
-  cache.Publish(2, 0, {1}, MakeSnapshot(100));
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshot(100));
+  cache.Publish(1, kWhole, 0, {2}, MakeSnapshot(100));
+  cache.Publish(2, kWhole, 0, {1}, MakeSnapshot(100));
   cache.InvalidateStore(1);
   EXPECT_EQ(cache.size(), 1);
-  EXPECT_EQ(cache.Lookup(1, 0, {1}, 1), nullptr);
-  EXPECT_EQ(cache.Lookup(1, 0, {2}, 1), nullptr);
-  EXPECT_NE(cache.Lookup(2, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(1, kWhole, 0, {1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(1, kWhole, 0, {2}, 1), nullptr);
+  EXPECT_NE(cache.Lookup(2, kWhole, 0, {1}, 1), nullptr);
   EXPECT_EQ(cache.stats().store_invalidations, 2);
 }
 
 TEST(Stage1CacheTest, CountersReconcileUnderConcurrentChurn) {
   // Publishers, lookers, and invalidators hammer one cache; afterwards
   // the books must balance: every lookup is a hit or a miss, nothing
-  // double-counted. (Run under TSan in CI via the regular suite.)
+  // double-counted. Stores 0-2 publish whole-store entries, stores 3-4
+  // publish per-partition entries, so partitioned and unpartitioned
+  // keys churn together. (Run under TSan in CI via the regular suite.)
   Stage1Cache cache(Stage1CacheOptions{/*capacity=*/8, /*ttl_seconds=*/0});
   constexpr int kThreads = 4;
   constexpr int kOps = 400;
@@ -168,19 +221,21 @@ TEST(Stage1CacheTest, CountersReconcileUnderConcurrentChurn) {
     threads.emplace_back([&cache, t] {
       for (int i = 0; i < kOps; ++i) {
         const uint64_t store = static_cast<uint64_t>((t + i) % 5);
+        const uint64_t partition =
+            store >= 3 ? static_cast<uint64_t>(100 + i % 3) : kWhole;
         switch (i % 4) {
           case 0:
-            cache.Publish(store, 0, {1}, MakeSnapshot(100 + i));
+            cache.Publish(store, partition, 0, {1}, MakeSnapshot(100 + i));
             break;
           case 1:
           case 2:
-            cache.Lookup(store, 0, {1}, 50);
+            cache.Lookup(store, partition, 0, {1}, 50);
             break;
           default:
             if (i % 40 == 3) {
               cache.InvalidateStore(store);
             } else {
-              cache.Lookup(store, 0, {1}, 1000000);  // always a miss
+              cache.Lookup(store, partition, 0, {1}, 1000000);  // always miss
             }
             break;
         }
