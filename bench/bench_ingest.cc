@@ -1,0 +1,325 @@
+// Streaming ingest: append throughput and drift-aware warm admission.
+//
+// Mutable stores grow through ColumnStore::AppendBatch, which
+// sub-shuffles each batch and bumps the store generation; a stage-1
+// prior cached at generation g is then consulted at g' > g and either
+// PROMOTED (a hypergeometric drift test finds the candidate marginals
+// intact — the prior is served warm without re-drawing) or EVICTED
+// (the marginals moved — the query runs cold against the grown
+// relation). This bench prices both halves of that design:
+//
+//   part 1  AppendBatch throughput (rows/s) across batch sizes — the
+//           cost of the per-batch sub-shuffle and publication;
+//   part 2  query admission latency on a growing store, one scheduler
+//           configuration per path:
+//             hit      no appends between queries — pure warm hits,
+//                      the floor;
+//             promote  a distribution-preserving append (drawn from
+//                      the store's own generative model) lands before
+//                      every query — each admission pays one
+//                      revalidation (the drift-test sample) and is
+//                      then served warm;
+//             evict    a candidate-flooding append lands before every
+//                      query — revalidation rejects, the prior is
+//                      evicted, and the query runs cold. (Late floods
+//                      move the already-flooded, republished prior
+//                      less; once the relation saturates near the
+//                      flood marginal a revalidation can honestly
+//                      pass, so a small tail of promotions is the
+//                      drift test working, not a miss.)
+//
+// Queries are submitted one at a time (submit, wait, next) so each
+// latency sample is one isolated batch. Ground truth is recomputed
+// after every append (outside the timed path): warm-served results on
+// a grown store must still meet the paper guarantees.
+//
+// Shape to expect: hit p50 < promote p50 < evict p50, with promote's
+// gap over hit being the drift-test draw, and evict's counters showing
+// drift_evictions == queries with promotions == 0.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/verify.h"
+#include "index/bitmap_index.h"
+#include "service/query_scheduler.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+using namespace fastmatch;
+using namespace fastmatch::bench;
+
+namespace {
+
+constexpr int kCandidates = 48;
+constexpr int kGroups = 8;
+
+/// Same dashboard shape as bench_stage1_cache: a uniform 48-value Z
+/// over an 8-group X with well-separated per-candidate shapes. The
+/// attrs (with their peaked prototypes) are built from a dedicated
+/// seed so benign waves can be drawn from the SAME generative model
+/// as the store.
+std::vector<GenAttr> DashboardAttrs(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<GenAttr> attrs(2);
+  attrs[0].name = "Z";
+  attrs[0].cardinality = kCandidates;
+  attrs[0].marginal.assign(kCandidates, 1.0);
+  attrs[1].name = "X";
+  attrs[1].cardinality = kGroups;
+  attrs[1].parent = 0;
+  attrs[1].conditional = PeakedPrototypes(kCandidates, kGroups, 0.5, &rng);
+  return attrs;
+}
+
+std::shared_ptr<ColumnStore> MakeDashboardStore(
+    const std::vector<GenAttr>& attrs, int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  return GenerateRows("dashboard", attrs, rows, &rng);
+}
+
+/// Rows drawn from the store's own generative model — the appended
+/// relation is distribution-identical (marginal AND conditionals), so
+/// the drift test must call the append STABLE and a promoted prior
+/// stays a faithful sample of the grown relation.
+std::vector<std::vector<Value>> BenignWave(const std::vector<GenAttr>& attrs,
+                                           int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  auto wave = GenerateRows("wave", attrs, rows, &rng);
+  std::vector<std::vector<Value>> cols(2);
+  for (int a = 0; a < 2; ++a) {
+    cols[a].reserve(rows);
+    for (int64_t r = 0; r < rows; ++r) cols[a].push_back(wave->column(a).Get(r));
+  }
+  return cols;
+}
+
+/// Rows that flood candidate 0, moving its share far past the drift
+/// tolerance: every revalidation against these must reject.
+std::vector<std::vector<Value>> FloodWave(int64_t rows) {
+  std::vector<std::vector<Value>> cols(2);
+  for (int64_t r = 0; r < rows; ++r) {
+    cols[0].push_back(0);
+    cols[1].push_back(static_cast<Value>(r % kGroups));
+  }
+  return cols;
+}
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --------------------------------------------------- part 1: throughput
+
+void MeasureAppendThroughput(const std::vector<GenAttr>& attrs,
+                             const BenchConfig& config, int64_t rows) {
+  std::printf("append throughput (sub-shuffle + publication, %d waves "
+              "per batch size):\n",
+              6);
+  std::printf("%12s %8s %12s %14s\n", "batch rows", "waves", "p50 (ms)",
+              "rows/s");
+  for (int64_t batch_rows : {rows / 64, rows / 16, rows / 4}) {
+    auto store = MakeDashboardStore(attrs, rows, config.dataset_seed);
+    // Built outside the timing.
+    const auto wave = BenignWave(attrs, batch_rows, config.dataset_seed + 9);
+    std::vector<double> seconds;
+    for (int w = 0; w < 6; ++w) {
+      const double t0 = Now();
+      auto generation =
+          store->AppendBatch(wave, config.dataset_seed + 100 + w);
+      const double t1 = Now();
+      FASTMATCH_CHECK(generation.ok()) << generation.status().ToString();
+      seconds.push_back(t1 - t0);
+    }
+    const double p50 = Percentile(seconds, 0.50);
+    std::printf("%12lld %8d %12.3f %14.0f\n",
+                static_cast<long long>(batch_rows), 6, p50 * 1e3,
+                p50 > 0 ? static_cast<double>(batch_rows) / p50 : 0);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+// --------------------------------------------------- part 2: admission
+
+enum class Path { kHit, kPromote, kEvict };
+
+struct PathResult {
+  double p50 = 0;
+  double p90 = 0;
+  int warm_queries = 0;
+  int violations = 0;
+  int64_t revalidations = 0;
+  int64_t promotions = 0;
+  int64_t drift_evictions = 0;
+  int64_t hits = 0;
+  uint64_t final_generation = 0;
+};
+
+PathResult RunAdmissionPath(Path path, const std::vector<GenAttr>& attrs,
+                            int64_t rows, int num_queries,
+                            const HistSimParams& params,
+                            const BenchConfig& config) {
+  auto store = MakeDashboardStore(attrs, rows, config.dataset_seed);
+  auto index = BitmapIndex::Build(*store, 0).value();
+  CountMatrix exact = ComputeExactCounts(*store, 0, {1}).value();
+  // Targets come from the INITIAL counts in every mode so the three
+  // paths replay an identical query stream; ground truth below tracks
+  // the grown relation.
+  const CountMatrix targets = exact;
+
+  SchedulerOptions options;
+  options.batch.num_threads = 4;
+  options.batch.chunk_blocks = 64;
+  options.max_batch_queries = 4;
+  options.max_queue_wait_seconds = 0;  // launch immediately
+  options.stage1_cache = true;
+  QueryScheduler scheduler(options);
+
+  BoundQuery base;
+  base.store = store;
+  base.z_index = index;
+  base.z_attr = 0;
+  base.x_attrs = {1};
+  base.params = params;
+
+  // Unmeasured primer populates the cache at generation 1.
+  {
+    BoundQuery primer = base;
+    primer.params.seed = 7;
+    primer.target = UniformDistribution(kGroups);
+    auto handle = scheduler.Submit(primer);
+    FASTMATCH_CHECK(handle.ok()) << handle.status().ToString();
+    SchedulerItem item = handle->Get();
+    FASTMATCH_CHECK(item.status.ok()) << item.status.ToString();
+  }
+
+  // The per-query waves: benign waves stay small (the marginal is
+  // already intact); flood waves are sized so candidate 0's share
+  // keeps moving far past the drift tolerance even as the relation
+  // grows.
+  const int64_t wave_rows = std::max<int64_t>(1000, rows / 16);
+
+  PathResult r;
+  std::vector<double> latencies;
+  for (int i = 0; i < num_queries; ++i) {
+    if (path != Path::kHit) {
+      auto wave = path == Path::kPromote
+                      ? BenignWave(attrs, wave_rows,
+                                   config.dataset_seed + 40 + i)
+                      : FloodWave(wave_rows);
+      auto generation =
+          store->AppendBatch(wave, config.dataset_seed + 500 + i);
+      FASTMATCH_CHECK(generation.ok()) << generation.status().ToString();
+      // Ground truth tracks the grown relation (outside the timed path).
+      exact = ComputeExactCounts(*store, 0, {1}).value();
+    }
+
+    BoundQuery q = base;
+    q.params.seed = 1000 + static_cast<uint64_t>(i);
+    q.target = targets.NormalizedRow(i % kCandidates);
+    auto handle = scheduler.Submit(q);
+    FASTMATCH_CHECK(handle.ok()) << handle.status().ToString();
+    SchedulerItem item = handle->Get();
+    FASTMATCH_CHECK(item.status.ok()) << item.status.ToString();
+    latencies.push_back(item.total_seconds);
+    r.warm_queries += item.match.diag.stage1_warm;
+
+    GroundTruth truth = ComputeGroundTruth(exact, q.target, q.params.metric,
+                                           q.params.sigma, q.params.k);
+    auto check = CheckGuarantees(item.match, exact, truth, q.target, q.params);
+    r.violations += !check.separation_ok || !check.reconstruction_ok;
+  }
+
+  const SchedulerStats stats = scheduler.stats();
+  r.revalidations = stats.stage1_revalidations;
+  r.promotions = stats.stage1_promotions;
+  r.drift_evictions = stats.stage1_drift_evictions;
+  r.hits = stats.stage1_hits;
+  r.final_generation = store->generation();
+  scheduler.Shutdown();
+
+  r.p50 = Percentile(latencies, 0.50);
+  r.p90 = Percentile(latencies, 0.90);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Streaming ingest: append throughput and drift-aware admission",
+              config);
+
+  const int64_t rows = config.RowsFor("flights");
+  const std::vector<GenAttr> attrs = DashboardAttrs(config.dataset_seed);
+  MeasureAppendThroughput(attrs, config, rows);
+
+  // Same interactive-dashboard parameters as bench_stage1_cache: loose
+  // separation, no sigma pruning, stage 1 sized well below the
+  // relation so the admission path dominates the per-query cost.
+  HistSimParams params = config.Params();
+  params.k = 3;
+  params.epsilon = std::max(config.epsilon, 0.15);
+  params.delta = std::max(config.delta, 0.05);
+  params.sigma = 0;
+  params.stage1_samples = std::max<int64_t>(2000, rows / 8);
+
+  const int num_queries = 12 * std::max(1, config.runs);
+  std::printf(
+      "admission paths: %d queries each on a %lld-row store, stage-1 draw "
+      "%lld rows when cold, appends of %lld rows between queries\n\n",
+      num_queries, static_cast<long long>(rows),
+      static_cast<long long>(params.stage1_samples),
+      static_cast<long long>(std::max<int64_t>(1000, rows / 16)));
+
+  std::printf("%8s %10s %10s %6s %6s %7s %7s %7s %6s %5s\n", "path",
+              "p50 (s)", "p90 (s)", "warm", "viol", "revals", "promos",
+              "evicts", "hits", "gen");
+  PathResult hit, promote, evict;
+  const struct {
+    Path path;
+    const char* name;
+    PathResult* out;
+  } kPaths[] = {{Path::kHit, "hit", &hit},
+                {Path::kPromote, "promote", &promote},
+                {Path::kEvict, "evict", &evict}};
+  for (const auto& spec : kPaths) {
+    *spec.out =
+        RunAdmissionPath(spec.path, attrs, rows, num_queries, params, config);
+    const PathResult& r = *spec.out;
+    std::printf("%8s %10.4f %10.4f %6d %6d %7lld %7lld %7lld %6lld %5llu\n",
+                spec.name, r.p50, r.p90, r.warm_queries, r.violations,
+                static_cast<long long>(r.revalidations),
+                static_cast<long long>(r.promotions),
+                static_cast<long long>(r.drift_evictions),
+                static_cast<long long>(r.hits),
+                static_cast<unsigned long long>(r.final_generation));
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nrevalidation overhead: promote p50 - hit p50 = %.4f s (the "
+      "drift-test draw); evict p50 - hit p50 = %.4f s (a full cold stage 1)\n",
+      promote.p50 - hit.p50, evict.p50 - hit.p50);
+  std::printf(
+      "soundness: %d/%d promote queries warm with %lld promotions and 0 "
+      "expected evictions (got %lld); %d/%d evict queries warm with %lld "
+      "drift evictions\n",
+      promote.warm_queries, num_queries,
+      static_cast<long long>(promote.promotions),
+      static_cast<long long>(promote.drift_evictions), evict.warm_queries,
+      num_queries, static_cast<long long>(evict.drift_evictions));
+  std::printf(
+      "quality on the grown relation: %d hit / %d promote / %d evict "
+      "guarantee violations over %d queries each (delta=%.2f)\n",
+      hit.violations, promote.violations, evict.violations, num_queries,
+      params.delta);
+  return 0;
+}

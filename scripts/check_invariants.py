@@ -36,6 +36,15 @@ Enforces the concurrency and status discipline the compiler alone cannot:
                the batch executors' single-driver design — stay out by
                construction.)
 
+  pinned-scan  Engine code (src/engine/) must not read a store's live
+               geometry — `store->num_rows()` / `store->num_blocks()`
+               and the partition-set equivalents — because stores grow:
+               two live reads can straddle an append and describe two
+               different relations. Scans read geometry from the
+               StorePin they captured at creation (pin().num_rows etc.).
+               `// lint: pin-ok` escapes with a justification (e.g. a
+               deliberately unpinned admission-time estimate).
+
 Zero third-party dependencies; line-based on purpose (a full C++ parse
 buys little for these rules and costs a clang dependency the lint gate
 must not have). Exit 0 when clean, 1 with file:line diagnostics if not.
@@ -74,6 +83,14 @@ NON_MEMBER = re.compile(
 EXEMPT_TYPES = re.compile(
     r"\b(Mutex|CondVar|std::atomic|std::thread|std::jthread)\b")
 CONST_MEMBER = re.compile(r"(^\s*const\b|\*\s*const\b|\bconst\s+std::)")
+
+# A live-geometry read: some store-ish receiver's num_rows()/num_blocks().
+# Receivers named like pins/views (pin.num_rows is a field, pin().num_rows
+# has no call parens after the member) don't match; only receivers whose
+# name suggests a growable store do.
+PINNED_SCAN = re.compile(
+    r"\b(?P<recv>[A-Za-z_]\w*)\s*(?:\.|->)\s*(num_rows|num_blocks)\s*\(")
+PINNED_SCAN_RECEIVERS = ("store", "partitions", "source")
 
 
 def read(path: Path) -> str:
@@ -130,14 +147,20 @@ def class_bodies(text: str):
 
 def top_level_lines(body: str):
     """Yields (offset_line, line) for lines at the class's own brace
-    depth — skips nested function bodies and nested classes."""
+    depth — skips nested function bodies, nested classes, and the
+    continuation lines of multi-line declarations (paren depth > 0,
+    e.g. a wrapped parameter list whose last line would otherwise look
+    like a member declaration)."""
     depth = 0
+    parens = 0
     for k, line in enumerate(body.split("\n")):
         stripped = line
-        if depth == 0:
+        if depth == 0 and parens == 0:
             yield k, stripped
         depth += stripped.count("{") - stripped.count("}")
         depth = max(depth, 0)
+        parens += stripped.count("(") - stripped.count(")")
+        parens = max(parens, 0)
 
 
 def check_file(rel: str, text: str, violations: list):
@@ -162,6 +185,19 @@ def check_file(rel: str, text: str, violations: list):
                     (rel, k, "no-discard",
                      "(void)-discard of a call result; handle the Status "
                      "or tag `// lint: discard-ok` with a reason"))
+
+    if rel.startswith("src/engine/"):
+        for k, line in enumerate(lines, 1):
+            if "lint: pin-ok" in line:
+                continue
+            for m in PINNED_SCAN.finditer(line):
+                recv = m.group("recv").lower()
+                if any(s in recv for s in PINNED_SCAN_RECEIVERS):
+                    violations.append(
+                        (rel, k, "pinned-scan",
+                         "live store-geometry read in engine code; read "
+                         "num_rows/num_blocks from the scan's StorePin "
+                         "(or tag `// lint: pin-ok` with a reason)"))
 
     for head_line, body, body_start in class_bodies(text):
         if not MUTEX_MEMBER.search(body):

@@ -16,13 +16,18 @@ namespace {
 template <typename ZT>
 void AccumulateExact(const ColumnStore& store, int z_attr,
                      const std::vector<int>& x_attrs, CountMatrix* out) {
-  const ZT* z_data = store.column(z_attr).data<ZT>();
-  const int64_t n = store.num_rows();
+  const Column& z_col = store.column(z_attr);
+  const StorePin pin = store.Pin();
   if (x_attrs.size() == 1) {
     const Column& x_col = store.column(x_attrs[0]);
-    for (int64_t r = 0; r < n; ++r) {
-      out->Add(static_cast<int>(z_data[r]),
-               static_cast<int>(x_col.Get(r)));
+    for (BlockId b = 0; b < pin.num_blocks; ++b) {
+      RowId begin, end;
+      pin.BlockRowRange(b, &begin, &end);
+      const ZT* z_data = z_col.chunk_data<ZT>(b);
+      for (RowId r = begin; r < end; ++r) {
+        out->Add(static_cast<int>(z_data[r - begin]),
+                 static_cast<int>(x_col.Get(r)));
+      }
     }
     return;
   }
@@ -31,12 +36,17 @@ void AccumulateExact(const ColumnStore& store, int z_attr,
   for (int a : x_attrs) {
     cards.push_back(static_cast<int>(store.schema().attribute(a).cardinality));
   }
-  for (int64_t r = 0; r < n; ++r) {
-    int g = 0;
-    for (size_t i = 0; i < x_attrs.size(); ++i) {
-      g = g * cards[i] + static_cast<int>(store.column(x_attrs[i]).Get(r));
+  for (BlockId b = 0; b < pin.num_blocks; ++b) {
+    RowId begin, end;
+    pin.BlockRowRange(b, &begin, &end);
+    const ZT* z_data = z_col.chunk_data<ZT>(b);
+    for (RowId r = begin; r < end; ++r) {
+      int g = 0;
+      for (size_t i = 0; i < x_attrs.size(); ++i) {
+        g = g * cards[i] + static_cast<int>(store.column(x_attrs[i]).Get(r));
+      }
+      out->Add(static_cast<int>(z_data[r - begin]), g);
     }
-    out->Add(static_cast<int>(z_data[r]), g);
   }
 }
 

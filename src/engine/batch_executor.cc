@@ -10,17 +10,25 @@
 namespace fastmatch {
 
 BatchExecutor::BatchExecutor(std::shared_ptr<const ColumnStore> store,
-                             BatchOptions options)
+                             StorePin pin, BatchOptions options)
     : store_(std::move(store)),
       options_(std::move(options)),
-      num_blocks_(store_->num_blocks()),
+      pin_(pin),
+      num_blocks_(pin_.num_blocks),
       consumed_(num_blocks_) {
-  // Degenerate partition list: the whole store at offset 0. The sharded
-  // factory overwrites this before any query is bound.
+  // Degenerate partition list and segment table: the whole store at
+  // offset 0. The sharded factory overwrites both before any query is
+  // bound.
   Partition whole;
   whole.store = store_;
-  whole.begin_block = 0;
+  whole.pin = pin_;
   parts_.push_back(std::move(whole));
+  ScanSegment all;
+  all.logical_begin = 0;
+  all.part = 0;
+  all.local_begin = 0;
+  all.blocks = num_blocks_;
+  segments_.push_back(all);
 }
 
 Status BatchExecutor::ValidateBatch(const std::vector<BoundQuery>& queries,
@@ -44,16 +52,21 @@ Status BatchExecutor::ValidateBatch(const std::vector<BoundQuery>& queries,
           "batch queries must share one ColumnStore");
     }
   }
-  if (store->num_rows() == 0) {
+  return Status::OK();
+}
+
+Status BatchExecutor::CheckResumeGeometry(const BatchOptions& options,
+                                          const StorePin& pin) {
+  if (pin.num_rows == 0) {
     return Status::FailedPrecondition("empty store");
   }
   if (options.resume.has_value()) {
     const ScanResume& resume = *options.resume;
-    if (resume.consumed.size() != store->num_blocks()) {
+    if (resume.consumed.size() != pin.num_blocks) {
       return Status::InvalidArgument(
           "resume consumed bitvector size does not match store block count");
     }
-    if (resume.cursor < 0 || resume.cursor >= store->num_blocks()) {
+    if (resume.cursor < 0 || resume.cursor >= pin.num_blocks) {
       return Status::InvalidArgument("resume cursor out of range");
     }
   }
@@ -105,8 +118,20 @@ Result<std::unique_ptr<BatchExecutor>> BatchExecutor::Create(
           "query carries a partition set; use ShardedBatchExecutor::Create");
     }
   }
+  const std::shared_ptr<const ColumnStore>& store = queries.front().store;
+  // Resolve the batch's pin BEFORE construction: a versioned resume
+  // re-pins the donor's generation (the resumed scan runs in the
+  // donor's block space even if the store has since grown); otherwise
+  // pin the current generation.
+  StorePin pin;
+  if (options.resume.has_value() && options.resume->generation != 0) {
+    FASTMATCH_ASSIGN_OR_RETURN(pin, store->PinAt(options.resume->generation));
+  } else {
+    pin = store->Pin();
+  }
+  FASTMATCH_RETURN_IF_ERROR(CheckResumeGeometry(options, pin));
   auto executor = std::unique_ptr<BatchExecutor>(
-      new BatchExecutor(queries.front().store, std::move(options)));
+      new BatchExecutor(store, pin, std::move(options)));
   FASTMATCH_RETURN_IF_ERROR(Initialize(executor.get(), queries));
   return executor;
 }
@@ -144,9 +169,15 @@ Status BatchExecutor::BindQuery(const BoundQuery& query, QueryState* qs) {
     ts.x_attrs = query.x_attrs;
     // One reader per partition; the degenerate single-partition list
     // makes this the whole-store reader of the unpartitioned path.
+    // Each reader pins its partition's batch generation, so every block
+    // read resolves against the batch's frozen geometry no matter how
+    // the store grows mid-scan.
     for (const Partition& part : parts_) {
+      FASTMATCH_ASSIGN_OR_RETURN(auto view,
+                                 part.store->PinViewAt(part.pin.generation));
       FASTMATCH_ASSIGN_OR_RETURN(
-          auto io, IoManager::Create(part.store, query.z_attr, query.x_attrs));
+          auto io, IoManager::Create(part.store, query.z_attr, query.x_attrs,
+                                     std::move(view)));
       ts.ios.push_back(std::move(io));
     }
     const IoManager& domain = *ts.ios.front();
@@ -159,14 +190,15 @@ Status BatchExecutor::BindQuery(const BoundQuery& query, QueryState* qs) {
   TemplateState& ts = templates_[t];
   // Validate every supplied index (not just the first bound one), so a
   // malformed index is rejected regardless of the query's batch position.
+  // A block-count mismatch against the pin is NOT an error: an index
+  // built at an older generation covers a PREFIX of the pinned blocks
+  // (ReadChunk reads everything past index->num_rows() unconditionally —
+  // the covered-prefix rule), and one built at a newer generation marks
+  // a sound superset (a seam block's extra rows can only add bits).
   if (query.z_index != nullptr) {
     if (query.z_index->attribute() != query.z_attr) {
       return Status::InvalidArgument(
           "bitmap index was built for a different attribute");
-    }
-    if (query.z_index->num_blocks() != store_->num_blocks()) {
-      return Status::InvalidArgument(
-          "bitmap index block count does not match store");
     }
     if (ts.index == nullptr) ts.index = query.z_index;
   }
@@ -189,6 +221,22 @@ Status BatchExecutor::BindQuery(const BoundQuery& query, QueryState* qs) {
       return Status::InvalidArgument(
           "stage1_warm_parts size does not match the partition count");
     }
+    // Generation guard: every partition snapshot must have been drawn
+    // at that partition's pinned generation (0 = legacy/unversioned,
+    // accepted as-is). One stale partition poisons the merge — the
+    // merged prior's row positions would straddle generations — so any
+    // mismatch drops the whole warm set and the query runs cold.
+    bool stale = false;
+    for (size_t p = 0; p < parts_.size(); ++p) {
+      const std::shared_ptr<const Stage1Snapshot>& part =
+          query.stage1_warm_parts[p];
+      if (part != nullptr && part->scan.generation != 0 &&
+          part->scan.generation != parts_[p].pin.generation) {
+        stale = true;
+        break;
+      }
+    }
+    if (stale) ++stats_.stale_warm_dropped;
     const IoManager& domain = *ts.ios.front();
     merged_parts = CountMatrix(domain.num_candidates(), domain.num_groups());
     int64_t rows = 0;
@@ -200,6 +248,7 @@ Status BatchExecutor::BindQuery(const BoundQuery& query, QueryState* qs) {
         return Status::InvalidArgument(
             "partition stage-1 snapshot does not match the sampling domain");
       }
+      if (stale) continue;  // domain-checked but not consumed
       merged_parts.Merge(part->counts);
       rows += part->rows_drawn;
     }
@@ -219,11 +268,27 @@ Status BatchExecutor::BindQuery(const BoundQuery& query, QueryState* qs) {
       prior.counts = &merged_parts;
       prior.rows_drawn = rows;
       prior.overlapping = true;
-      prior.all_consumed = rows >= store_->num_rows();
+      prior.all_consumed = rows >= pin_.num_rows;
       prior_ptr = &prior;
     }
   }
+  // Generation guard for the whole-store warm start: the snapshot's own
+  // scan generation and the caller's validation stamp
+  // (stage1_warm_generation, set by the service tier after a cache hit
+  // or passed revalidation) must both match the batch's pin — 0 means
+  // legacy/unversioned and is accepted. A mismatch drops the warm start
+  // (the query runs cold); it never silently serves a stale prior.
+  bool warm_stale = false;
   if (query.stage1_warm != nullptr) {
+    const uint64_t snapshot_gen = query.stage1_warm->scan.generation;
+    const uint64_t effective_gen =
+        std::max(snapshot_gen, query.stage1_warm_generation);
+    if (effective_gen != 0 && effective_gen != pin_.generation) {
+      warm_stale = true;
+      ++stats_.stale_warm_dropped;
+    }
+  }
+  if (query.stage1_warm != nullptr && !warm_stale) {
     const Stage1Snapshot& warm = *query.stage1_warm;
     prior.counts = &warm.counts;
     prior.rows_drawn = warm.rows_drawn;
@@ -231,7 +296,7 @@ Status BatchExecutor::BindQuery(const BoundQuery& query, QueryState* qs) {
     // A prior spanning the whole relation carries exact counts for every
     // candidate: the machine completes instantly without touching the
     // scan (handled below).
-    prior.all_consumed = warm.rows_drawn >= store_->num_rows();
+    prior.all_consumed = warm.rows_drawn >= pin_.num_rows;
     // Disjointness: when every block behind the prior is already in
     // this scan's consumed set (a resume from the snapshot's state, or
     // a join after the scan passed the prior's window), the remaining
@@ -254,7 +319,7 @@ Status BatchExecutor::BindQuery(const BoundQuery& query, QueryState* qs) {
   }
   FASTMATCH_RETURN_IF_ERROR(qs->machine.Begin(ts.ios.front()->num_candidates(),
                                               ts.ios.front()->num_groups(),
-                                              store_->num_rows(), prior_ptr));
+                                              pin_.num_rows, prior_ptr));
   if (prior_ptr != nullptr) ++stats_.warm_queries;
   // Fresh counts for the query's NEXT phase are cumulative minus this
   // snapshot. At Create the cumulative matrix is zero; a Join()ed query
@@ -345,6 +410,7 @@ void BatchExecutor::ExportStage1(const QueryState& q, const TemplateState& ts,
     snapshot->rows_drawn = drawn;
     snapshot->scan.consumed = consumed_;
     snapshot->scan.cursor = cursor_;
+    snapshot->scan.generation = pin_.generation;
     if (!options_.resume.has_value() && q.snap_rows == 0 &&
         ts.rows_cum == consumed_rows_) {
       // Only when the counts cover every consumed row does a template
@@ -369,26 +435,33 @@ void BatchExecutor::ExportStage1(const QueryState& q, const TemplateState& ts,
       ts.rows_cum != consumed_rows_) {
     return;
   }
+  int cursor_part = 0;
+  BlockId cursor_local = 0;
+  Locate(cursor_, &cursor_part, &cursor_local);
   for (size_t p = 0; p < parts_.size(); ++p) {
     if (ts.part_rows_cum[p] <= 0) continue;
     const Partition& part = parts_[p];
-    const int64_t local_blocks = part.store->num_blocks();
+    const int64_t local_blocks = part.pin.num_blocks;
     auto snapshot = std::make_shared<Stage1Snapshot>();
     snapshot->counts = ts.part_cum[p];
     snapshot->rows_drawn = ts.part_rows_cum[p];
     // Partition-local scan state: the slice of the logical consumed map
-    // covering this partition's block range, cursor clamped into it.
-    // Exhaustion flags are never published — ts.exhausted certifies
-    // enumeration over the LOGICAL store, which a partition-local
-    // consumer must not mistake for its own.
+    // covering this partition's segments, cursor mapped when it lands
+    // in this partition. Exhaustion flags are never published —
+    // ts.exhausted certifies enumeration over the LOGICAL store, which
+    // a partition-local consumer must not mistake for its own.
     snapshot->scan.consumed = BitVector(local_blocks);
-    for (int64_t b = 0; b < local_blocks; ++b) {
-      if (consumed_.Get(part.begin_block + b)) snapshot->scan.consumed.Set(b);
+    for (const ScanSegment& seg : segments_) {
+      if (seg.part != static_cast<int>(p)) continue;
+      for (int64_t j = 0; j < seg.blocks; ++j) {
+        if (consumed_.Get(seg.logical_begin + j)) {
+          snapshot->scan.consumed.Set(seg.local_begin + j);
+        }
+      }
     }
     snapshot->scan.cursor =
-        (cursor_ >= part.begin_block && cursor_ < part.begin_block + local_blocks)
-            ? cursor_ - part.begin_block
-            : 0;
+        cursor_part == static_cast<int>(p) ? cursor_local : 0;
+    snapshot->scan.generation = part.pin.generation;
     options_.stage1_sink->Publish(partitions_->id(), part.store->id(),
                                   ts.z_attr, ts.x_attrs, std::move(snapshot));
     ++stats_.stage1_exports;
@@ -461,10 +534,26 @@ void BatchExecutor::ReadChunk() {
     marked_.assign(static_cast<size_t>(count), 0);
     for (TemplateState& ts : templates_) {
       if (ts.demand.unmet.empty()) continue;
-      MarkAnyActiveLookahead(*ts.index, ts.demand.unmet, start, count,
-                             &ts.scratch, &ts.marks);
-      for (int i = 0; i < count; ++i) {
-        marked_[static_cast<size_t>(i)] |= ts.marks[static_cast<size_t>(i)];
+      // Covered-prefix rule: the index only certifies blocks fully
+      // built at its build time (num_rows() / rows-per-block whole
+      // blocks — a partial tail block may have been filled by later
+      // appends, so its bitmap is stale). Window positions past the
+      // covered prefix are read unconditionally: marking is only ever
+      // conservative, never skips a block the index can't vouch for.
+      const int64_t covered =
+          std::min<int64_t>(num_blocks_,
+                            ts.index->num_rows() / pin_.rows_per_block);
+      const int sub_count = static_cast<int>(
+          std::clamp<int64_t>(covered - start, 0, count));
+      if (sub_count > 0) {
+        MarkAnyActiveLookahead(*ts.index, ts.demand.unmet, start, sub_count,
+                               &ts.scratch, &ts.marks);
+        for (int i = 0; i < sub_count; ++i) {
+          marked_[static_cast<size_t>(i)] |= ts.marks[static_cast<size_t>(i)];
+        }
+      }
+      for (int i = sub_count; i < count; ++i) {
+        marked_[static_cast<size_t>(i)] = 1;
       }
     }
     for (int i = 0; i < count; ++i) {
@@ -505,15 +594,11 @@ void BatchExecutor::ReadChunk() {
   const size_t num_parts = parts_.size();
   if (num_parts > 1) {
     // Scatter: map each marked logical block to (partition, local
-    // block) — pure offset arithmetic thanks to block-aligned
-    // partitions.
+    // block) through the pinned segment table.
     read_part_.resize(num_reads);
     read_local_.resize(num_reads);
     for (size_t i = 0; i < num_reads; ++i) {
-      const int p = PartitionOf(to_read[i]);
-      read_part_[i] = p;
-      read_local_[i] =
-          to_read[i] - parts_[static_cast<size_t>(p)].begin_block;
+      Locate(to_read[i], &read_part_[i], &read_local_[i]);
     }
   }
   const size_t slots = static_cast<size_t>(NumSlots());
@@ -552,12 +637,18 @@ void BatchExecutor::ReadChunk() {
   for (size_t i = 0; i < num_reads; ++i) {
     const BlockId b = to_read[i];
     RowId row_begin, row_end;
-    store_->BlockRowRange(b, &row_begin, &row_end);
+    // Pinned row range: the owning partition's pin clamps a seam block
+    // to the rows that existed at the batch's generation.
+    size_t p = 0;
+    if (num_parts == 1) {
+      pin_.BlockRowRange(b, &row_begin, &row_end);
+    } else {
+      p = static_cast<size_t>(read_part_[i]);
+      parts_[p].pin.BlockRowRange(read_local_[i], &row_begin, &row_end);
+    }
     const int64_t block_rows = row_end - row_begin;
     rows += block_rows;
     consumed_.Set(b);
-    const size_t p =
-        num_parts == 1 ? 0 : static_cast<size_t>(read_part_[i]);
     chunk_part_rows_[p] += block_rows;
     ++parts_[p].blocks_read;
     parts_[p].rows_read += block_rows;
@@ -586,9 +677,18 @@ void BatchExecutor::ReadChunk() {
   }
 }
 
-int BatchExecutor::PartitionOf(BlockId b) const {
-  if (parts_.size() == 1) return 0;
-  return partitions_->PartitionOfBlock(b);
+void BatchExecutor::Locate(BlockId b, int* part, BlockId* local) const {
+  // Last segment whose run starts at or before b; segments are ordered
+  // by logical_begin and tile [0, num_blocks_).
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), b,
+      [](BlockId lhs, const ScanSegment& seg) {
+        return lhs < seg.logical_begin;
+      });
+  FASTMATCH_CHECK(it != segments_.begin());
+  const ScanSegment& seg = *(it - 1);
+  *part = seg.part;
+  *local = seg.local_begin + (b - seg.logical_begin);
 }
 
 int BatchExecutor::NumSlots() const {
@@ -762,6 +862,7 @@ ScanResume BatchExecutor::CaptureScanState() const {
   if (templates_.size() == 1) {
     resume.exhausted = templates_.front().exhausted;
   }
+  resume.generation = pin_.generation;
   return resume;
 }
 

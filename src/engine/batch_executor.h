@@ -136,7 +136,7 @@ namespace fastmatch {
 /// a mid-flight Join() (bit-for-bit identical, see the header comment).
 struct ScanResume {
   /// Blocks already consumed by the donor scan; size must equal the
-  /// store's block count.
+  /// store's block count AT THE DONOR'S PINNED GENERATION.
   BitVector consumed;
   /// Cursor position the donor scan would read next; in [0, num_blocks).
   BlockId cursor = 0;
@@ -144,6 +144,12 @@ struct ScanResume {
   /// when non-empty the resumed batch must form exactly one (Z, X)
   /// template and the size must equal its candidate count.
   std::vector<bool> exhausted;
+  /// Store generation the donor scan was pinned at. A resuming batch
+  /// re-pins THIS generation (not the current one), so the resumed run
+  /// scans exactly the donor's block space even if the store has grown
+  /// since — the condition for bit-for-bit resume equivalence. 0 means
+  /// legacy/unversioned: resume against the current generation.
+  uint64_t generation = 0;
 };
 
 /// \brief One completed stage-1 phase, exported by the batch executor
@@ -243,6 +249,11 @@ struct BatchStats {
   int64_t evicted_queries = 0;
   /// Queries that skipped stage 1 via BoundQuery::stage1_warm.
   int64_t warm_queries = 0;
+  /// Warm starts DROPPED because their generation did not match the
+  /// batch's pinned generation (the query ran cold instead): a stage-1
+  /// prior drawn at generation g is never served at generation g' != g
+  /// without the service tier's explicit revalidation.
+  int64_t stale_warm_dropped = 0;
   /// Stage-1 snapshots published to BatchOptions::stage1_sink.
   int64_t stage1_exports = 0;
   /// Distinct (z_attr, x_attrs) templates in the batch.
@@ -366,19 +377,26 @@ class BatchExecutor {
   /// \brief I/O accounting so far (final after the last Step()/Run()).
   const BatchStats& stats() const { return stats_; }
 
+  /// \brief The logical scan geometry this batch is pinned to. Every
+  /// size the batch reasons with (block count, row count, all-consumed
+  /// checks, machine populations) comes from here, never from the live
+  /// store — a concurrent append cannot move the scan's goalposts.
+  const StorePin& pin() const { return pin_; }
+
  protected:
-  /// One slice of the logical scan: a partition store plus its block
-  /// offset in logical block space, with per-partition I/O accounting.
-  /// An unpartitioned batch has exactly one entry — the whole store at
-  /// offset 0 — so the scatter-gather read path is the only read path.
+  /// One slice of the logical scan: a partition store plus its PINNED
+  /// geometry, with per-partition I/O accounting. An unpartitioned
+  /// batch has exactly one entry — the whole store — so the
+  /// scatter-gather read path is the only read path. The mapping from
+  /// logical blocks to (partition, local block) lives in segments_.
   struct Partition {
     std::shared_ptr<const ColumnStore> store;
-    BlockId begin_block = 0;
+    StorePin pin;
     int64_t blocks_read = 0;
     int64_t rows_read = 0;
   };
 
-  BatchExecutor(std::shared_ptr<const ColumnStore> store,
+  BatchExecutor(std::shared_ptr<const ColumnStore> store, StorePin pin,
                 BatchOptions options);
 
   /// Shared Create tail for the plain and sharded factories: installs
@@ -388,15 +406,28 @@ class BatchExecutor {
   static Status Initialize(BatchExecutor* executor,
                            const std::vector<BoundQuery>& queries);
 
-  /// Structural validation shared by both factories: options ranges,
-  /// one shared store, non-empty store, resume geometry.
+  /// Structural validation shared by both factories: options ranges and
+  /// one shared store. Pin-dependent checks (empty store, resume
+  /// geometry) live in CheckResumeGeometry, called by each factory
+  /// after it resolved the batch's pin.
   static Status ValidateBatch(const std::vector<BoundQuery>& queries,
                               const BatchOptions& options);
+
+  /// Pin-dependent structural checks: non-empty pinned store, resume
+  /// consumed-bitvector size and cursor range against the pinned block
+  /// count.
+  static Status CheckResumeGeometry(const BatchOptions& options,
+                                    const StorePin& pin);
 
   /// The logical scan's partitions (size 1 unless sharded). Filled by
   /// the constructor (whole store) or the sharded factory; immutable
   /// once the first query is bound.
   std::vector<Partition> parts_;
+  /// Logical-to-physical block mapping: contiguous runs, ordered by
+  /// logical_begin (the pinned prefix of the partition set's segment
+  /// table; one whole-store segment when unpartitioned). Filled by the
+  /// constructor or the sharded factory alongside parts_.
+  std::vector<ScanSegment> segments_;
   /// Non-null iff this batch scatter-gathers over a PartitionedStore
   /// (set by ShardedBatchExecutor before Initialize).
   std::shared_ptr<const PartitionedStore> partitions_;
@@ -458,8 +489,9 @@ class BatchExecutor {
   /// Marks and reads one shared-scan window; maintains the zero-read
   /// streak that drives the exhaustion rule.
   void ReadChunk();
-  /// Partition covering logical block b (0 when unpartitioned).
-  int PartitionOf(BlockId b) const;
+  /// Resolves logical block b to its (partition, partition-local block)
+  /// through the pinned segment table.
+  void Locate(BlockId b, int* part, BlockId* local) const;
   /// Publishes a completed stage-1 phase to the sink: one whole-store
   /// snapshot when unpartitioned, one snapshot per partition when
   /// sharded (and the per-partition decomposition is available).
@@ -473,7 +505,10 @@ class BatchExecutor {
 
   std::shared_ptr<const ColumnStore> store_;
   BatchOptions options_;
-  int64_t num_blocks_ = 0;
+  /// The batch's pinned logical geometry (for a sharded batch the
+  /// store_id is the partition SET's id and generation the set's).
+  StorePin pin_;
+  int64_t num_blocks_ = 0;  // == pin_.num_blocks
   BlockId cursor_ = 0;
   BitVector consumed_;
   int64_t consumed_blocks_ = 0;

@@ -40,6 +40,7 @@ Status ValidateQuery(const BoundQuery& query) {
 /// pruning, exact top-k.
 Result<RunOutput> RunScan(const BoundQuery& query) {
   WallTimer timer;
+  const StorePin pin = query.store->Pin();
   FASTMATCH_ASSIGN_OR_RETURN(
       CountMatrix exact,
       ComputeExactCounts(*query.store, query.z_attr, query.x_attrs));
@@ -64,8 +65,8 @@ Result<RunOutput> RunScan(const BoundQuery& query) {
   out.match.diag.data_exhausted = true;
 
   out.stats.wall_seconds = timer.Seconds();
-  out.stats.engine.rows_read = query.store->num_rows();
-  out.stats.engine.blocks_read = query.store->num_blocks();
+  out.stats.engine.rows_read = pin.num_rows;
+  out.stats.engine.blocks_read = pin.num_blocks;
   return out;
 }
 

@@ -55,6 +55,12 @@ struct BoundQuery {
   /// cache hit made explicit). Must match the query's (store, z_attr,
   /// x_attrs) domain. Ignored by the single-query RunQuery approaches.
   std::shared_ptr<const Stage1Snapshot> stage1_warm;
+  /// Store generation `stage1_warm` was validated against (0 = legacy,
+  /// accept as-is). When the executor's pinned generation differs, the
+  /// warm start is DROPPED and the query runs cold — a prior drawn at
+  /// generation g must never silently stand in for generation g' > g
+  /// (BatchStats::stale_warm_dropped counts these).
+  uint64_t stage1_warm_generation = 0;
   /// Partition set for sharded execution: when set, `store` must be the
   /// set's source store and the query routes to a scatter-gather batch
   /// (ShardedBatchExecutor). Queries in one batch must all carry the

@@ -4,7 +4,7 @@ namespace fastmatch {
 
 Result<std::unique_ptr<IoManager>> IoManager::Create(
     std::shared_ptr<const ColumnStore> store, int z_attr,
-    std::vector<int> x_attrs) {
+    std::vector<int> x_attrs, std::optional<StoreView> view) {
   if (store == nullptr) return Status::InvalidArgument("null store");
   const int num_attrs = store->schema().num_attributes();
   if (z_attr < 0 || z_attr >= num_attrs) {
@@ -23,13 +23,20 @@ Result<std::unique_ptr<IoManager>> IoManager::Create(
       return Status::InvalidArgument("composite group cardinality too large");
     }
   }
-  return std::unique_ptr<IoManager>(
-      new IoManager(std::move(store), z_attr, std::move(x_attrs)));
+  if (!view.has_value()) view = store->PinView();
+  if (view->pin().store_id != store->id()) {
+    return Status::InvalidArgument("store view pins a different store");
+  }
+  return std::unique_ptr<IoManager>(new IoManager(
+      std::move(store), z_attr, std::move(x_attrs), *std::move(view)));
 }
 
 IoManager::IoManager(std::shared_ptr<const ColumnStore> store, int z_attr,
-                     std::vector<int> x_attrs)
-    : store_(std::move(store)), z_attr_(z_attr), x_attrs_(std::move(x_attrs)) {
+                     std::vector<int> x_attrs, StoreView view)
+    : store_(std::move(store)),
+      view_(std::move(view)),
+      z_attr_(z_attr),
+      x_attrs_(std::move(x_attrs)) {
   num_candidates_ =
       static_cast<int>(store_->schema().attribute(z_attr_).cardinality);
   int64_t groups = 1;
@@ -46,10 +53,12 @@ template <typename ZT, typename XT>
 int64_t IoManager::ReadBlockTyped(BlockId b, CountMatrix* out,
                                   std::atomic<int64_t>* fresh_counts) const {
   RowId begin, end;
-  store_->BlockRowRange(b, &begin, &end);
-  const ZT* z_data = store_->column(z_attr_).data<ZT>();
-  const XT* x_data = store_->column(x_attrs_[0]).data<XT>();
-  for (RowId r = begin; r < end; ++r) {
+  view_.pin().BlockRowRange(b, &begin, &end);
+  // Chunk b holds block b's rows at local offsets [0, end - begin).
+  const ZT* z_data = view_.chunk_data<ZT>(z_attr_, b);
+  const XT* x_data = view_.chunk_data<XT>(x_attrs_[0], b);
+  const int64_t rows = end - begin;
+  for (int64_t r = 0; r < rows; ++r) {
     const int z = static_cast<int>(z_data[r]);
     out->Add(z, static_cast<int>(x_data[r]));
     if (fresh_counts != nullptr) {
@@ -61,20 +70,18 @@ int64_t IoManager::ReadBlockTyped(BlockId b, CountMatrix* out,
           std::memory_order_relaxed);
     }
   }
-  return end - begin;
+  return rows;
 }
 
 int64_t IoManager::ReadBlockGeneric(BlockId b, CountMatrix* out,
                                     std::atomic<int64_t>* fresh_counts) const {
   RowId begin, end;
-  store_->BlockRowRange(b, &begin, &end);
-  const Column& z_col = store_->column(z_attr_);
+  view_.pin().BlockRowRange(b, &begin, &end);
   for (RowId r = begin; r < end; ++r) {
-    const int z = static_cast<int>(z_col.Get(r));
+    const int z = static_cast<int>(view_.Get(z_attr_, r));
     int g = 0;
     for (size_t i = 0; i < x_attrs_.size(); ++i) {
-      g = g * x_cards_[i] +
-          static_cast<int>(store_->column(x_attrs_[i]).Get(r));
+      g = g * x_cards_[i] + static_cast<int>(view_.Get(x_attrs_[i], r));
     }
     out->Add(z, g);
     if (fresh_counts != nullptr) {

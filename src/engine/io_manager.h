@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/histogram.h"
@@ -23,9 +24,14 @@ class IoManager {
  public:
   /// \brief Creates a reader for (z_attr, x_attrs) of `store`. Multiple
   /// x attributes form a mixed-radix composite group (Appendix A.1.3).
+  ///
+  /// All reads go through a pinned StoreView: pass `view` to scan a
+  /// specific generation (the caller got it from PinViewAt), or omit it
+  /// to pin the store's current generation. Reads are immune to
+  /// concurrent appends either way.
   static Result<std::unique_ptr<IoManager>> Create(
       std::shared_ptr<const ColumnStore> store, int z_attr,
-      std::vector<int> x_attrs);
+      std::vector<int> x_attrs, std::optional<StoreView> view = std::nullopt);
 
   /// \brief Scans block `b`, adding counts into `out`. When
   /// `fresh_counts` is non-null, each candidate's per-call total is also
@@ -49,9 +55,12 @@ class IoManager {
   int num_groups() const { return num_groups_; }
   const ColumnStore& store() const { return *store_; }
 
+  /// \brief The pinned geometry every read resolves against.
+  const StorePin& pin() const { return view_.pin(); }
+
  private:
   IoManager(std::shared_ptr<const ColumnStore> store, int z_attr,
-            std::vector<int> x_attrs);
+            std::vector<int> x_attrs, StoreView view);
 
   template <typename ZT, typename XT>
   int64_t ReadBlockTyped(BlockId b, CountMatrix* out,
@@ -59,7 +68,10 @@ class IoManager {
   int64_t ReadBlockGeneric(BlockId b, CountMatrix* out,
                            std::atomic<int64_t>* fresh_counts) const;
 
+  /// Keeps the chunk memory the view points into alive.
   std::shared_ptr<const ColumnStore> store_;
+  /// Generation-pinned read handle: chunk pointers + frozen geometry.
+  StoreView view_;
   int z_attr_;
   std::vector<int> x_attrs_;
   std::vector<int> x_cards_;

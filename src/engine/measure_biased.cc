@@ -16,7 +16,7 @@ Result<std::shared_ptr<ColumnStore>> BuildMeasureBiasedSample(
   if (sample_rows <= 0) {
     return Status::InvalidArgument("sample_rows must be > 0");
   }
-  const int64_t n = store.num_rows();
+  const int64_t n = store.Pin().num_rows;
   if (n == 0) return Status::FailedPrecondition("empty store");
 
   // Row weights = Y magnitudes.

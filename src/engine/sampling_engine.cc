@@ -58,7 +58,11 @@ Result<std::unique_ptr<SamplingEngine>> SamplingEngine::Create(
     std::shared_ptr<const BitmapIndex> z_index, int z_attr,
     std::vector<int> x_attrs, EngineOptions options) {
   if (store == nullptr) return Status::InvalidArgument("null store");
-  if (store->num_rows() == 0) {
+  // Pin once up front: the whole run (geometry checks, cursor seeding,
+  // every block read) resolves against this snapshot, so a concurrent
+  // append cannot shift the grid mid-run.
+  StoreView view = store->PinView();
+  if (view.pin().num_rows == 0) {
     return Status::FailedPrecondition("empty store");
   }
   if (options.policy != BlockSelection::kScanAll) {
@@ -71,7 +75,11 @@ Result<std::unique_ptr<SamplingEngine>> SamplingEngine::Create(
       return Status::InvalidArgument(
           "bitmap index was built for a different attribute");
     }
-    if (z_index->num_blocks() != store->num_blocks()) {
+    // Single-query runs demand an exactly matching index (the batch
+    // executor's covered-prefix rule is for shared scans that outlive
+    // index builds; here a mismatch is a caller bug).
+    if (z_index->num_blocks() != view.pin().num_blocks ||
+        z_index->num_rows() != view.pin().num_rows) {
       return Status::InvalidArgument(
           "bitmap index block count does not match store");
     }
@@ -80,7 +88,8 @@ Result<std::unique_ptr<SamplingEngine>> SamplingEngine::Create(
     return Status::InvalidArgument("lookahead must be >= 1");
   }
   FASTMATCH_ASSIGN_OR_RETURN(
-      auto io, IoManager::Create(store, z_attr, std::move(x_attrs)));
+      auto io,
+      IoManager::Create(store, z_attr, std::move(x_attrs), std::move(view)));
   return std::unique_ptr<SamplingEngine>(new SamplingEngine(
       std::move(store), std::move(z_index), std::move(io), options));
 }
@@ -93,7 +102,7 @@ SamplingEngine::SamplingEngine(std::shared_ptr<const ColumnStore> store,
       index_(std::move(z_index)),
       io_(std::move(io)),
       options_(options),
-      num_blocks_(store_->num_blocks()),
+      num_blocks_(io_->pin().num_blocks),
       consumed_(num_blocks_) {
   Rng rng(options_.seed);
   cursor_ = static_cast<BlockId>(

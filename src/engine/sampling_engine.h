@@ -77,7 +77,7 @@ class SamplingEngine : public Sampler {
   // ------------------------------------------------------ Sampler interface
   int num_candidates() const override { return io_->num_candidates(); }
   int num_groups() const override { return io_->num_groups(); }
-  int64_t total_rows() const override { return store_->num_rows(); }
+  int64_t total_rows() const override { return io_->pin().num_rows; }
   int64_t SampleRows(int64_t m, CountMatrix* out) override;
   void SampleUntilTargets(const std::vector<int64_t>& targets,
                           CountMatrix* out,

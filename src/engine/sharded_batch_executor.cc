@@ -28,8 +28,27 @@ Result<std::unique_ptr<ShardedBatchExecutor>> ShardedBatchExecutor::Create(
     }
   }
 
+  // Resolve the SET's pin: a versioned resume re-pins the donor's set
+  // generation; otherwise pin the current one. The set pin carries a
+  // consistent (logical geometry, per-partition pins, segment table)
+  // snapshot — the whole scan runs against it.
+  PartitionedPin ppin;
+  if (options.resume.has_value() && options.resume->generation != 0) {
+    FASTMATCH_ASSIGN_OR_RETURN(ppin,
+                               partitions->PinAt(options.resume->generation));
+  } else {
+    ppin = partitions->Pin();
+  }
+  StorePin pin;
+  pin.store_id = ppin.id;
+  pin.generation = ppin.generation;
+  pin.num_rows = ppin.num_rows;
+  pin.num_blocks = ppin.num_blocks;
+  pin.rows_per_block = ppin.rows_per_block;
+  FASTMATCH_RETURN_IF_ERROR(CheckResumeGeometry(options, pin));
+
   auto executor = std::unique_ptr<ShardedBatchExecutor>(
-      new ShardedBatchExecutor(queries.front().store, std::move(options)));
+      new ShardedBatchExecutor(queries.front().store, pin, std::move(options)));
   executor->partitions_ = std::move(partitions);
   executor->parts_.clear();
   const int num_parts = executor->partitions_->num_partitions();
@@ -37,9 +56,10 @@ Result<std::unique_ptr<ShardedBatchExecutor>> ShardedBatchExecutor::Create(
   for (int p = 0; p < num_parts; ++p) {
     Partition part;
     part.store = executor->partitions_->partition(p);
-    part.begin_block = executor->partitions_->partition_begin_block(p);
+    part.pin = ppin.parts[static_cast<size_t>(p)];
     executor->parts_.push_back(std::move(part));
   }
+  executor->segments_ = std::move(ppin.segments);
   FASTMATCH_RETURN_IF_ERROR(Initialize(executor.get(), queries));
   return executor;
 }

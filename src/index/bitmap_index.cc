@@ -5,15 +5,16 @@ namespace fastmatch {
 namespace {
 
 template <typename T>
-void FillBitmaps(const ColumnStore& store, int attr,
+void FillBitmaps(const ColumnStore& store, int attr, const StorePin& pin,
                  std::vector<BitVector>* bitmaps) {
-  const T* data = store.column(attr).data<T>();
-  const int64_t num_blocks = store.num_blocks();
-  for (BlockId b = 0; b < num_blocks; ++b) {
+  const Column& col = store.column(attr);
+  for (BlockId b = 0; b < pin.num_blocks; ++b) {
     RowId begin, end;
-    store.BlockRowRange(b, &begin, &end);
+    pin.BlockRowRange(b, &begin, &end);
+    // Chunk b holds block b's rows at local offsets.
+    const T* data = col.chunk_data<T>(b);
     for (RowId r = begin; r < end; ++r) {
-      (*bitmaps)[data[r]].Set(b);
+      (*bitmaps)[data[r - begin]].Set(b);
     }
   }
 }
@@ -26,21 +27,26 @@ Result<std::shared_ptr<BitmapIndex>> BitmapIndex::Build(
     return Status::InvalidArgument("BitmapIndex::Build: bad attribute index " +
                                    std::to_string(attr));
   }
+  // Build against a pinned snapshot: an append racing the build can
+  // only add rows past the pin, which the index then simply does not
+  // cover (num_rows() tells scans where coverage ends).
+  const StorePin pin = store.Pin();
   auto index = std::make_shared<BitmapIndex>();
   index->attr_ = attr;
-  index->num_blocks_ = store.num_blocks();
+  index->num_blocks_ = pin.num_blocks;
+  index->num_rows_ = pin.num_rows;
   const uint32_t card = store.schema().attribute(attr).cardinality;
   index->bitmaps_.assign(card, BitVector(index->num_blocks_));
 
   switch (store.schema().attribute(attr).type()) {
     case ValueType::kU8:
-      FillBitmaps<uint8_t>(store, attr, &index->bitmaps_);
+      FillBitmaps<uint8_t>(store, attr, pin, &index->bitmaps_);
       break;
     case ValueType::kU16:
-      FillBitmaps<uint16_t>(store, attr, &index->bitmaps_);
+      FillBitmaps<uint16_t>(store, attr, pin, &index->bitmaps_);
       break;
     case ValueType::kU32:
-      FillBitmaps<uint32_t>(store, attr, &index->bitmaps_);
+      FillBitmaps<uint32_t>(store, attr, pin, &index->bitmaps_);
       break;
   }
 

@@ -27,6 +27,14 @@ class BitmapIndex {
 
   int attribute() const { return attr_; }
   int64_t num_blocks() const { return num_blocks_; }
+
+  /// \brief Row count of the store AT BUILD TIME. A generation-pinned
+  /// scan over a store that has since grown derives the index's COVERED
+  /// block prefix from this (num_rows() / rows_per_block — a partial
+  /// tail block at build time may have been filled by later appends, so
+  /// its bitmap is stale and only whole covered blocks may be skipped);
+  /// blocks past the covered prefix must be read unconditionally.
+  int64_t num_rows() const { return num_rows_; }
   uint32_t num_values() const {
     return static_cast<uint32_t>(bitmaps_.size());
   }
@@ -48,6 +56,7 @@ class BitmapIndex {
  private:
   int attr_ = -1;
   int64_t num_blocks_ = 0;
+  int64_t num_rows_ = 0;
   std::vector<BitVector> bitmaps_;     // indexed by value
   std::vector<int64_t> block_counts_;  // popcount cache
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "engine/sharded_batch_executor.h"
+#include "service/stage1_revalidator.h"
 #include "util/logging.h"
 
 namespace fastmatch {
@@ -344,30 +345,68 @@ void QueryScheduler::AttachWarmStage1(BoundQuery* query) {
     // so the shares sum to at least the full demand) — a partial set
     // would leave the merged prior short and the machine would re-run
     // stage 1 anyway. Misses here count per lookup, like every other
-    // consult event.
-    const PartitionedStore& parts = *query->partitions;
-    const int64_t total_rows = parts.num_rows();
-    std::vector<std::shared_ptr<const Stage1Snapshot>> warm(
-        static_cast<size_t>(parts.num_partitions()));
-    for (int p = 0; p < parts.num_partitions(); ++p) {
-      const int64_t part_rows = parts.partition(p)->num_rows();
+    // consult event. All geometry comes from ONE set pin — live
+    // num_rows() reads could straddle an append and compute shares
+    // against a different relation than the lookups validate against.
+    // A generation-stale partition entry is a plain miss (no
+    // per-partition revalidation fan-out; only the whole-store path
+    // drift-tests), so every attached snapshot is exactly at its
+    // partition's pinned generation.
+    const PartitionedPin ppin = query->partitions->Pin();
+    const int64_t total_rows = ppin.num_rows;
+    if (total_rows <= 0) return;
+    std::vector<std::shared_ptr<const Stage1Snapshot>> warm(ppin.parts.size());
+    for (size_t p = 0; p < ppin.parts.size(); ++p) {
+      const StorePin& part_pin = ppin.parts[p];
       const int64_t min_rows =
-          (query->params.stage1_samples * part_rows + total_rows - 1) /
+          (query->params.stage1_samples * part_pin.num_rows + total_rows - 1) /
           total_rows;
-      warm[static_cast<size_t>(p)] =
-          stage1_cache_->Lookup(parts.id(), parts.partition(p)->id(),
-                                query->z_attr, query->x_attrs, min_rows);
-      if (warm[static_cast<size_t>(p)] == nullptr) return;
+      Stage1LookupResult found = stage1_cache_->Lookup(
+          ppin.id, part_pin.store_id, query->z_attr, query->x_attrs, min_rows,
+          part_pin.generation);
+      if (found.outcome != Stage1Outcome::kHit) return;
+      warm[p] = std::move(found.snapshot);
     }
     query->stage1_warm_parts = std::move(warm);
     return;
   }
-  // A hit must cover the query's full stage-1 demand; the cache treats
-  // smaller entries as misses.
-  query->stage1_warm =
-      stage1_cache_->Lookup(query->store->id(), kWholeStorePartition,
-                            query->z_attr, query->x_attrs,
-                            query->params.stage1_samples);
+  // A hit must cover the query's full stage-1 demand (the cache treats
+  // smaller entries as misses) AND be valid at the pinned generation.
+  const StorePin pin = query->store->Pin();
+  Stage1LookupResult found = stage1_cache_->Lookup(
+      query->store->id(), kWholeStorePartition, query->z_attr, query->x_attrs,
+      query->params.stage1_samples, pin.generation);
+  if (found.outcome == Stage1Outcome::kRevalidate) {
+    // Generation-stale prior: drift-test it synchronously (a small
+    // fresh draw — cheap next to the full stage-1 re-pay it may save).
+    // STABLE promotes the cache entry and serves the prior at the
+    // pinned generation; DRIFTING evicts it and the query runs cold. A
+    // revalidation that itself fails (e.g. the pinned generation
+    // vanished) is treated as a miss — never served unexamined.
+    Result<RevalidationReport> report =
+        RevalidateStage1(query->store, query->z_attr, query->x_attrs,
+                         *found.snapshot, pin.generation);
+    if (!report.ok()) return;
+    if (report->verdict == RevalidationVerdict::kStable) {
+      // The promotion may lose to a racing publish/eviction — the
+      // verdict still holds for OUR snapshot at OUR pin, so it is
+      // served either way; only the cache bookkeeping is best-effort.
+      stage1_cache_->Promote(query->store->id(), kWholeStorePartition,
+                             query->z_attr, query->x_attrs,
+                             found.entry_generation, pin.generation);
+      query->stage1_warm = std::move(found.snapshot);
+      query->stage1_warm_generation = pin.generation;
+    } else {
+      stage1_cache_->EvictDrifted(query->store->id(), kWholeStorePartition,
+                                  query->z_attr, query->x_attrs,
+                                  found.entry_generation);
+    }
+    return;
+  }
+  if (found.outcome == Stage1Outcome::kHit) {
+    query->stage1_warm = std::move(found.snapshot);
+    query->stage1_warm_generation = pin.generation;
+  }
 }
 
 void QueryScheduler::EvictCancelled(BatchExecutor* executor,
@@ -476,7 +515,6 @@ void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
 void QueryScheduler::RunBatch(Pipeline* pipeline,
                               std::vector<BoundQuery> queries,
                               std::vector<Admitted> admitted) {
-  const int64_t num_blocks = queries.front().store->num_blocks();
   // Admission-time cache consult: queries whose template is warm skip
   // stage 1 from the first chunk. (Queries requeued after a refused
   // join may already carry their snapshot; AttachWarmStage1 leaves
@@ -491,22 +529,37 @@ void QueryScheduler::RunBatch(Pipeline* pipeline,
   // are pre-consumed and never re-read, and the disjointness makes each
   // warm prior exact (no overlapping downgrade). One shared snapshot
   // implies one template, so the resume's exhaustion flags are valid.
+  // The resume runs AT THE DONOR'S GENERATION (the executor re-pins
+  // it), so its geometry check uses the donor's pin, not the live
+  // store's — and a PROMOTED snapshot (warm generation ahead of its
+  // scan state) skips the resume: continuing the donor's scan would pin
+  // the old generation while the prior is being served at the new one,
+  // and the executor's stale-warm guard would rightly drop it.
   if (!batch_options.resume.has_value() &&
       queries.front().partitions == nullptr &&
       queries.front().stage1_warm != nullptr) {
     const std::shared_ptr<const Stage1Snapshot>& snap =
         queries.front().stage1_warm;
+    const uint64_t warm_gen = queries.front().stage1_warm_generation;
     bool all_same = true;
     for (const BoundQuery& query : queries) {
-      if (query.stage1_warm != snap) {
+      if (query.stage1_warm != snap ||
+          query.stage1_warm_generation != warm_gen) {
         all_same = false;
         break;
       }
     }
-    if (all_same && snap->scan.consumed.size() == num_blocks &&
-        snap->scan.consumed.Popcount() < num_blocks) {
-      batch_options.resume = snap->scan;
-      counters_.warm_batches_resumed.fetch_add(1, std::memory_order_relaxed);
+    if (all_same && (warm_gen == 0 || warm_gen == snap->scan.generation)) {
+      const std::shared_ptr<const ColumnStore>& store = queries.front().store;
+      const Result<StorePin> donor =
+          snap->scan.generation != 0
+              ? store->PinAt(snap->scan.generation)
+              : Result<StorePin>(store->Pin());
+      if (donor.ok() && snap->scan.consumed.size() == donor->num_blocks &&
+          snap->scan.consumed.Popcount() < donor->num_blocks) {
+        batch_options.resume = snap->scan;
+        counters_.warm_batches_resumed.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   Result<std::unique_ptr<BatchExecutor>> create = [&] {
@@ -537,6 +590,10 @@ void QueryScheduler::RunBatch(Pipeline* pipeline,
     return;
   }
   std::unique_ptr<BatchExecutor> executor = std::move(*create);
+  // Join policy measures the scan the batch will ACTUALLY run — the
+  // executor's pinned geometry — not the live store, whose block count
+  // an append can move mid-batch.
+  const int64_t num_blocks = executor->pin().num_blocks;
 
   const Clock::time_point batch_start = Clock::now();
   // Eager delivery: machine completions surface here, synchronously on
@@ -750,6 +807,9 @@ SchedulerStats QueryScheduler::stats() const {
     s.stage1_inserts = cache.inserts;
     s.stage1_stale_evictions = cache.stale_evictions;
     s.stage1_store_invalidations = cache.store_invalidations;
+    s.stage1_revalidations = cache.revalidations;
+    s.stage1_promotions = cache.promotions;
+    s.stage1_drift_evictions = cache.drift_evictions;
   }
   return s;
 }

@@ -175,9 +175,8 @@ struct SchedulerStats {
   int64_t evicted = 0;            // removed from a running batch
   int64_t unavailable = 0;        // shed by scheduler teardown
   int64_t pipelines_reaped = 0;   // idle pipelines joined by the janitor
-  // Stage-1 cache counters (all zero when the cache is disabled). The
-  // first five mirror Stage1CacheStats; stage1_lookups == stage1_hits +
-  // stage1_misses always. Lookups count consult EVENTS, not queries:
+  // Stage-1 cache counters (all zero when the cache is disabled). These
+  // mirror Stage1CacheStats. Lookups count consult EVENTS, not queries:
   // launch admission consults once per query, and a queued front query
   // is re-consulted at every chunk boundary of the running batch (a
   // mid-flight publish can upgrade it to warm), so one cold waiter can
@@ -188,6 +187,14 @@ struct SchedulerStats {
   int64_t stage1_inserts = 0;          // snapshots accepted from executors
   int64_t stage1_stale_evictions = 0;  // TTL expiries
   int64_t stage1_store_invalidations = 0;  // entries dropped on reap
+  // Mutable-store drift lifecycle (zero while stores never grow):
+  // lookups that found a generation-stale prior, how many of those
+  // priors the drift test then promoted to the querier's generation,
+  // and how many it evicted as drifted. With the invariant
+  // stage1_lookups == stage1_hits + stage1_misses + stage1_revalidations.
+  int64_t stage1_revalidations = 0;
+  int64_t stage1_promotions = 0;
+  int64_t stage1_drift_evictions = 0;
   int64_t joins_enabled_by_cache = 0;  // joins the suffix policy would have
                                        // refused, admitted because stage 1
                                        // came from cache
@@ -451,12 +458,22 @@ class QueryScheduler {
   void EvictCancelled(BatchExecutor* executor, std::vector<Admitted>* admitted);
   /// Looks the query's template up in the stage-1 cache and attaches
   /// the snapshot on a hit (no-op when the cache is disabled or the
-  /// query already carries warm state). A partitioned query looks up
-  /// every partition's entry — each partition's share of the stage-1
-  /// demand is proportional to its row count — and attaches
+  /// query already carries warm state). The consult is GENERATION-
+  /// AWARE: geometry comes from one pin taken here, the lookup carries
+  /// the pinned generation, and a generation-stale whole-store prior is
+  /// drift-tested synchronously (service/stage1_revalidator.h) — STABLE
+  /// promotes the entry and attaches it, DRIFTING evicts it and the
+  /// query runs cold. A cached prior is therefore never attached at a
+  /// generation other than the pinned one, and the executor's own
+  /// stale-warm guard backstops any append racing between this consult
+  /// and batch creation. A partitioned query looks up every partition's
+  /// entry — each partition's share of the stage-1 demand is
+  /// proportional to its pinned row count — and attaches
   /// stage1_warm_parts only when ALL partitions hit (a partial warm set
-  /// would leave the merged prior under the demand). The cache lock is
-  /// a leaf: callers may hold a pipeline lock.
+  /// would leave the merged prior under the demand; a generation-stale
+  /// partition entry counts as a miss — no per-partition revalidation
+  /// fan-out). The cache lock is a leaf: callers may hold a pipeline
+  /// lock.
   void AttachWarmStage1(BoundQuery* query);
   /// True when the query will skip stage 1 (whole-store snapshot or a
   /// full per-partition warm set) — the condition that lifts the

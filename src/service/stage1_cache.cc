@@ -22,32 +22,43 @@ void Stage1Cache::Publish(uint64_t store_id, uint64_t partition_id,
   Key key{store_id, partition_id, z_attr, x_attrs};
   auto it = entries_.find(key);
   const Clock::time_point now = Clock::now();
+  const uint64_t incoming_gen = snapshot->scan.generation;
   if (it != entries_.end()) {
-    // The store is immutable, so both samples are valid forever; keep
-    // the one that covers more demands. A rows_drawn tie is broken in
-    // favor of a snapshot with a TRUE exhaustion flag over a resident
-    // without one (the flag certifies a candidate's exact counts to a
-    // disjoint consumer — strictly more information at equal coverage;
-    // an all-false vector certifies nothing); otherwise the resident
-    // wins, nothing to gain from the swap. Only a replacement counts
-    // as an insert.
+    // A snapshot from a NEWER generation than the resident replaces it
+    // unconditionally: the resident describes a strict prefix of the
+    // newer relation and would otherwise need a drift revalidation
+    // before every future serve, while the incoming one is already
+    // valid at the frontier. A snapshot from an OLDER generation than
+    // the resident never replaces it (its rows are a subset of what the
+    // resident already covers). At EQUAL generation both samples are
+    // valid forever against that fixed prefix, so keep the one that
+    // covers more demands: bigger rows_drawn wins; a rows_drawn tie is
+    // broken in favor of a snapshot with a TRUE exhaustion flag over a
+    // resident without one (the flag certifies a candidate's exact
+    // counts to a disjoint consumer — strictly more information at
+    // equal coverage; an all-false vector certifies nothing); otherwise
+    // the resident wins, nothing to gain from the swap. Only a
+    // replacement counts as an insert.
     const auto certifies = [](const Stage1Snapshot& s) {
       return std::any_of(s.scan.exhausted.begin(), s.scan.exhausted.end(),
                          [](bool flag) { return flag; });
     };
     const Entry& resident = it->second;
     const bool replace =
-        snapshot->rows_drawn > resident.snapshot->rows_drawn ||
-        (snapshot->rows_drawn == resident.snapshot->rows_drawn &&
-         certifies(*snapshot) && !certifies(*resident.snapshot));
+        incoming_gen > resident.generation ||
+        (incoming_gen == resident.generation &&
+         (snapshot->rows_drawn > resident.snapshot->rows_drawn ||
+          (snapshot->rows_drawn == resident.snapshot->rows_drawn &&
+           certifies(*snapshot) && !certifies(*resident.snapshot))));
     if (replace) {
       it->second.snapshot = std::move(snapshot);
+      it->second.generation = incoming_gen;
       ++stats_.inserts;
     }
     // The stamps renew even when the incoming data was dropped — ON
-    // PURPOSE: the snapshot itself never goes stale (immutable store),
-    // so TTL and LRU measure how long since the template last saw
-    // traffic, and any publish proves the template is live.
+    // PURPOSE: a publish at ANY generation proves the template is live,
+    // and TTL/LRU measure how long since the template last saw traffic
+    // (memory hygiene, not validity — generations own validity).
     it->second.published = now;
     it->second.last_used = tick_++;
     return;
@@ -64,19 +75,23 @@ void Stage1Cache::Publish(uint64_t store_id, uint64_t partition_id,
   entry.snapshot = std::move(snapshot);
   entry.published = now;
   entry.last_used = tick_++;
+  entry.generation = incoming_gen;
   entries_.emplace(std::move(key), std::move(entry));
   ++stats_.inserts;
 }
 
-std::shared_ptr<const Stage1Snapshot> Stage1Cache::Lookup(
-    uint64_t store_id, uint64_t partition_id, int z_attr,
-    const std::vector<int>& x_attrs, int64_t min_rows) {
+Stage1LookupResult Stage1Cache::Lookup(uint64_t store_id,
+                                       uint64_t partition_id, int z_attr,
+                                       const std::vector<int>& x_attrs,
+                                       int64_t min_rows,
+                                       uint64_t generation) {
   MutexLock lock(&mu_);
   ++stats_.lookups;
+  Stage1LookupResult result;
   auto it = entries_.find(Key{store_id, partition_id, z_attr, x_attrs});
   if (it == entries_.end()) {
     ++stats_.misses;
-    return nullptr;
+    return result;
   }
   if (options_.ttl_seconds > 0 &&
       std::chrono::duration<double>(Clock::now() - it->second.published)
@@ -84,17 +99,81 @@ std::shared_ptr<const Stage1Snapshot> Stage1Cache::Lookup(
     entries_.erase(it);
     ++stats_.stale_evictions;
     ++stats_.misses;
-    return nullptr;
+    return result;
   }
   if (it->second.snapshot->rows_drawn < min_rows) {
     // Too small for this demand; keep it (a smaller future demand may
     // still be served, and a bigger publish will replace it).
     ++stats_.misses;
-    return nullptr;
+    return result;
+  }
+  if (generation != 0 && it->second.generation > generation) {
+    // The entry samples rows beyond the querier's pinned prefix — its
+    // counts are not a uniform sample of the pinned relation, and no
+    // revalidation can shrink a sample. Keep the entry (it serves
+    // current-generation queries); this querier runs cold.
+    ++stats_.misses;
+    return result;
+  }
+  if (generation != 0 && it->second.generation < generation) {
+    // Older-generation prior: hand it back for a drift test, but do
+    // NOT tick the LRU — only a passing revalidation (Promote) or a
+    // real hit earns the entry its recency.
+    ++stats_.revalidations;
+    result.outcome = Stage1Outcome::kRevalidate;
+    result.snapshot = it->second.snapshot;
+    result.entry_generation = it->second.generation;
+    return result;
   }
   it->second.last_used = tick_++;
   ++stats_.hits;
-  return it->second.snapshot;
+  result.outcome = Stage1Outcome::kHit;
+  result.snapshot = it->second.snapshot;
+  result.entry_generation = it->second.generation;
+  return result;
+}
+
+std::shared_ptr<const Stage1Snapshot> Stage1Cache::Lookup(
+    uint64_t store_id, uint64_t partition_id, int z_attr,
+    const std::vector<int>& x_attrs, int64_t min_rows) {
+  // generation == 0 can only classify kHit or kMiss, so the snapshot
+  // alone carries the whole answer.
+  return Lookup(store_id, partition_id, z_attr, x_attrs, min_rows, 0)
+      .snapshot;
+}
+
+bool Stage1Cache::Promote(uint64_t store_id, uint64_t partition_id,
+                          int z_attr, const std::vector<int>& x_attrs,
+                          uint64_t from_generation, uint64_t to_generation) {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(Key{store_id, partition_id, z_attr, x_attrs});
+  if (it == entries_.end() || it->second.generation != from_generation) {
+    // A racing publish/eviction moved the entry out from under the
+    // revalidator; its verdict no longer describes what's resident.
+    return false;
+  }
+  // Only the validity horizon moves: published/last_used are left
+  // as-is, so a promotion neither rescues an entry from TTL expiry nor
+  // bumps it in the LRU order — the entry's data saw no new traffic.
+  it->second.generation = to_generation;
+  ++stats_.promotions;
+  return true;
+}
+
+bool Stage1Cache::EvictDrifted(uint64_t store_id, uint64_t partition_id,
+                               int z_attr, const std::vector<int>& x_attrs,
+                               uint64_t generation) {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(Key{store_id, partition_id, z_attr, x_attrs});
+  if (it == entries_.end() || it->second.generation != generation) {
+    // The drift verdict was about an entry that is no longer resident
+    // (e.g. a newer-generation publish replaced it); leave the
+    // newcomer alone.
+    return false;
+  }
+  entries_.erase(it);
+  ++stats_.drift_evictions;
+  return true;
 }
 
 void Stage1Cache::InvalidateStore(uint64_t store_id) {

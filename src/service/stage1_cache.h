@@ -34,9 +34,22 @@
 // partition (or the whole store). InvalidateStore() matches the store
 // id alone and therefore drops ALL partitions' entries of a partitioned
 // store at once, which is what the scheduler's janitor needs when it
-// reaps the pipeline keyed on that id. Entries never go stale data-wise
-// (stores are immutable after load); the TTL and capacity knobs are
-// memory hygiene, not correctness.
+// reaps the pipeline keyed on that id.
+//
+// GENERATIONS (mutable stores): since stores grow via AppendBatch, a
+// cached prior drawn at generation g describes a PREFIX of the
+// generation-g' > g relation. Serving it unexamined would be silently
+// biased the moment the appended rows' distribution drifts, so the
+// generation-aware Lookup classifies entries instead of just
+// hitting/missing: an entry at the querier's pinned generation is a
+// HIT; an entry at an OLDER generation is REVALIDATION-REQUIRED (the
+// snapshot is returned so the caller can run the drift test —
+// service/stage1_revalidator.h — and then either Promote() the entry to
+// the new generation or EvictDrifted() it); an entry at a NEWER
+// generation than the querier's pin is a plain miss (its rows don't all
+// exist in the pinned prefix). A cached prior is therefore NEVER served
+// at a generation other than its own without a passing revalidation.
+// The TTL and capacity knobs remain memory hygiene, not correctness.
 
 #ifndef FASTMATCH_SERVICE_STAGE1_CACHE_H_
 #define FASTMATCH_SERVICE_STAGE1_CACHE_H_
@@ -64,17 +77,38 @@ struct Stage1CacheOptions {
 };
 
 /// \brief Monotonic counters (snapshot via Stage1Cache::stats()).
-/// `lookups == hits + misses` always; a stale eviction or a too-small
-/// entry counts as a miss.
+/// `lookups == hits + misses + revalidations` always; a stale eviction
+/// or a too-small entry counts as a miss.
 struct Stage1CacheStats {
   int64_t lookups = 0;             // Lookup calls
   int64_t hits = 0;                // served a covering snapshot
-  int64_t misses = 0;              // lookups - hits
+  int64_t misses = 0;              // lookups - hits - revalidations
   int64_t publishes = 0;           // Publish calls
   int64_t inserts = 0;             // publishes that created/replaced an entry
   int64_t stale_evictions = 0;     // TTL expiries (at lookup)
   int64_t capacity_evictions = 0;  // LRU evictions (at publish)
   int64_t store_invalidations = 0; // entries dropped by InvalidateStore
+  int64_t revalidations = 0;       // lookups answered kRevalidate
+  int64_t promotions = 0;          // successful Promote calls
+  int64_t drift_evictions = 0;     // successful EvictDrifted calls
+};
+
+/// \brief Generation-aware lookup classification.
+enum class Stage1Outcome {
+  kMiss,        // no usable entry: run stage 1 cold
+  kHit,         // snapshot valid at the querier's generation: serve it
+  kRevalidate,  // snapshot from an older generation: drift-test first
+};
+
+/// \brief Generation-aware lookup result. `snapshot` is set for kHit
+/// (serve as-is) and kRevalidate (input to the drift test), null for
+/// kMiss. `entry_generation` is the generation the entry currently
+/// stands at (the `from_generation` a later Promote/EvictDrifted must
+/// name).
+struct Stage1LookupResult {
+  Stage1Outcome outcome = Stage1Outcome::kMiss;
+  std::shared_ptr<const Stage1Snapshot> snapshot;
+  uint64_t entry_generation = 0;
 };
 
 /// \brief Thread-safe cache of stage-1 snapshots keyed by
@@ -94,17 +128,48 @@ class Stage1Cache : public Stage1Sink {
                std::shared_ptr<const Stage1Snapshot> snapshot) override
       FASTMATCH_EXCLUDES(mu_);
 
-  /// \brief Returns the template's snapshot when one exists, is within
-  /// TTL, and holds at least `min_rows` rows (a smaller sample would
-  /// under-satisfy the querier's stage-1 demand); null otherwise. Pass
-  /// kWholeStorePartition for an unpartitioned scan's entry; a
-  /// partition's entry only ever answers its exact (store id, partition
-  /// id) pair.
+  /// \brief Generation-aware lookup. An entry must exist, be within
+  /// TTL, and hold at least `min_rows` rows (a smaller sample would
+  /// under-satisfy the querier's stage-1 demand) to be usable at all;
+  /// then `generation` (the querier's pinned store generation)
+  /// classifies it: equal to the entry's generation => kHit (LRU tick);
+  /// entry older => kRevalidate (NO LRU tick — only a passing
+  /// revalidation earns the entry its recency); entry newer => kMiss.
+  /// generation == 0 is the legacy generation-agnostic mode: any usable
+  /// entry is a kHit. Pass kWholeStorePartition for an unpartitioned
+  /// scan's entry; a partition's entry only ever answers its exact
+  /// (store id, partition id) pair.
+  Stage1LookupResult Lookup(uint64_t store_id, uint64_t partition_id,
+                            int z_attr, const std::vector<int>& x_attrs,
+                            int64_t min_rows, uint64_t generation)
+      FASTMATCH_EXCLUDES(mu_);
+
+  /// \brief Legacy generation-agnostic lookup: the snapshot on a hit,
+  /// null otherwise. Equivalent to the generation-aware overload with
+  /// generation == 0.
   std::shared_ptr<const Stage1Snapshot> Lookup(uint64_t store_id,
                                                uint64_t partition_id,
                                                int z_attr,
                                                const std::vector<int>& x_attrs,
                                                int64_t min_rows)
+      FASTMATCH_EXCLUDES(mu_);
+
+  /// \brief Marks the entry as valid at `to_generation` after a passing
+  /// drift revalidation. Succeeds (true) only when the entry still
+  /// exists and still stands at `from_generation` — a racing publish or
+  /// eviction makes the promotion a no-op (false). Does NOT renew the
+  /// TTL stamp or the LRU tick beyond recording the new generation: the
+  /// entry's data is unchanged, only its validity horizon moved.
+  bool Promote(uint64_t store_id, uint64_t partition_id, int z_attr,
+               const std::vector<int>& x_attrs, uint64_t from_generation,
+               uint64_t to_generation) FASTMATCH_EXCLUDES(mu_);
+
+  /// \brief Drops the entry after a FAILING drift revalidation.
+  /// Succeeds (true) only when the entry still exists and still stands
+  /// at `generation` — an entry already replaced by a newer-generation
+  /// publish is left alone (false).
+  bool EvictDrifted(uint64_t store_id, uint64_t partition_id, int z_attr,
+                    const std::vector<int>& x_attrs, uint64_t generation)
       FASTMATCH_EXCLUDES(mu_);
 
   /// \brief Drops every entry of one store (the store id disappeared:
@@ -126,6 +191,11 @@ class Stage1Cache : public Stage1Sink {
     std::shared_ptr<const Stage1Snapshot> snapshot;
     Clock::time_point published;
     uint64_t last_used = 0;  // LRU tick
+    /// Generation the entry is currently valid at. Seeded from the
+    /// snapshot's scan.generation at Publish and advanced by Promote —
+    /// the shared const snapshot keeps its original stamp; this field
+    /// is the cache's own, mutable validity horizon.
+    uint64_t generation = 0;
   };
 
   const Stage1CacheOptions options_;

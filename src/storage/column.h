@@ -1,9 +1,21 @@
 // A single dictionary-encoded column with narrow physical storage.
+//
+// Storage is CHUNKED: values live in fixed-size chunks (one chunk per
+// store block — the chunk row count is the store's rows-per-block), and
+// a chunk's allocation never moves once created. That stability is what
+// makes generation-pinned scans safe against concurrent appends: a
+// reader holding chunk pointers snapshotted at pin time (StoreView)
+// dereferences memory an appender will never reallocate, and the
+// appender writes only rows at indices >= the pinned row count — i.e.
+// disjoint bytes. Only the chunk DIRECTORY (the vector of chunk
+// pointers) mutates on growth, and directory reads/writes are
+// serialized by the owning ColumnStore's generation mutex.
 
 #ifndef FASTMATCH_STORAGE_COLUMN_H_
 #define FASTMATCH_STORAGE_COLUMN_H_
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "storage/types.h"
@@ -13,55 +25,75 @@ namespace fastmatch {
 
 /// \brief Append-only typed column. Values are dictionary codes; the
 /// physical width (u8/u16/u32) is fixed at construction.
+///
+/// Thread safety: none by itself. Pre-publication builds (AppendRow,
+/// Shuffle) own the column exclusively; post-publication appends and
+/// directory snapshots are serialized by ColumnStore::gen_mu_, and
+/// concurrent readers must go through a pinned StoreView, never through
+/// Get()/chunk_data() on a store that is being appended to.
 class Column {
  public:
-  explicit Column(ValueType type) : type_(type) {}
+  Column(ValueType type, int64_t chunk_rows)
+      : type_(type), chunk_rows_(chunk_rows) {
+    FASTMATCH_CHECK(chunk_rows_ >= 1) << "chunk_rows must be >= 1";
+  }
 
   ValueType type() const { return type_; }
-  int64_t size() const {
-    return static_cast<int64_t>(bytes_.size()) / ValueWidth(type_);
+  int64_t size() const { return size_; }
+  int64_t chunk_rows() const { return chunk_rows_; }
+  int64_t num_chunks() const {
+    return static_cast<int64_t>(chunks_.size());
   }
 
   void Reserve(int64_t n) {
-    bytes_.reserve(static_cast<size_t>(n) * ValueWidth(type_));
+    chunks_.reserve(
+        static_cast<size_t>((n + chunk_rows_ - 1) / chunk_rows_));
   }
 
   /// \brief Appends one value. The value must fit the physical width
   /// (checked in debug; masked never — generators guarantee the range).
   void Append(Value v) {
+    const int64_t local = size_ % chunk_rows_;
+    if (local == 0 && size_ / chunk_rows_ == num_chunks()) {
+      chunks_.push_back(std::make_unique<uint8_t[]>(
+          static_cast<size_t>(chunk_rows_) * ValueWidth(type_)));
+    }
+    uint8_t* chunk = chunks_.back().get();
     switch (type_) {
-      case ValueType::kU8: {
-        uint8_t x = static_cast<uint8_t>(v);
-        bytes_.push_back(x);
+      case ValueType::kU8:
+        chunk[local] = static_cast<uint8_t>(v);
         break;
-      }
       case ValueType::kU16: {
-        uint16_t x = static_cast<uint16_t>(v);
-        const uint8_t* p = reinterpret_cast<const uint8_t*>(&x);
-        bytes_.insert(bytes_.end(), p, p + 2);
+        const uint16_t x = static_cast<uint16_t>(v);
+        std::memcpy(chunk + local * 2, &x, 2);
         break;
       }
       case ValueType::kU32: {
-        const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
-        bytes_.insert(bytes_.end(), p, p + 4);
+        const uint32_t x = static_cast<uint32_t>(v);
+        std::memcpy(chunk + local * 4, &x, 4);
         break;
       }
     }
+    ++size_;
   }
 
-  /// \brief Random access (branch on width; scans should use data<T>()).
+  /// \brief Random access (branch on width; scans should use
+  /// chunk_data<T>() per chunk).
   Value Get(RowId row) const {
+    const uint8_t* chunk = chunks_[static_cast<size_t>(row / chunk_rows_)]
+                               .get();
+    const int64_t local = row % chunk_rows_;
     switch (type_) {
       case ValueType::kU8:
-        return bytes_[static_cast<size_t>(row)];
+        return chunk[local];
       case ValueType::kU16: {
         uint16_t x;
-        std::memcpy(&x, &bytes_[static_cast<size_t>(row) * 2], 2);
+        std::memcpy(&x, chunk + local * 2, 2);
         return x;
       }
       case ValueType::kU32: {
         uint32_t x;
-        std::memcpy(&x, &bytes_[static_cast<size_t>(row) * 4], 4);
+        std::memcpy(&x, chunk + local * 4, 4);
         return x;
       }
     }
@@ -69,34 +101,49 @@ class Column {
   }
 
   void Set(RowId row, Value v) {
+    uint8_t* chunk = chunks_[static_cast<size_t>(row / chunk_rows_)].get();
+    const int64_t local = row % chunk_rows_;
     switch (type_) {
       case ValueType::kU8:
-        bytes_[static_cast<size_t>(row)] = static_cast<uint8_t>(v);
+        chunk[local] = static_cast<uint8_t>(v);
         break;
       case ValueType::kU16: {
-        uint16_t x = static_cast<uint16_t>(v);
-        std::memcpy(&bytes_[static_cast<size_t>(row) * 2], &x, 2);
+        const uint16_t x = static_cast<uint16_t>(v);
+        std::memcpy(chunk + local * 2, &x, 2);
         break;
       }
-      case ValueType::kU32:
-        std::memcpy(&bytes_[static_cast<size_t>(row) * 4], &v, 4);
+      case ValueType::kU32: {
+        const uint32_t x = static_cast<uint32_t>(v);
+        std::memcpy(chunk + local * 4, &x, 4);
         break;
+      }
     }
   }
 
-  /// \brief Typed pointer for tight scan kernels. T must match type().
+  /// \brief Raw bytes of chunk `c` (stable address for the column's
+  /// lifetime). Rows [c * chunk_rows, ...) live here at local offsets.
+  const uint8_t* chunk_bytes(int64_t c) const {
+    return chunks_[static_cast<size_t>(c)].get();
+  }
+
+  /// \brief Typed base pointer of chunk `c` for tight scan kernels.
+  /// T must match type(). Index with LOCAL row offsets (row % chunk_rows).
   template <typename T>
-  const T* data() const {
+  const T* chunk_data(int64_t c) const {
     FASTMATCH_CHECK_EQ(sizeof(T), static_cast<size_t>(ValueWidth(type_)));
-    return reinterpret_cast<const T*>(bytes_.data());
+    return reinterpret_cast<const T*>(chunks_[static_cast<size_t>(c)].get());
   }
 
   /// \brief Physical bytes (for block-size accounting / IO simulation).
-  int64_t byte_size() const { return static_cast<int64_t>(bytes_.size()); }
+  int64_t byte_size() const {
+    return num_chunks() * chunk_rows_ * ValueWidth(type_);
+  }
 
  private:
   ValueType type_;
-  std::vector<uint8_t> bytes_;
+  int64_t chunk_rows_;
+  int64_t size_ = 0;
+  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
 };
 
 }  // namespace fastmatch

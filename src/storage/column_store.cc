@@ -3,10 +3,54 @@
 #include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace fastmatch {
+
+namespace {
+
+int ComputeRowsPerBlock(const Schema& schema, const StorageOptions& options) {
+  if (options.rows_per_block_override > 0) {
+    return options.rows_per_block_override;
+  }
+  int widest = 1;
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    widest = std::max(widest, ValueWidth(schema.attribute(i).type()));
+  }
+  return std::max(1, options.block_bytes / widest);
+}
+
+/// Shape/range validation shared by FromColumns and AppendBatch.
+Status ValidateColumnValues(
+    const Schema& schema,
+    const std::vector<std::vector<Value>>& column_values, const char* who) {
+  if (static_cast<int>(column_values.size()) != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        std::string(who) + ": column count does not match schema");
+  }
+  const size_t n = column_values.empty() ? 0 : column_values[0].size();
+  for (const auto& col : column_values) {
+    if (col.size() != n) {
+      return Status::InvalidArgument(
+          std::string(who) + ": ragged columns (unequal lengths)");
+    }
+  }
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    const uint32_t card = schema.attribute(a).cardinality;
+    for (Value v : column_values[static_cast<size_t>(a)]) {
+      if (v >= card) {
+        return Status::OutOfRange(
+            std::string(who) + ": value " + std::to_string(v) +
+            " out of range for attribute '" + schema.attribute(a).name + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 uint64_t ColumnStore::AllocateId() {
   static std::atomic<uint64_t> next{1};
@@ -14,55 +58,32 @@ uint64_t ColumnStore::AllocateId() {
 }
 
 ColumnStore::ColumnStore(Schema schema, StorageOptions options)
-    : schema_(std::move(schema)), options_(options), id_(AllocateId()) {
+    : schema_(std::move(schema)),
+      options_(options),
+      rows_per_block_(ComputeRowsPerBlock(schema_, options_)),
+      id_(AllocateId()) {
   columns_.reserve(schema_.num_attributes());
   for (int i = 0; i < schema_.num_attributes(); ++i) {
-    columns_.emplace_back(schema_.attribute(i).type());
+    // Chunk grid == block grid: chunk c holds exactly block c's rows,
+    // which is what lets StoreView hand scan kernels one stable pointer
+    // per (attribute, block).
+    columns_.emplace_back(schema_.attribute(i).type(), rows_per_block_);
   }
-  ComputeRowsPerBlock();
-}
-
-void ColumnStore::ComputeRowsPerBlock() {
-  if (options_.rows_per_block_override > 0) {
-    rows_per_block_ = options_.rows_per_block_override;
-    return;
-  }
-  int widest = 1;
-  for (int i = 0; i < schema_.num_attributes(); ++i) {
-    widest = std::max(widest, ValueWidth(schema_.attribute(i).type()));
-  }
-  rows_per_block_ = std::max(1, options_.block_bytes / widest);
 }
 
 Result<std::shared_ptr<ColumnStore>> ColumnStore::FromColumns(
     Schema schema, std::vector<std::vector<Value>> column_values,
     StorageOptions options) {
-  if (static_cast<int>(column_values.size()) != schema.num_attributes()) {
-    return Status::InvalidArgument(
-        "FromColumns: column count does not match schema");
-  }
+  FASTMATCH_RETURN_IF_ERROR(
+      ValidateColumnValues(schema, column_values, "FromColumns"));
   const size_t n = column_values.empty() ? 0 : column_values[0].size();
-  for (const auto& col : column_values) {
-    if (col.size() != n) {
-      return Status::InvalidArgument(
-          "FromColumns: ragged columns (unequal lengths)");
-    }
-  }
   auto store = std::make_shared<ColumnStore>(std::move(schema), options);
   store->Reserve(static_cast<int64_t>(n));
   for (int a = 0; a < store->schema_.num_attributes(); ++a) {
-    const uint32_t card = store->schema_.attribute(a).cardinality;
     Column& col = store->columns_[a];
-    for (Value v : column_values[a]) {
-      if (v >= card) {
-        return Status::OutOfRange("FromColumns: value " + std::to_string(v) +
-                                  " out of range for attribute '" +
-                                  store->schema_.attribute(a).name + "'");
-      }
-      col.Append(v);
-    }
+    for (Value v : column_values[static_cast<size_t>(a)]) col.Append(v);
   }
-  store->num_rows_ = static_cast<int64_t>(n);
+  store->num_rows_.store(static_cast<int64_t>(n), std::memory_order_release);
   return store;
 }
 
@@ -73,7 +94,8 @@ void ColumnStore::AppendRow(const std::vector<Value>& values) {
     FASTMATCH_CHECK_LT(values[a], schema_.attribute(a).cardinality);
     columns_[a].Append(values[a]);
   }
-  ++num_rows_;
+  num_rows_.store(num_rows_.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_release);
 }
 
 void ColumnStore::Reserve(int64_t rows) {
@@ -83,7 +105,8 @@ void ColumnStore::Reserve(int64_t rows) {
 void ColumnStore::Shuffle(uint64_t seed) {
   // One shared permutation applied to every column, so rows stay aligned.
   Rng rng(seed);
-  for (int64_t i = num_rows_ - 1; i > 0; --i) {
+  const int64_t n = num_rows();
+  for (int64_t i = n - 1; i > 0; --i) {
     const int64_t j = static_cast<int64_t>(rng.Uniform(
         static_cast<uint64_t>(i) + 1));
     if (i == j) continue;
@@ -93,6 +116,109 @@ void ColumnStore::Shuffle(uint64_t seed) {
       col.Set(j, tmp);
     }
   }
+}
+
+uint64_t ColumnStore::generation() const {
+  MutexLock lock(&gen_mu_);
+  return generation_;
+}
+
+StorePin ColumnStore::PinLocked(uint64_t generation, int64_t rows) const {
+  StorePin pin;
+  pin.store_id = id_;
+  pin.generation = generation;
+  pin.num_rows = rows;
+  pin.rows_per_block = rows_per_block_;
+  pin.num_blocks = (rows + rows_per_block_ - 1) / rows_per_block_;
+  return pin;
+}
+
+Result<int64_t> ColumnStore::RowsAtLocked(uint64_t generation) const {
+  if (generation == 0 || generation > generation_) {
+    return Status::NotFound(
+        "PinAt: generation " + std::to_string(generation) +
+        " does not exist (current generation is " +
+        std::to_string(generation_) + ")");
+  }
+  if (generation == generation_) {
+    return num_rows_.load(std::memory_order_acquire);
+  }
+  return gen_rows_[static_cast<size_t>(generation - 1)];
+}
+
+StorePin ColumnStore::Pin() const {
+  MutexLock lock(&gen_mu_);
+  return PinLocked(generation_, num_rows_.load(std::memory_order_acquire));
+}
+
+Result<StorePin> ColumnStore::PinAt(uint64_t generation) const {
+  MutexLock lock(&gen_mu_);
+  FASTMATCH_ASSIGN_OR_RETURN(const int64_t rows, RowsAtLocked(generation));
+  return PinLocked(generation, rows);
+}
+
+StoreView ColumnStore::ViewLocked(const StorePin& pin) const {
+  StoreView view;
+  view.pin_ = pin;
+  view.num_chunks_ = pin.num_blocks;
+  view.types_.reserve(static_cast<size_t>(schema_.num_attributes()));
+  view.chunks_.reserve(static_cast<size_t>(schema_.num_attributes()) *
+                       static_cast<size_t>(pin.num_blocks));
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    view.types_.push_back(schema_.attribute(a).type());
+    const Column& col = columns_[static_cast<size_t>(a)];
+    for (int64_t c = 0; c < pin.num_blocks; ++c) {
+      view.chunks_.push_back(col.chunk_bytes(c));
+    }
+  }
+  return view;
+}
+
+StoreView ColumnStore::PinView() const {
+  MutexLock lock(&gen_mu_);
+  return ViewLocked(
+      PinLocked(generation_, num_rows_.load(std::memory_order_acquire)));
+}
+
+Result<StoreView> ColumnStore::PinViewAt(uint64_t generation) const {
+  MutexLock lock(&gen_mu_);
+  FASTMATCH_ASSIGN_OR_RETURN(const int64_t rows, RowsAtLocked(generation));
+  return ViewLocked(PinLocked(generation, rows));
+}
+
+Result<uint64_t> ColumnStore::AppendBatch(
+    const std::vector<std::vector<Value>>& column_values, uint64_t seed) {
+  FASTMATCH_RETURN_IF_ERROR(
+      ValidateColumnValues(schema_, column_values, "AppendBatch"));
+  const int64_t n = column_values.empty()
+                        ? 0
+                        : static_cast<int64_t>(column_values[0].size());
+  if (n == 0) {
+    return Status::InvalidArgument("AppendBatch: empty batch");
+  }
+
+  // Per-generation sub-shuffle: one shared permutation of the batch,
+  // computed OUTSIDE the lock (pure index math), applied during the
+  // locked copy-in. Placing a uniformly permuted batch after the
+  // existing rows keeps every generation prefix pre-shuffled (the §4.1
+  // property, argued in docs/PAPER_MAP.md).
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&perm);
+
+  MutexLock lock(&gen_mu_);
+  const int64_t old_rows = num_rows_.load(std::memory_order_acquire);
+  gen_rows_.push_back(old_rows);
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    Column& col = columns_[static_cast<size_t>(a)];
+    const std::vector<Value>& values = column_values[static_cast<size_t>(a)];
+    for (int64_t i = 0; i < n; ++i) {
+      col.Append(values[static_cast<size_t>(perm[static_cast<size_t>(i)])]);
+    }
+  }
+  num_rows_.store(old_rows + n, std::memory_order_release);
+  return ++generation_;
 }
 
 int64_t ColumnStore::TotalBytes() const {

@@ -4,18 +4,20 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/random.h"
 
 namespace fastmatch {
 
-Result<std::shared_ptr<const PartitionedStore>> PartitionedStore::Split(
+Result<std::shared_ptr<PartitionedStore>> PartitionedStore::Split(
     std::shared_ptr<const ColumnStore> source, int num_partitions) {
   if (source == nullptr) {
     return Status::InvalidArgument("Split: source store is null");
   }
-  if (source->num_rows() == 0) {
+  const StorePin source_pin = source->Pin();
+  if (source_pin.num_rows == 0) {
     return Status::FailedPrecondition("Split: source store is empty");
   }
-  const int64_t num_blocks = source->num_blocks();
+  const int64_t num_blocks = source_pin.num_blocks;
   if (num_partitions < 1 || num_partitions > num_blocks) {
     return Status::InvalidArgument(
         "Split: num_partitions must be in [1, source->num_blocks()]");
@@ -24,21 +26,22 @@ Result<std::shared_ptr<const PartitionedStore>> PartitionedStore::Split(
   auto partitioned = std::shared_ptr<PartitionedStore>(new PartitionedStore());
   partitioned->id_ = ColumnStore::AllocateId();
   partitioned->source_ = source;
+  partitioned->rows_per_block_ = source_pin.rows_per_block;
   partitioned->parts_.reserve(static_cast<size_t>(num_partitions));
   partitioned->begin_blocks_.reserve(static_cast<size_t>(num_partitions) + 1);
 
   // Partition stores inherit the source's block grid so local and
   // logical block ids differ only by the partition's block offset.
   StorageOptions options;
-  options.rows_per_block_override = source->rows_per_block();
+  options.rows_per_block_override = source_pin.rows_per_block;
   const int num_attrs = source->schema().num_attributes();
   for (int p = 0; p < num_partitions; ++p) {
     const BlockId begin_block = num_blocks * p / num_partitions;
     const BlockId end_block = num_blocks * (p + 1) / num_partitions;
-    const RowId row_begin = begin_block * source->rows_per_block();
+    const RowId row_begin = begin_block * source_pin.rows_per_block;
     const RowId row_end =
-        std::min<RowId>(source->num_rows(),
-                        end_block * source->rows_per_block());
+        std::min<RowId>(source_pin.num_rows,
+                        end_block * source_pin.rows_per_block);
     std::vector<std::vector<Value>> columns(static_cast<size_t>(num_attrs));
     for (int a = 0; a < num_attrs; ++a) {
       std::vector<Value>& values = columns[static_cast<size_t>(a)];
@@ -58,17 +61,176 @@ Result<std::shared_ptr<const PartitionedStore>> PartitionedStore::Split(
     partitioned->parts_.push_back(std::move(part));
   }
   partitioned->begin_blocks_.push_back(num_blocks);
-  return std::shared_ptr<const PartitionedStore>(std::move(partitioned));
+  partitioned->num_rows_.store(source_pin.num_rows,
+                               std::memory_order_release);
+  partitioned->num_blocks_.store(num_blocks, std::memory_order_release);
+
+  // Generation 1: one segment per partition (the classic layout), one
+  // history record.
+  {
+    MutexLock lock(&partitioned->gen_mu_);
+    GenRecord record;
+    record.num_rows = source_pin.num_rows;
+    record.num_blocks = num_blocks;
+    record.part_generations.reserve(static_cast<size_t>(num_partitions));
+    for (int p = 0; p < num_partitions; ++p) {
+      ScanSegment segment;
+      segment.logical_begin = partitioned->begin_blocks_[static_cast<size_t>(p)];
+      segment.part = p;
+      segment.local_begin = 0;
+      segment.blocks =
+          partitioned->begin_blocks_[static_cast<size_t>(p) + 1] -
+          partitioned->begin_blocks_[static_cast<size_t>(p)];
+      partitioned->segments_.push_back(segment);
+      record.part_generations.push_back(
+          partitioned->parts_[static_cast<size_t>(p)]->generation());
+    }
+    record.segment_count = partitioned->segments_.size();
+    partitioned->history_.push_back(std::move(record));
+  }
+  return partitioned;
 }
 
 int PartitionedStore::PartitionOfBlock(BlockId b) const {
   FASTMATCH_CHECK(b >= 0 && b < num_blocks())
       << "PartitionOfBlock: block id out of range";
-  // First partition whose range starts past b, minus one. begin_blocks_
-  // has the num_blocks sentinel, so the result is always valid.
-  const auto it = std::upper_bound(begin_blocks_.begin(), begin_blocks_.end(),
-                                   b);
-  return static_cast<int>(it - begin_blocks_.begin()) - 1;
+  MutexLock lock(&gen_mu_);
+  // Last segment whose run starts at or before b.
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), b,
+      [](BlockId lhs, const ScanSegment& seg) {
+        return lhs < seg.logical_begin;
+      });
+  FASTMATCH_CHECK(it != segments_.begin());
+  return (it - 1)->part;
+}
+
+uint64_t PartitionedStore::generation() const {
+  MutexLock lock(&gen_mu_);
+  return generation_;
+}
+
+PartitionedPin PartitionedStore::PinLocked(uint64_t generation) const {
+  const GenRecord& record = history_[static_cast<size_t>(generation - 1)];
+  PartitionedPin pin;
+  pin.id = id_;
+  pin.generation = generation;
+  pin.num_rows = record.num_rows;
+  pin.num_blocks = record.num_blocks;
+  pin.rows_per_block = rows_per_block_;
+  pin.parts.reserve(parts_.size());
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    auto part_pin = parts_[p]->PinAt(record.part_generations[p]);
+    FASTMATCH_CHECK(part_pin.ok())
+        << "partition pin vanished: " << part_pin.status().ToString();
+    pin.parts.push_back(*std::move(part_pin));
+  }
+  pin.segments.assign(segments_.begin(),
+                      segments_.begin() +
+                          static_cast<int64_t>(record.segment_count));
+  return pin;
+}
+
+PartitionedPin PartitionedStore::Pin() const {
+  MutexLock lock(&gen_mu_);
+  return PinLocked(generation_);
+}
+
+Result<PartitionedPin> PartitionedStore::PinAt(uint64_t generation) const {
+  MutexLock lock(&gen_mu_);
+  if (generation == 0 || generation > generation_) {
+    return Status::NotFound(
+        "PinAt: set generation " + std::to_string(generation) +
+        " does not exist (current generation is " +
+        std::to_string(generation_) + ")");
+  }
+  return PinLocked(generation);
+}
+
+Result<uint64_t> PartitionedStore::AppendBatch(
+    const std::vector<std::vector<Value>>& column_values, uint64_t seed) {
+  const int num_attrs = source_->schema().num_attributes();
+  if (static_cast<int>(column_values.size()) != num_attrs) {
+    return Status::InvalidArgument(
+        "AppendBatch: column count does not match schema");
+  }
+  const int64_t n = column_values.empty()
+                        ? 0
+                        : static_cast<int64_t>(column_values[0].size());
+  for (const auto& col : column_values) {
+    if (static_cast<int64_t>(col.size()) != n) {
+      return Status::InvalidArgument(
+          "AppendBatch: ragged columns (unequal lengths)");
+    }
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("AppendBatch: empty batch");
+  }
+  // Validate value ranges UP FRONT: the per-partition appends below
+  // mutate state as they go, so a mid-loop rejection would leave the
+  // set half-appended.
+  const Schema& schema = source_->schema();
+  for (int a = 0; a < num_attrs; ++a) {
+    const uint32_t card = schema.attribute(a).cardinality;
+    for (Value v : column_values[static_cast<size_t>(a)]) {
+      if (v >= card) {
+        return Status::OutOfRange(
+            "AppendBatch: value " + std::to_string(v) +
+            " out of range for attribute '" + schema.attribute(a).name + "'");
+      }
+    }
+  }
+
+  // One shared permutation of the whole batch, so the contiguous slices
+  // handed to the partitions are themselves uniform subsamples of the
+  // batch (each partition then sub-shuffles its slice again).
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  Rng rng(seed);
+  rng.Shuffle(&perm);
+
+  const int P = num_partitions();
+  MutexLock lock(&gen_mu_);
+  GenRecord record = history_.back();  // start from the current layout
+  for (int p = 0; p < P; ++p) {
+    const int64_t slice_begin = n * p / P;
+    const int64_t slice_end = n * (p + 1) / P;
+    if (slice_begin == slice_end) continue;
+    std::vector<std::vector<Value>> slice(static_cast<size_t>(num_attrs));
+    for (int a = 0; a < num_attrs; ++a) {
+      std::vector<Value>& values = slice[static_cast<size_t>(a)];
+      values.reserve(static_cast<size_t>(slice_end - slice_begin));
+      const std::vector<Value>& src = column_values[static_cast<size_t>(a)];
+      for (int64_t i = slice_begin; i < slice_end; ++i) {
+        values.push_back(src[static_cast<size_t>(perm[static_cast<size_t>(i)])]);
+      }
+    }
+    ColumnStore& part = *parts_[static_cast<size_t>(p)];
+    const int64_t old_part_blocks = part.num_blocks();
+    // Lock order: set gen_mu_ -> partition gen_mu_ (documented in
+    // docs/ARCHITECTURE.md); SplitMix64 decorrelates the partitions'
+    // sub-shuffle seeds.
+    uint64_t seed_state = seed + static_cast<uint64_t>(p);
+    FASTMATCH_ASSIGN_OR_RETURN(const uint64_t part_gen,
+                               part.AppendBatch(slice, SplitMix64(&seed_state)));
+    record.part_generations[static_cast<size_t>(p)] = part_gen;
+    const int64_t new_part_blocks = part.num_blocks();
+    record.num_rows += slice_end - slice_begin;
+    if (new_part_blocks > old_part_blocks) {
+      ScanSegment segment;
+      segment.logical_begin = record.num_blocks;
+      segment.part = p;
+      segment.local_begin = old_part_blocks;
+      segment.blocks = new_part_blocks - old_part_blocks;
+      segments_.push_back(segment);
+      record.num_blocks += segment.blocks;
+    }
+  }
+  record.segment_count = segments_.size();
+  num_rows_.store(record.num_rows, std::memory_order_release);
+  num_blocks_.store(record.num_blocks, std::memory_order_release);
+  history_.push_back(std::move(record));
+  return ++generation_;
 }
 
 }  // namespace fastmatch

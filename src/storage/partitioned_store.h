@@ -1,51 +1,85 @@
 // Horizontal sharding of one logical store into P disjoint row-range
-// partitions (ROADMAP item 2, the stepping stone to multi-process
-// serving).
+// partitions (ROADMAP item 2's stepping stone to multi-process
+// serving), with generation-versioned appends.
 //
-// A partition is itself a ColumnStore: the logical store's rows
-// [begin_block * rows_per_block, end_block * rows_per_block) copied
-// verbatim, with the SAME rows-per-block grid (forced through
-// StorageOptions::rows_per_block_override), so partition-local block b
-// is exactly logical block begin_block + b. That block alignment is
-// what lets the sharded executor keep ONE logical scan cursor — the
-// same cursor, chunk schedule, and marking as the unpartitioned run —
-// and scatter each marked logical block to (partition, local block) by
-// pure offset arithmetic, which is how the P-way run stays bit-for-bit
-// identical to the P=1 run (see engine/sharded_batch_executor.h).
+// A partition is itself a ColumnStore: at Split() time, the logical
+// store's rows [begin_block * rows_per_block, end_block *
+// rows_per_block) copied verbatim, with the SAME rows-per-block grid
+// (forced through StorageOptions::rows_per_block_override). The sharded
+// executor keeps ONE logical scan cursor and scatters each logical
+// block to its (partition, local block) slot; the mapping is the
+// SEGMENT TABLE: an append-only list of contiguous runs
+// (logical_begin, partition, local_begin, blocks). The initial Split
+// contributes P segments (the classic block-aligned layout); every
+// AppendBatch that grows a partition's block count appends new
+// segments at the logical tail, so a pin at any generation is a PREFIX
+// of the segment table — logical block ids are stable forever, and a
+// scan pinned at generation g sees exactly the blocks that existed at
+// g (a partition's seam block — a partial tail block later filled by
+// an append — keeps its logical id; the pin's per-partition row counts
+// clamp how much of it generation g may read).
 //
-// Sampling soundness (the stratified-sampling argument, documented in
-// docs/PAPER_MAP.md): the source store is pre-shuffled, so ANY fixed
-// set of row positions — in particular each partition's contiguous
-// range, or any per-partition scan prefix — holds a uniform
-// without-replacement sample of the relation, and counts over disjoint
-// uniform partitions simply add. Each partition is therefore
-// "pre-shuffled uniform" in its own right, and merged per-partition
-// count streams are statistically indistinguishable from one logical
-// scan's stream.
+// AppendBatch shuffles the incoming batch once (shared permutation)
+// and slices it contiguously across partitions (n*p/P boundaries);
+// each partition re-sub-shuffles its slice via its own
+// ColumnStore::AppendBatch. Sampling soundness is the stratified-
+// sampling argument (docs/PAPER_MAP.md): partitions hold fixed
+// disjoint position sets of an exchangeable stream, so per-partition
+// scans remain uniform without-replacement samples and their counts
+// add.
 //
 // Identity: the partition set carries its own id() from the
-// ColumnStore identity pool (process-unique, never a live ColumnStore's
-// id), used as the logical key for scheduler pipelines and stage-1
-// cache invalidation; each partition store additionally has its own
-// ColumnStore::id(), used as the cache's partition sub-key.
+// ColumnStore identity pool (process-unique, never a live
+// ColumnStore's id), used as the logical key for scheduler pipelines
+// and stage-1 cache invalidation; each partition store additionally
+// has its own ColumnStore::id(), used as the cache's partition
+// sub-key.
 //
-// Thread safety: immutable after Split() — shared freely across
-// threads, like ColumnStore itself. No mutexes, no lock-hierarchy
-// entry.
+// Thread safety: appends serialize on gen_mu_ (acquired BEFORE each
+// partition store's own gen_mu_ — see docs/ARCHITECTURE.md
+// "Concurrency & lock hierarchy"); concurrent scans pin a generation
+// (Pin()/PinAt()) and read only partition rows frozen at that
+// generation.
 
 #ifndef FASTMATCH_STORAGE_PARTITIONED_STORE_H_
 #define FASTMATCH_STORAGE_PARTITIONED_STORE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "storage/column_store.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace fastmatch {
 
+/// \brief One contiguous run of the logical block space: logical
+/// blocks [logical_begin, logical_begin + blocks) live in partition
+/// `part` at local blocks [local_begin, local_begin + blocks).
+struct ScanSegment {
+  BlockId logical_begin = 0;
+  int part = 0;
+  BlockId local_begin = 0;
+  int64_t blocks = 0;
+};
+
+/// \brief Pinned scan geometry of a partition set at one generation:
+/// the logical pin (id/rows/blocks), each partition's own StorePin at
+/// its matching generation, and the segment-table prefix that lays
+/// logical blocks out across partitions.
+struct PartitionedPin {
+  uint64_t id = 0;
+  uint64_t generation = 0;
+  int64_t num_rows = 0;
+  int64_t num_blocks = 0;
+  int rows_per_block = 1;
+  std::vector<StorePin> parts;
+  std::vector<ScanSegment> segments;
+};
+
 /// \brief P disjoint block-aligned row-range partitions of one logical
-/// ColumnStore, each a ColumnStore of its own.
+/// ColumnStore, each a ColumnStore of its own; appendable as a unit.
 class PartitionedStore {
  public:
   /// \brief Splits `source` into `num_partitions` contiguous
@@ -54,8 +88,8 @@ class PartitionedStore {
   /// block). Requires a non-null, non-empty source and
   /// 1 <= num_partitions <= source->num_blocks(). The source is
   /// retained; partition stores are fresh copies with the source's
-  /// rows-per-block grid.
-  static Result<std::shared_ptr<const PartitionedStore>> Split(
+  /// rows-per-block grid. The split is generation 1 of the set.
+  static Result<std::shared_ptr<PartitionedStore>> Split(
       std::shared_ptr<const ColumnStore> source, int num_partitions);
 
   /// \brief Logical identity of the partition SET, drawn from the
@@ -65,42 +99,113 @@ class PartitionedStore {
   /// on it drops every partition's entries at once).
   uint64_t id() const { return id_; }
 
+  /// \brief The store the set was split from. Appends grow the
+  /// PARTITIONS, never the source: after the first AppendBatch the
+  /// source's geometry is stale relative to num_rows()/num_blocks().
   const std::shared_ptr<const ColumnStore>& source() const {
     return source_;
   }
 
   int num_partitions() const { return static_cast<int>(parts_.size()); }
 
-  const std::shared_ptr<const ColumnStore>& partition(int p) const {
+  std::shared_ptr<const ColumnStore> partition(int p) const {
     return parts_.at(static_cast<size_t>(p));
   }
 
-  /// \brief Logical block id of partition p's first block; partition-
-  /// local block b corresponds to logical block partition_begin_block(p)
-  /// + b.
+  /// \brief Logical block id of partition p's first block IN THE
+  /// INITIAL (generation-1) layout; partition-local block b < its
+  /// initial block count corresponds to logical block
+  /// partition_begin_block(p) + b. Blocks appended later follow the
+  /// segment table instead (PartitionedPin::segments).
   BlockId partition_begin_block(int p) const {
     return begin_blocks_.at(static_cast<size_t>(p));
   }
 
-  /// \brief Partition containing logical block `b` (in [0, num_blocks)).
+  /// \brief Partition containing logical block `b` (in
+  /// [0, num_blocks()), any generation).
   int PartitionOfBlock(BlockId b) const;
 
-  // Logical (source) geometry, forwarded for callers that only hold the
-  // partition set.
-  int64_t num_rows() const { return source_->num_rows(); }
-  int64_t num_blocks() const { return source_->num_blocks(); }
-  int rows_per_block() const { return source_->rows_per_block(); }
+  // Live logical geometry (atomic; possibly stale by return — scans
+  // pin instead).
+  int64_t num_rows() const {
+    return num_rows_.load(std::memory_order_acquire);
+  }
+  int64_t num_blocks() const {
+    return num_blocks_.load(std::memory_order_acquire);
+  }
+  int rows_per_block() const { return rows_per_block_; }
   const Schema& schema() const { return source_->schema(); }
+
+  // ------------------------------------------------ generations & pins
+
+  /// \brief Current generation of the SET; starts at 1, bumped by every
+  /// AppendBatch. Partition stores keep their own generation counters;
+  /// a set pin records each partition's matching generation.
+  uint64_t generation() const;
+
+  /// \brief Pins the current generation's logical + per-partition
+  /// geometry.
+  PartitionedPin Pin() const;
+
+  /// \brief Pins a historical generation. Fails for generation 0 or a
+  /// generation that does not exist yet.
+  Result<PartitionedPin> PinAt(uint64_t generation) const;
+
+  /// \brief Appends one batch of rows as a new generation of the set.
+  ///
+  /// The batch (FromColumns shape) is shuffled once with a shared
+  /// permutation seeded by `seed`, sliced contiguously across
+  /// partitions (slice p = rows [n*p/P, n*(p+1)/P)), and each slice is
+  /// appended to its partition via ColumnStore::AppendBatch (which
+  /// sub-shuffles again — harmless). New blocks extend the logical
+  /// block space via fresh segments; pins taken at older generations
+  /// are unaffected. Returns the new set generation.
+  Result<uint64_t> AppendBatch(
+      const std::vector<std::vector<Value>>& column_values, uint64_t seed);
 
  private:
   PartitionedStore() = default;
 
-  uint64_t id_ = 0;
-  std::shared_ptr<const ColumnStore> source_;
-  std::vector<std::shared_ptr<const ColumnStore>> parts_;
-  /// begin_blocks_[p] = partition p's first logical block;
-  /// begin_blocks_[P] = num_blocks (sentinel for PartitionOfBlock).
-  std::vector<BlockId> begin_blocks_;
+  /// Everything needed to reconstruct a historical pin; record g-1
+  /// describes generation g.
+  struct GenRecord {
+    int64_t num_rows = 0;
+    int64_t num_blocks = 0;
+    size_t segment_count = 0;
+    std::vector<uint64_t> part_generations;
+  };
+
+  PartitionedPin PinLocked(uint64_t generation) const
+      FASTMATCH_REQUIRES(gen_mu_);
+
+  uint64_t id_ = 0;  // lint: unguarded (set once in Split, pre-publication)
+  std::shared_ptr<const ColumnStore> source_;  // lint: unguarded (same)
+  /// Partition membership is fixed at Split; appends grow the stores in
+  /// place — the vector itself is immutable after Split
+  /// (pre-publication); only the pointed-to stores mutate, under their
+  /// own locks.
+  std::vector<std::shared_ptr<ColumnStore>> parts_;  // lint: unguarded (same)
+  /// begin_blocks_[p] = partition p's first logical block in the
+  /// generation-1 layout; begin_blocks_[P] = the generation-1 block
+  /// count. Immutable after Split.
+  std::vector<BlockId> begin_blocks_;  // lint: unguarded (same)
+  std::atomic<int64_t> num_rows_{0};
+  std::atomic<int64_t> num_blocks_{0};
+  /// Immutable after Split.
+  int rows_per_block_ = 1;  // lint: unguarded (set once, pre-publication)
+
+  /// Set-level generation state. Lock order: gen_mu_ is acquired BEFORE
+  /// the partition stores' own gen_mu_ (PartitionedStore::AppendBatch
+  /// calls ColumnStore::AppendBatch under it); nothing else is ever
+  /// taken under it.
+  mutable Mutex gen_mu_;
+  uint64_t generation_ FASTMATCH_GUARDED_BY(gen_mu_) = 1;
+  /// Append-only: a pin at generation g uses the first
+  /// history_[g-1].segment_count entries.
+  std::vector<ScanSegment> segments_ FASTMATCH_GUARDED_BY(gen_mu_);
+  /// history_[g-1] describes generation g (maintained for the current
+  /// generation too).
+  std::vector<GenRecord> history_ FASTMATCH_GUARDED_BY(gen_mu_);
 };
 
 }  // namespace fastmatch

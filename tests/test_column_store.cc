@@ -32,7 +32,7 @@ TEST(SchemaTest, FindAttribute) {
 
 TEST(ColumnTest, AppendGetRoundTripAllWidths) {
   for (ValueType t : {ValueType::kU8, ValueType::kU16, ValueType::kU32}) {
-    Column col(t);
+    Column col(t, /*chunk_rows=*/2);  // 3 appends span a chunk boundary
     const Value max_val = t == ValueType::kU8    ? 255
                           : t == ValueType::kU16 ? 65535
                                                  : 4000000000u;
@@ -123,35 +123,47 @@ TEST(ColumnStoreTest, ShuffleKeepsRowsAligned) {
 }
 
 TEST(ColumnStoreTest, ShuffleIsSeedDeterministic) {
+  // ColumnStore is pinned in place (generation mutex, atomic row count)
+  // and deliberately immovable; build behind unique_ptr.
   auto make = [] {
-    ColumnStore s(TwoAttrSchema());
-    for (Value i = 0; i < 100; ++i) s.AppendRow({i % 10, i});
+    auto s = std::make_unique<ColumnStore>(TwoAttrSchema());
+    for (Value i = 0; i < 100; ++i) s->AppendRow({i % 10, i});
     return s;
   };
-  ColumnStore a = make(), b = make(), c = make();
-  a.Shuffle(5);
-  b.Shuffle(5);
-  c.Shuffle(6);
+  auto a = make(), b = make(), c = make();
+  a->Shuffle(5);
+  b->Shuffle(5);
+  c->Shuffle(6);
   bool differs_from_c = false;
   for (RowId r = 0; r < 100; ++r) {
-    EXPECT_EQ(a.column(1).Get(r), b.column(1).Get(r));
-    differs_from_c |= a.column(1).Get(r) != c.column(1).Get(r);
+    EXPECT_EQ(a->column(1).Get(r), b->column(1).Get(r));
+    differs_from_c |= a->column(1).Get(r) != c->column(1).Get(r);
   }
   EXPECT_TRUE(differs_from_c);
 }
 
 TEST(ColumnStoreTest, TotalBytesAccounting) {
-  ColumnStore store(TwoAttrSchema());  // u8 + u16 = 3 bytes/row
+  // Physical bytes are chunk-granular: 100 rows at 300 rows/block is one
+  // chunk per column, so u8 + u16 columns own 300*1 + 300*2 bytes.
+  ColumnStore store(TwoAttrSchema());
   for (int i = 0; i < 100; ++i) store.AppendRow({1, 1});
-  EXPECT_EQ(store.TotalBytes(), 300);
+  EXPECT_EQ(store.TotalBytes(), 900);
+  // A second set of chunks starts at row 301.
+  for (int i = 0; i < 201; ++i) store.AppendRow({1, 1});
+  EXPECT_EQ(store.TotalBytes(), 1800);
 }
 
-TEST(ColumnStoreTest, TypedDataPointerMatchesGet) {
-  ColumnStore store(TwoAttrSchema());
+TEST(ColumnStoreTest, TypedChunkPointersMatchGet) {
+  // Chunked storage: rows are addressed per chunk with LOCAL offsets.
+  StorageOptions options;
+  options.rows_per_block_override = 16;  // 50 rows -> 4 chunks
+  ColumnStore store(TwoAttrSchema(), options);
   for (Value i = 0; i < 50; ++i) store.AppendRow({i % 10, i * 3});
-  const uint16_t* b = store.column(1).data<uint16_t>();
+  const Column& col = store.column(1);
   for (RowId r = 0; r < 50; ++r) {
-    EXPECT_EQ(static_cast<Value>(b[r]), store.column(1).Get(r));
+    const uint16_t* chunk = col.chunk_data<uint16_t>(r / col.chunk_rows());
+    EXPECT_EQ(static_cast<Value>(chunk[r % col.chunk_rows()]),
+              col.Get(r));
   }
 }
 

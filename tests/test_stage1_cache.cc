@@ -3,7 +3,11 @@
 // LRU capacity eviction, per-store invalidation, partition-key
 // isolation (a partition's snapshot never serves another partition, and
 // invalidating the logical store drops every partition's entries),
-// counter reconciliation (lookups == hits + misses always), and a
+// generation classification (hit at the entry's own generation,
+// revalidation-required for an older entry, miss for a newer one),
+// the Promote/EvictDrifted revalidation lifecycle and its
+// compare-and-act generation guards, counter reconciliation
+// (lookups == hits + misses + revalidations always), and a
 // multi-threaded smoke for the internal locking.
 
 #include "service/stage1_cache.h"
@@ -24,6 +28,18 @@ std::shared_ptr<const Stage1Snapshot> MakeSnapshot(int64_t rows, int vz = 4,
   auto snapshot = std::make_shared<Stage1Snapshot>();
   snapshot->counts = CountMatrix(vz, vx);
   snapshot->rows_drawn = rows;
+  return snapshot;
+}
+
+// A snapshot drawn at a specific store generation (its scan carries the
+// generation of the pin it ran under); Publish seeds the entry's
+// validity horizon from it.
+std::shared_ptr<const Stage1Snapshot> MakeSnapshotAt(int64_t rows,
+                                                     uint64_t generation) {
+  auto snapshot = std::make_shared<Stage1Snapshot>();
+  snapshot->counts = CountMatrix(4, 3);
+  snapshot->rows_drawn = rows;
+  snapshot->scan.generation = generation;
   return snapshot;
 }
 
@@ -207,12 +223,171 @@ TEST(Stage1CacheTest, InvalidateStoreDropsOnlyThatStore) {
   EXPECT_EQ(cache.stats().store_invalidations, 2);
 }
 
+// ------------------------------------------------ generations
+
+TEST(Stage1CacheGenerationTest, LookupClassifiesHitRevalidateAndMiss) {
+  Stage1Cache cache;
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshotAt(500, 2));
+
+  // At the entry's own generation: a plain hit.
+  Stage1LookupResult at = cache.Lookup(1, kWhole, 0, {1}, 100, 2);
+  EXPECT_EQ(at.outcome, Stage1Outcome::kHit);
+  ASSERT_NE(at.snapshot, nullptr);
+  EXPECT_EQ(at.snapshot->rows_drawn, 500);
+  EXPECT_EQ(at.entry_generation, 2u);
+
+  // Querier pinned PAST the entry: the prior describes a prefix of the
+  // pinned relation — usable only through a drift test, so the snapshot
+  // comes back but the outcome demands revalidation.
+  Stage1LookupResult stale = cache.Lookup(1, kWhole, 0, {1}, 100, 5);
+  EXPECT_EQ(stale.outcome, Stage1Outcome::kRevalidate);
+  ASSERT_NE(stale.snapshot, nullptr);
+  EXPECT_EQ(stale.snapshot, at.snapshot);
+  EXPECT_EQ(stale.entry_generation, 2u);
+
+  // Querier pinned BEFORE the entry: the entry samples rows the pin has
+  // never seen; no revalidation can shrink a sample, so this is a plain
+  // miss — but the entry survives for current-generation queriers.
+  Stage1LookupResult newer = cache.Lookup(1, kWhole, 0, {1}, 100, 1);
+  EXPECT_EQ(newer.outcome, Stage1Outcome::kMiss);
+  EXPECT_EQ(newer.snapshot, nullptr);
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.Lookup(1, kWhole, 0, {1}, 100, 2).outcome,
+            Stage1Outcome::kHit);
+
+  // generation == 0 is the legacy generation-agnostic mode: any usable
+  // entry is a hit regardless of its generation.
+  EXPECT_NE(cache.Lookup(1, kWhole, 0, {1}, 100), nullptr);
+
+  Stage1CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.revalidations, 1);
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.lookups, stats.hits + stats.misses + stats.revalidations);
+}
+
+TEST(Stage1CacheGenerationTest, CoverageAndTtlOutrankRevalidation) {
+  // A stale-generation entry that is also too SMALL is a miss, not a
+  // revalidation candidate: no drift test can grow its sample.
+  Stage1Cache cache;
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshotAt(500, 1));
+  Stage1LookupResult r = cache.Lookup(1, kWhole, 0, {1}, 1000, 4);
+  EXPECT_EQ(r.outcome, Stage1Outcome::kMiss);
+  EXPECT_EQ(r.snapshot, nullptr);
+  EXPECT_EQ(cache.size(), 1);
+
+  // TTL expiry also wins over revalidation: the entry is simply gone.
+  Stage1CacheOptions options;
+  options.ttl_seconds = 1e-9;
+  Stage1Cache expiring(options);
+  expiring.Publish(1, kWhole, 0, {1}, MakeSnapshotAt(500, 1));
+  Stage1LookupResult expired = expiring.Lookup(1, kWhole, 0, {1}, 100, 4);
+  EXPECT_EQ(expired.outcome, Stage1Outcome::kMiss);
+  EXPECT_EQ(expiring.size(), 0);
+  EXPECT_EQ(expiring.stats().stale_evictions, 1);
+  EXPECT_EQ(expiring.stats().revalidations, 0);
+}
+
+TEST(Stage1CacheGenerationTest, PromoteAdvancesTheValidityHorizon) {
+  Stage1Cache cache;
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshotAt(500, 1));
+  Stage1LookupResult stale = cache.Lookup(1, kWhole, 0, {1}, 100, 3);
+  ASSERT_EQ(stale.outcome, Stage1Outcome::kRevalidate);
+
+  // A passing drift test promotes the entry to the querier's
+  // generation; the SAME snapshot now serves generation 3 as a hit.
+  EXPECT_TRUE(cache.Promote(1, kWhole, 0, {1}, stale.entry_generation, 3));
+  Stage1LookupResult hit = cache.Lookup(1, kWhole, 0, {1}, 100, 3);
+  EXPECT_EQ(hit.outcome, Stage1Outcome::kHit);
+  EXPECT_EQ(hit.snapshot, stale.snapshot);
+  EXPECT_EQ(hit.entry_generation, 3u);
+  // The shared snapshot keeps its original scan stamp — only the
+  // cache's own validity horizon moved.
+  EXPECT_EQ(hit.snapshot->scan.generation, 1u);
+
+  // The compare-and-act guard: a promote naming a generation the entry
+  // no longer stands at is a stale verdict and must be a no-op.
+  EXPECT_FALSE(cache.Promote(1, kWhole, 0, {1}, 1, 4));
+  EXPECT_EQ(cache.Lookup(1, kWhole, 0, {1}, 100, 3).outcome,
+            Stage1Outcome::kHit);
+  // Absent key: no-op too.
+  EXPECT_FALSE(cache.Promote(9, kWhole, 0, {1}, 3, 4));
+  EXPECT_EQ(cache.stats().promotions, 1);
+}
+
+TEST(Stage1CacheGenerationTest, PromoteDoesNotRenewRecencyOrTtl) {
+  // LRU: promotion moves only the validity horizon, so a promoted entry
+  // keeps its old recency and is still evicted first at capacity.
+  Stage1CacheOptions options;
+  options.capacity = 2;
+  Stage1Cache cache(options);
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshotAt(100, 1));  // oldest tick
+  cache.Publish(2, kWhole, 0, {1}, MakeSnapshotAt(200, 1));
+  ASSERT_TRUE(cache.Promote(1, kWhole, 0, {1}, 1, 2));
+  cache.Publish(3, kWhole, 0, {1}, MakeSnapshotAt(300, 1));
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.Lookup(1, kWhole, 0, {1}, 1), nullptr);  // evicted anyway
+  EXPECT_NE(cache.Lookup(2, kWhole, 0, {1}, 1), nullptr);
+  EXPECT_NE(cache.Lookup(3, kWhole, 0, {1}, 1), nullptr);
+
+  // TTL: promotion does not refresh the publish stamp either.
+  Stage1CacheOptions expiring_options;
+  expiring_options.ttl_seconds = 1e-9;
+  Stage1Cache expiring(expiring_options);
+  expiring.Publish(1, kWhole, 0, {1}, MakeSnapshotAt(100, 1));
+  ASSERT_TRUE(expiring.Promote(1, kWhole, 0, {1}, 1, 2));
+  EXPECT_EQ(expiring.Lookup(1, kWhole, 0, {1}, 1, 2).outcome,
+            Stage1Outcome::kMiss);
+  EXPECT_EQ(expiring.stats().stale_evictions, 1);
+}
+
+TEST(Stage1CacheGenerationTest, EvictDriftedGuardsOnGeneration) {
+  Stage1Cache cache;
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshotAt(500, 1));
+  EXPECT_TRUE(cache.EvictDrifted(1, kWhole, 0, {1}, 1));
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_EQ(cache.stats().drift_evictions, 1);
+
+  // A newer-generation publish raced in before the drift verdict
+  // landed: the verdict is about a dead entry; the newcomer survives.
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshotAt(400, 2));
+  EXPECT_FALSE(cache.EvictDrifted(1, kWhole, 0, {1}, 1));
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_EQ(cache.Lookup(1, kWhole, 0, {1}, 100, 2).outcome,
+            Stage1Outcome::kHit);
+  // Absent key: no-op.
+  EXPECT_FALSE(cache.EvictDrifted(9, kWhole, 0, {1}, 1));
+  EXPECT_EQ(cache.stats().drift_evictions, 1);
+}
+
+TEST(Stage1CacheGenerationTest, PublishPrefersNewerGenerations) {
+  Stage1Cache cache;
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshotAt(1000, 1));
+  // A newer-generation snapshot replaces unconditionally, even when its
+  // sample is smaller: it is valid at the frontier, the resident would
+  // need a drift test before every future serve.
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshotAt(100, 2));
+  Stage1LookupResult hit = cache.Lookup(1, kWhole, 0, {1}, 1, 2);
+  ASSERT_EQ(hit.outcome, Stage1Outcome::kHit);
+  EXPECT_EQ(hit.snapshot->rows_drawn, 100);
+  EXPECT_EQ(hit.entry_generation, 2u);
+  // An older-generation snapshot never replaces, no matter how big.
+  cache.Publish(1, kWhole, 0, {1}, MakeSnapshotAt(5000, 1));
+  hit = cache.Lookup(1, kWhole, 0, {1}, 1, 2);
+  ASSERT_EQ(hit.outcome, Stage1Outcome::kHit);
+  EXPECT_EQ(hit.snapshot->rows_drawn, 100);
+  EXPECT_EQ(cache.stats().inserts, 2);
+}
+
 TEST(Stage1CacheTest, CountersReconcileUnderConcurrentChurn) {
-  // Publishers, lookers, and invalidators hammer one cache; afterwards
-  // the books must balance: every lookup is a hit or a miss, nothing
-  // double-counted. Stores 0-2 publish whole-store entries, stores 3-4
-  // publish per-partition entries, so partitioned and unpartitioned
-  // keys churn together. (Run under TSan in CI via the regular suite.)
+  // Publishers, lookers, revalidators, and invalidators hammer one
+  // cache; afterwards the books must balance: every lookup is a hit, a
+  // miss, or a revalidation — nothing double-counted. Stores 0-2
+  // publish whole-store entries, stores 3-4 publish per-partition
+  // entries, so partitioned and unpartitioned keys churn together, and
+  // snapshots carry generations 1-3 while lookups pin generations 1-3,
+  // so all three outcomes occur. (Run under TSan in CI via the regular
+  // suite.)
   Stage1Cache cache(Stage1CacheOptions{/*capacity=*/8, /*ttl_seconds=*/0});
   constexpr int kThreads = 4;
   constexpr int kOps = 400;
@@ -220,19 +395,42 @@ TEST(Stage1CacheTest, CountersReconcileUnderConcurrentChurn) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&cache, t] {
       for (int i = 0; i < kOps; ++i) {
-        const uint64_t store = static_cast<uint64_t>((t + i) % 5);
+        // One store per 5-op cycle (publish, lookups, lifecycle,
+        // invalidate all target it), cycling across stores — so hits,
+        // revalidations, and misses all occur even if the threads
+        // happen to run back-to-back instead of interleaved.
+        const uint64_t store = static_cast<uint64_t>((t + i / 5) % 5);
         const uint64_t partition =
             store >= 3 ? static_cast<uint64_t>(100 + i % 3) : kWhole;
-        switch (i % 4) {
+        const uint64_t generation = static_cast<uint64_t>(1 + i % 3);
+        switch (i % 5) {
           case 0:
-            cache.Publish(store, partition, 0, {1}, MakeSnapshot(100 + i));
+            cache.Publish(store, partition, 0, {1},
+                          MakeSnapshotAt(100 + i, generation));
             break;
           case 1:
           case 2:
-            cache.Lookup(store, partition, 0, {1}, 50);
+            cache.Lookup(store, partition, 0, {1}, 50, generation);
             break;
+          case 3: {
+            // Full revalidation lifecycle driven off a real lookup, so
+            // Promote/EvictDrifted race with publishes the way the
+            // scheduler's do.
+            Stage1LookupResult r =
+                cache.Lookup(store, partition, 0, {1}, 50, generation);
+            if (r.outcome == Stage1Outcome::kRevalidate) {
+              if (i % 2 == 0) {
+                cache.Promote(store, partition, 0, {1}, r.entry_generation,
+                              generation);
+              } else {
+                cache.EvictDrifted(store, partition, 0, {1},
+                                   r.entry_generation);
+              }
+            }
+            break;
+          }
           default:
-            if (i % 40 == 3) {
+            if (i % 40 == 4) {
               cache.InvalidateStore(store);
             } else {
               cache.Lookup(store, partition, 0, {1}, 1000000);  // always miss
@@ -244,9 +442,10 @@ TEST(Stage1CacheTest, CountersReconcileUnderConcurrentChurn) {
   }
   for (std::thread& thread : threads) thread.join();
   Stage1CacheStats stats = cache.stats();
-  EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+  EXPECT_EQ(stats.lookups, stats.hits + stats.misses + stats.revalidations);
   EXPECT_GT(stats.hits, 0);
   EXPECT_GT(stats.misses, 0);
+  EXPECT_GT(stats.revalidations, 0);
   EXPECT_LE(cache.size(), 8);
 }
 
