@@ -20,9 +20,15 @@
 // Per chunk (a window of `chunk_blocks` cursor positions):
 //   1. union the unmet candidates of every outstanding targets demand per
 //      template and mark the window with AnyActive (Algorithm 3's
-//      word-wise marking, OR-ed across templates); any rows demand
-//      (stage 1) — or a targets demand on an index-less template — forces
-//      plain sequential consumption of the window;
+//      word-wise marking from the bitmap index, or density-map marking
+//      for a template carrying only a DensityMap, OR-ed across
+//      templates); any rows demand (stage 1) — or a targets demand on a
+//      template with neither pre-skip authority — forces plain
+//      sequential consumption of the window. Pre-skipped blocks are
+//      never enqueued, stay UNCONSUMED (a later demand may still want
+//      them — resume/pinned-scan semantics unchanged), and count into
+//      BatchStats::blocks_skipped; a fully-skipped cursor cycle feeds
+//      the exhaustion rule exactly as before;
 //   2. read the marked, unconsumed blocks with the worker pool: each
 //      worker slot scans a contiguous slice of the chunk into thread-
 //      local CountMatrix shards (one per template), merged into the
@@ -443,7 +449,11 @@ class BatchExecutor {
     /// ios.front() doubles as the domain authority (num_candidates /
     /// num_groups are schema-wide, identical across partitions).
     std::vector<std::unique_ptr<IoManager>> ios;
-    std::shared_ptr<const BitmapIndex> index;  // null => no block skipping
+    std::shared_ptr<const BitmapIndex> index;  // pre-skip authority #1
+    /// Pre-skip authority #2: used for AnyActive marking only when
+    /// `index` is null (both null => no block skipping, targets demands
+    /// force sequential consumption).
+    std::shared_ptr<const DensityMap> density;
     CountMatrix cum;
     int64_t rows_cum = 0;
     /// Sharded stage-1 export bookkeeping (sized only when the batch is

@@ -1,52 +1,94 @@
 #include "engine/io_manager.h"
 
+#include <algorithm>
+
+#include "engine/scan_kernel.h"
+#include "util/logging.h"
+
 namespace fastmatch {
 
-Result<std::unique_ptr<IoManager>> IoManager::Create(
-    std::shared_ptr<const ColumnStore> store, int z_attr,
-    std::vector<int> x_attrs, std::optional<StoreView> view) {
-  if (store == nullptr) return Status::InvalidArgument("null store");
-  const int num_attrs = store->schema().num_attributes();
+Result<IoManager::Domain> IoManager::ComputeDomain(
+    const Schema& schema, int z_attr, const std::vector<int>& x_attrs) {
+  const int num_attrs = schema.num_attributes();
   if (z_attr < 0 || z_attr >= num_attrs) {
     return Status::InvalidArgument("z_attr out of range");
   }
   if (x_attrs.empty()) {
     return Status::InvalidArgument("at least one x attribute required");
   }
+  Domain domain;
+  if (schema.attribute(z_attr).cardinality > (1u << 24)) {
+    return Status::InvalidArgument("candidate cardinality too large");
+  }
+  domain.num_candidates =
+      static_cast<int>(schema.attribute(z_attr).cardinality);
   int64_t groups = 1;
   for (int a : x_attrs) {
     if (a < 0 || a >= num_attrs) {
       return Status::InvalidArgument("x_attr out of range");
     }
-    groups *= store->schema().attribute(a).cardinality;
+    // Bound each factor before narrowing it: a u32 cardinality cast to
+    // int could wrap negative and slip through the product check.
+    if (schema.attribute(a).cardinality > (1u << 24)) {
+      return Status::InvalidArgument("composite group cardinality too large");
+    }
+    const int card = static_cast<int>(schema.attribute(a).cardinality);
+    domain.x_cards.push_back(card);
+    groups *= card;
     if (groups > (1 << 24)) {
       return Status::InvalidArgument("composite group cardinality too large");
     }
   }
+  domain.num_groups = static_cast<int>(groups);
+  return domain;
+}
+
+Result<std::unique_ptr<IoManager>> IoManager::Create(
+    std::shared_ptr<const ColumnStore> store, int z_attr,
+    std::vector<int> x_attrs, std::optional<StoreView> view) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  FASTMATCH_ASSIGN_OR_RETURN(Domain domain,
+                             ComputeDomain(store->schema(), z_attr, x_attrs));
   if (!view.has_value()) view = store->PinView();
   if (view->pin().store_id != store->id()) {
     return Status::InvalidArgument("store view pins a different store");
   }
-  return std::unique_ptr<IoManager>(new IoManager(
-      std::move(store), z_attr, std::move(x_attrs), *std::move(view)));
+  return std::unique_ptr<IoManager>(
+      new IoManager(std::move(store), z_attr, std::move(x_attrs),
+                    std::move(domain), *std::move(view)));
 }
 
 IoManager::IoManager(std::shared_ptr<const ColumnStore> store, int z_attr,
-                     std::vector<int> x_attrs, StoreView view)
+                     std::vector<int> x_attrs, Domain domain, StoreView view)
     : store_(std::move(store)),
       view_(std::move(view)),
       z_attr_(z_attr),
-      x_attrs_(std::move(x_attrs)) {
-  num_candidates_ =
-      static_cast<int>(store_->schema().attribute(z_attr_).cardinality);
-  int64_t groups = 1;
-  for (int a : x_attrs_) {
-    const int card =
-        static_cast<int>(store_->schema().attribute(a).cardinality);
-    x_cards_.push_back(card);
-    groups *= card;
+      x_attrs_(std::move(x_attrs)),
+      x_cards_(std::move(domain.x_cards)),
+      num_candidates_(domain.num_candidates),
+      num_groups_(domain.num_groups) {
+  // The domain comes exclusively from the bound-checked ComputeDomain —
+  // re-assert its invariants rather than recomputing (and possibly
+  // re-narrowing) them here.
+  FASTMATCH_CHECK_GE(num_candidates_, 0);
+  FASTMATCH_CHECK_LE(num_candidates_, 1 << 24);
+  FASTMATCH_CHECK_GE(num_groups_, 0);
+  FASTMATCH_CHECK_LE(num_groups_, 1 << 24);
+  FASTMATCH_CHECK_EQ(x_cards_.size(), x_attrs_.size());
+}
+
+void IoManager::FlushFresh(const int64_t* tally,
+                           std::atomic<int64_t>* fresh_counts) const {
+  // The once-per-block half of the single-writer contract (see
+  // io_manager.h): a relaxed load+store per touched candidate, so the
+  // marking thread sees monotone block-granular progress without the
+  // scan paying a locked RMW per row.
+  for (int c = 0; c < num_candidates_; ++c) {
+    if (tally[c] == 0) continue;
+    fresh_counts[c].store(
+        fresh_counts[c].load(std::memory_order_relaxed) + tally[c],
+        std::memory_order_relaxed);
   }
-  num_groups_ = static_cast<int>(groups);
 }
 
 template <typename ZT, typename XT>
@@ -58,13 +100,19 @@ int64_t IoManager::ReadBlockTyped(BlockId b, CountMatrix* out,
   const ZT* z_data = view_.chunk_data<ZT>(z_attr_, b);
   const XT* x_data = view_.chunk_data<XT>(x_attrs_[0], b);
   const int64_t rows = end - begin;
-  for (int64_t r = 0; r < rows; ++r) {
-    const int z = static_cast<int>(z_data[r]);
-    out->Add(z, static_cast<int>(x_data[r]));
-    if (fresh_counts != nullptr) {
-      // Single-writer counters (only the I/O thread writes; the marking
-      // thread reads): a relaxed load+store avoids the locked RMW that
-      // would otherwise dominate the scan kernel.
+  if (fresh_counts == nullptr) {
+    ScanBlock(z_data, x_data, rows, out, static_cast<int64_t*>(nullptr));
+  } else if (num_candidates_ <= kScanTallyMaxCandidates) {
+    int64_t tally[kScanTallyMaxCandidates];
+    std::fill(tally, tally + num_candidates_, 0);
+    ScanBlock(z_data, x_data, rows, out, tally);
+    FlushFresh(tally, fresh_counts);
+  } else {
+    // Domains past the kernels' stack tally publish per row (the
+    // pre-kernel behavior; same single-writer contract, finer grain).
+    for (int64_t r = 0; r < rows; ++r) {
+      const int z = static_cast<int>(z_data[r]);
+      out->Add(z, static_cast<int>(x_data[r]));
       fresh_counts[z].store(
           fresh_counts[z].load(std::memory_order_relaxed) + 1,
           std::memory_order_relaxed);
@@ -77,20 +125,45 @@ int64_t IoManager::ReadBlockGeneric(BlockId b, CountMatrix* out,
                                     std::atomic<int64_t>* fresh_counts) const {
   RowId begin, end;
   view_.pin().BlockRowRange(b, &begin, &end);
-  for (RowId r = begin; r < end; ++r) {
-    const int z = static_cast<int>(view_.Get(z_attr_, r));
-    int g = 0;
-    for (size_t i = 0; i < x_attrs_.size(); ++i) {
-      g = g * x_cards_[i] + static_cast<int>(view_.Get(x_attrs_[i], r));
-    }
-    out->Add(z, g);
-    if (fresh_counts != nullptr) {
-      fresh_counts[z].store(
-          fresh_counts[z].load(std::memory_order_relaxed) + 1,
+  const int64_t rows = end - begin;
+  const ScanColumn z{view_.chunk_bytes(z_attr_, b), view_.type(z_attr_),
+                     num_candidates_};
+  // Column descriptors on the stack for any realistic composite width;
+  // reads are const + concurrent, so there is no member scratch to use.
+  constexpr size_t kStackX = 32;
+  ScanColumn xbuf[kStackX];
+  std::vector<ScanColumn> xheap;
+  ScanColumn* xs = xbuf;
+  const size_t num_x = x_attrs_.size();
+  if (num_x > kStackX) {
+    xheap.resize(num_x);
+    xs = xheap.data();
+  }
+  for (size_t i = 0; i < num_x; ++i) {
+    xs[i] = ScanColumn{view_.chunk_bytes(x_attrs_[i], b),
+                       view_.type(x_attrs_[i]), x_cards_[i]};
+  }
+  if (fresh_counts == nullptr) {
+    ScanBlockGeneric(z, xs, static_cast<int>(num_x), rows, out, nullptr);
+  } else if (num_candidates_ <= kScanTallyMaxCandidates) {
+    int64_t tally[kScanTallyMaxCandidates];
+    std::fill(tally, tally + num_candidates_, 0);
+    ScanBlockGeneric(z, xs, static_cast<int>(num_x), rows, out, tally);
+    FlushFresh(tally, fresh_counts);
+  } else {
+    for (RowId r = begin; r < end; ++r) {
+      const int zv = static_cast<int>(view_.Get(z_attr_, r));
+      int g = 0;
+      for (size_t i = 0; i < x_attrs_.size(); ++i) {
+        g = g * x_cards_[i] + static_cast<int>(view_.Get(x_attrs_[i], r));
+      }
+      out->Add(zv, g);
+      fresh_counts[zv].store(
+          fresh_counts[zv].load(std::memory_order_relaxed) + 1,
           std::memory_order_relaxed);
     }
   }
-  return end - begin;
+  return rows;
 }
 
 int64_t IoManager::ReadBlocks(const std::vector<BlockId>& blocks,

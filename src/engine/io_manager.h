@@ -1,10 +1,13 @@
 // The I/O manager (paper Section 4.1): synchronous block reads.
 //
 // Given a block id, scans the block's rows of the candidate (Z) and
-// grouping (X) columns and accumulates (candidate, group) counts. Per-
-// candidate fresh-sample totals are additionally published through an
-// optional atomic array so a concurrent marking thread (the sampling
-// engine's lookahead) can observe progress without locking.
+// grouping (X) columns and accumulates (candidate, group) counts
+// through the scan kernels in engine/scan_kernel.h (AVX2 when the
+// build and host support it, the scalar reference otherwise — the two
+// are bit-for-bit interchangeable). Per-candidate fresh-sample totals
+// are additionally published through an optional atomic array so a
+// concurrent marking thread (the sampling engine's lookahead) can
+// observe progress without locking.
 
 #ifndef FASTMATCH_ENGINE_IO_MANAGER_H_
 #define FASTMATCH_ENGINE_IO_MANAGER_H_
@@ -35,14 +38,27 @@ class IoManager {
 
   /// \brief Scans block `b`, adding counts into `out`. When
   /// `fresh_counts` is non-null, each candidate's per-call total is also
-  /// incremented there (relaxed; read by the marking thread).
-  /// Returns the number of rows scanned.
+  /// incremented there. Returns the number of rows scanned.
+  ///
+  /// fresh_counts contract (SINGLE WRITER): the counters are published
+  /// with a relaxed load+store — not a fetch_add — which is only sound
+  /// when at most ONE thread ever passes a given `fresh_counts` array;
+  /// a second concurrent writer would silently lose increments. The
+  /// intended topology is the sampling engine's: one I/O thread writes,
+  /// the marking thread reads (relaxed; the counters are monotone
+  /// progress signals, not synchronization). The scan kernels tally a
+  /// block's rows locally and flush ONCE per block, so a reader
+  /// observes block-granular jumps — still monotone per candidate, at
+  /// most one block behind. tests/test_io_manager.cc pins this contract
+  /// under TSan.
   ///
   /// Thread safety: ReadBlock/ReadBlocks are const and touch only the
   /// immutable store, so concurrent calls are safe as long as each call
-  /// targets a distinct `out` matrix. The batch executor exploits this by
-  /// fanning a chunk's blocks across workers, one CountMatrix shard per
-  /// worker, and merging the shards after the join.
+  /// targets a distinct `out` matrix (and, per the contract above, at
+  /// most one concurrent caller passes fresh_counts). The batch
+  /// executor exploits this by fanning a chunk's blocks across workers,
+  /// one CountMatrix shard per worker (fresh_counts always null), and
+  /// merging the shards after the join.
   int64_t ReadBlock(BlockId b, CountMatrix* out,
                     std::atomic<int64_t>* fresh_counts) const;
 
@@ -59,14 +75,32 @@ class IoManager {
   const StorePin& pin() const { return view_.pin(); }
 
  private:
+  /// The candidate/group domain of one (z_attr, x_attrs) binding,
+  /// computed and bound-checked in exactly one place: Create() rejects
+  /// out-of-range attributes, composite group cardinalities over 2^24,
+  /// and candidate cardinalities that do not fit an int; the
+  /// constructor re-asserts the invariants instead of recomputing them
+  /// (narrowing casts must not silently drift from the checks).
+  struct Domain {
+    int num_candidates = 0;
+    int num_groups = 0;
+    std::vector<int> x_cards;
+  };
+  static Result<Domain> ComputeDomain(const Schema& schema, int z_attr,
+                                      const std::vector<int>& x_attrs);
+
   IoManager(std::shared_ptr<const ColumnStore> store, int z_attr,
-            std::vector<int> x_attrs, StoreView view);
+            std::vector<int> x_attrs, Domain domain, StoreView view);
 
   template <typename ZT, typename XT>
   int64_t ReadBlockTyped(BlockId b, CountMatrix* out,
                          std::atomic<int64_t>* fresh_counts) const;
   int64_t ReadBlockGeneric(BlockId b, CountMatrix* out,
                            std::atomic<int64_t>* fresh_counts) const;
+  /// Publishes a block's per-candidate tally into fresh_counts (the
+  /// once-per-block flush of the single-writer contract above).
+  void FlushFresh(const int64_t* tally,
+                  std::atomic<int64_t>* fresh_counts) const;
 
   /// Keeps the chunk memory the view points into alive.
   std::shared_ptr<const ColumnStore> store_;

@@ -15,6 +15,7 @@ Result<std::shared_ptr<DensityMap>> DensityMap::Build(const ColumnStore& store,
   auto map = std::make_shared<DensityMap>();
   map->attr_ = attr;
   map->num_blocks_ = store.num_blocks();
+  map->num_rows_ = store.num_rows();
   map->num_values_ = store.schema().attribute(attr).cardinality;
   map->cells_.assign(
       static_cast<size_t>(map->num_values_) * map->num_blocks_, 0);

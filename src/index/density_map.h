@@ -31,10 +31,24 @@ class DensityMap {
   int64_t num_blocks() const { return num_blocks_; }
   uint32_t num_values() const { return num_values_; }
 
+  /// \brief Rows the map was built over. Like BitmapIndex::num_rows(),
+  /// this is the covered-prefix authority for pre-skip consumers: only
+  /// blocks fully built at build time (num_rows() / rows-per-block
+  /// whole blocks) may be skipped on a zero count — a partial tail
+  /// block can be filled by later appends the map never saw.
+  int64_t num_rows() const { return num_rows_; }
+
   /// \brief Saturating count (capped at 255) of tuples with value v in
   /// block b.
   uint8_t Count(Value v, BlockId b) const {
     return cells_[static_cast<size_t>(v) * num_blocks_ + b];
+  }
+
+  /// \brief Value v's per-block count row (num_blocks() entries,
+  /// block-contiguous): the block-inner loop of candidate-outer marking
+  /// walks this sequentially.
+  const uint8_t* Row(Value v) const {
+    return cells_.data() + static_cast<size_t>(v) * num_blocks_;
   }
 
   int64_t ByteSize() const { return static_cast<int64_t>(cells_.size()); }
@@ -42,6 +56,7 @@ class DensityMap {
  private:
   int attr_ = -1;
   int64_t num_blocks_ = 0;
+  int64_t num_rows_ = 0;
   uint32_t num_values_ = 0;
   std::vector<uint8_t> cells_;  // value-major: cells_[v * num_blocks + b]
 };

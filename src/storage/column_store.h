@@ -111,6 +111,19 @@ class StoreView {
                 static_cast<size_t>(c)]);
   }
 
+  /// \brief Type-erased base pointer of attribute `attr`'s chunk `c`:
+  /// the generic (multi-x) scan kernel's accessor, paired with type()
+  /// for width-dispatched decoding.
+  const uint8_t* chunk_bytes(int attr, int64_t c) const {
+    return chunks_[static_cast<size_t>(attr) * static_cast<size_t>(num_chunks_) +
+                   static_cast<size_t>(c)];
+  }
+
+  /// \brief Physical width of attribute `attr` in this view.
+  ValueType type(int attr) const {
+    return types_[static_cast<size_t>(attr)];
+  }
+
   /// \brief Generic random access within the pinned row range (branchy;
   /// scans should use chunk_data per block).
   Value Get(int attr, RowId row) const {

@@ -773,14 +773,22 @@ TEST(Stage1CacheSchedulerTest, RefusedThenJoinedQueryIsNotAFallback) {
     slow.params.epsilon = 0.03;
     auto first = scheduler.Submit(std::move(slow));
     ASSERT_TRUE(first.ok());
-    for (int spin = 0; scheduler.stats().batches_launched < 1 && spin < 10000;
+    // Condition-driven sequencing, not a wall-clock guess: a suffix
+    // refusal can only be upgraded AFTER the running batch publishes
+    // its stage-1 template, so wait for the publish itself
+    // (stage1_inserts) and only then submit the follower — its very
+    // first admission consult finds the warm template while the batch
+    // is still mid-scan. Void the attempt if the batch retired before
+    // (or without) publishing; the follower would prove nothing.
+    for (int spin = 0;
+         scheduler.stats().stage1_inserts < 1 &&
+         scheduler.stats().completed < 1 && spin < 10000;
          ++spin) {
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
-    if (scheduler.stats().batches_launched < 1) {
-      // Spin cap expired before the first batch launched (1-core
-      // starvation): the follower would share the first batch and
-      // prove nothing — void the attempt.
+    if (scheduler.stats().stage1_inserts < 1 ||
+        scheduler.stats().completed >= 1) {
+      ASSERT_TRUE(first->Get().status.ok());
       continue;
     }
     auto follower = scheduler.Submit(MakeQuery(f, 2));
@@ -897,7 +905,12 @@ TEST(Stage1CacheSchedulerTest, ReapInvalidatesTheStoresEntries) {
 TEST(ShardedSchedulerTest, PartitionedQueriesCompleteThroughTheScheduler) {
   SchedFixture f = MakeSchedFixture(8000, 50);
   auto partitions = PartitionedStore::Split(f.store, 4).value();
-  QueryScheduler scheduler(FastOptions());
+  SchedulerOptions options = FastOptions();
+  // Under full-suite parallel load the submitting thread can be
+  // descheduled between Submits; widen the gather window so all three
+  // partitioned queries deterministically land in one sharded batch.
+  options.max_queue_wait_seconds = 0.05;
+  QueryScheduler scheduler(options);
 
   std::vector<QueryHandle> handles;
   for (int i = 0; i < 3; ++i) {
@@ -916,6 +929,16 @@ TEST(ShardedSchedulerTest, PartitionedQueriesCompleteThroughTheScheduler) {
   for (auto& handle : handles) ExpectTop3(handle.Get());
   ExpectTop3(plain->Get());
 
+  // Get() delivers eagerly, racing the scheduler's own post-batch
+  // accounting; poll the counters to quiescence instead of reading
+  // them mid-update.
+  for (int spin = 0;
+       (scheduler.stats().completed < 4 ||
+        scheduler.stats().batch_blocks_read < 1) &&
+       spin < 10000;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
   SchedulerStats stats = scheduler.stats();
   EXPECT_EQ(stats.pipelines, 2);
   EXPECT_GE(stats.sharded_batches, 1);
