@@ -36,6 +36,17 @@ Enforces the concurrency and status discipline the compiler alone cannot:
                the batch executors' single-driver design — stay out by
                construction.)
 
+  lock-free-resolve  In src/service/, promise fulfillment and progress
+               publication — set_value / Resolve / FulfillAdmitted /
+               ->Publish / on_progress callback invocations — must not
+               happen inside a MutexLock scope. Fulfilling a future (or
+               running a user's progress callback) under a pipeline lock
+               hands control to arbitrary continuation code while the
+               scheduler is locked: a continuation that re-enters the
+               scheduler deadlocks. The anytime progress channel extends
+               this discipline to every ProgressUpdate-producing path.
+               `// lint: resolve-ok` escapes with a justification.
+
   pinned-scan  Engine code (src/engine/) must not read a store's live
                geometry — `store->num_rows()` / `store->num_blocks()`
                and the partition-set equivalents — because stores grow:
@@ -83,6 +94,15 @@ NON_MEMBER = re.compile(
 EXEMPT_TYPES = re.compile(
     r"\b(Mutex|CondVar|std::atomic|std::thread|std::jthread)\b")
 CONST_MEMBER = re.compile(r"(^\s*const\b|\*\s*const\b|\bconst\s+std::)")
+
+# Promise fulfillment / progress publication: the calls that hand
+# control to waiter-side continuation code and therefore must run with
+# no scheduler lock held. `a.on_progress(...)` is an invocation;
+# `if (a.on_progress)` and assignments don't match (no open paren).
+RESOLVE_CALL = re.compile(
+    r"\bset_value\s*\(|\bResolve\s*\(|\bFulfillAdmitted\s*\(|"
+    r"->\s*Publish\s*\(|\bon_progress\s*\(")
+LOCK_DECL = re.compile(r"\bMutexLock\s+[A-Za-z_]\w*\s*\(")
 
 # A live-geometry read: some store-ish receiver's num_rows()/num_blocks().
 # Receivers named like pins/views (pin.num_rows is a field, pin().num_rows
@@ -185,6 +205,27 @@ def check_file(rel: str, text: str, violations: list):
                     (rel, k, "no-discard",
                      "(void)-discard of a call result; handle the Status "
                      "or tag `// lint: discard-ok` with a reason"))
+
+    if rel.startswith("src/service/"):
+        # Brace-tracked MutexLock scopes: a lock taken at block depth d
+        # is live until the depth drops back below d. Any resolving /
+        # publishing call while one is live is a violation.
+        depth = 0
+        lock_depths = []
+        for k, line in enumerate(lines, 1):
+            if (lock_depths and RESOLVE_CALL.search(line)
+                    and "lint: resolve-ok" not in line):
+                violations.append(
+                    (rel, k, "lock-free-resolve",
+                     "promise fulfillment / progress publication inside a "
+                     "MutexLock scope; resolve after releasing the lock "
+                     "(or tag `// lint: resolve-ok` with a reason)"))
+            if LOCK_DECL.search(line):
+                lock_depths.append(depth)
+            depth += line.count("{") - line.count("}")
+            depth = max(depth, 0)
+            while lock_depths and depth < lock_depths[-1]:
+                lock_depths.pop()
 
     if rel.startswith("src/engine/"):
         for k, line in enumerate(lines, 1):

@@ -76,6 +76,7 @@ Status HistSimMachine::Begin(int num_candidates, int num_groups,
 
   eps_sep_ = params_.SeparationEps();
   log_delta_third_ = std::log(params_.delta / 3.0);
+  log_delta_bar_ = std::log(params_.delta) - std::log(static_cast<double>(vz_));
 
   // The deviation-bound inversions saturate at int64 max instead of
   // overflowing; a saturated requirement means the parameters demand more
@@ -433,9 +434,25 @@ Status HistSimMachine::FinishStage3(const CountMatrix& fresh,
   return Finalize();
 }
 
+double HistSimMachine::ErrorBarFor(bool is_exact, int64_t n) const {
+  if (is_exact) return 0;
+  const double max_distance = MaxDistance(params_.metric);
+  if (n <= 0) return max_distance;
+  // Theorem 1 at delta/|VZ| per candidate (union bound over candidates),
+  // with |tau_hat - tau| <= ||r_hat - r||_1 transferring the l1
+  // deviation radius to the distance estimate; clamped at the metric's
+  // diameter, past which a bar carries no information.
+  return std::min(DeviationEpsilon(n, vx_, log_delta_bar_), max_distance);
+}
+
 Status HistSimMachine::Finalize() {
   diag_.stage3_seconds = stage_timer_.Seconds();
 
+  // Re-estimate every candidate from the final pooled counts: stages 2/3
+  // over-deliver rows to non-matching candidates at block granularity,
+  // and the reported per-candidate error bars assume the distance
+  // reflects the full pooled sample.
+  for (int i = 0; i < vz_; ++i) RefreshTau(i);
   std::sort(matching_.begin(), matching_.end(),
             [this](int a, int b) { return TauLess(a, b); });
   result_.topk = matching_;
@@ -443,6 +460,11 @@ Status HistSimMachine::Finalize() {
   result_.topk_distances.reserve(matching_.size());
   for (int i : matching_) result_.topk_distances.push_back(tau_[i]);
   result_.distances = tau_;
+  result_.error_bars.resize(static_cast<size_t>(vz_));
+  for (int i = 0; i < vz_; ++i) {
+    result_.error_bars[static_cast<size_t>(i)] =
+        ErrorBarFor(exact_[i], total_.RowTotal(i));
+  }
   result_.counts = std::move(total_);
   result_.pruned = std::move(pruned_);
   result_.exact = exact_;
@@ -460,6 +482,133 @@ MatchResult HistSimMachine::TakeResult() {
   FASTMATCH_CHECK(phase_ == Phase::kDone)
       << "HistSimMachine::TakeResult before completion";
   return std::move(result_);
+}
+
+ProgressUpdate HistSimMachine::Progress(const CountMatrix* partial,
+                                        int64_t partial_rows) const {
+  ProgressUpdate up;
+  // Only a live machine has a pool to report: kDone has moved its counts
+  // into the result, kCreated/kFailed never had one.
+  if (phase_ != Phase::kStage1 && phase_ != Phase::kStage2 &&
+      phase_ != Phase::kStage3) {
+    return up;
+  }
+  // Pooled estimate: all folded phases (round_ is always folded back
+  // into total_ before a demand goes outstanding; merged defensively
+  // anyway) plus the caller's not-yet-supplied partial phase sample.
+  CountMatrix pooled = total_;
+  pooled.Merge(round_);
+  if (partial != nullptr) pooled.Merge(*partial);
+  up.distances.resize(static_cast<size_t>(vz_));
+  up.error_bars.resize(static_cast<size_t>(vz_));
+  up.exact = exact_;
+  std::vector<double> tau(static_cast<size_t>(vz_));
+  for (int i = 0; i < vz_; ++i) {
+    const int64_t n = pooled.RowTotal(i);
+    tau[static_cast<size_t>(i)] =
+        HistDistance(params_.metric, pooled.NormalizedRow(i), target_);
+    up.distances[static_cast<size_t>(i)] = tau[static_cast<size_t>(i)];
+    up.error_bars[static_cast<size_t>(i)] = ErrorBarFor(exact_[i], n);
+  }
+  // Completed stages logged their drawn rows into the diag counters;
+  // the in-flight phase's rows are the caller's partial.
+  up.rows_consumed = diag_.stage1_samples + diag_.stage2_samples +
+                     diag_.stage3_samples + partial_rows;
+  // Current top-k guess: the pruning-surviving candidates once stage 1
+  // decided (all candidates before), ranked by pooled distance.
+  std::vector<int> order;
+  if (!active_set_.empty()) {
+    order = active_set_;
+  } else {
+    order.resize(static_cast<size_t>(vz_));
+    for (int i = 0; i < vz_; ++i) order[static_cast<size_t>(i)] = i;
+  }
+  std::sort(order.begin(), order.end(), [&tau](int a, int b) {
+    return tau[static_cast<size_t>(a)] < tau[static_cast<size_t>(b)] ||
+           (tau[static_cast<size_t>(a)] == tau[static_cast<size_t>(b)] &&
+            a < b);
+  });
+  const size_t k = std::min(
+      order.size(),
+      static_cast<size_t>(k_eff_ > 0 ? k_eff_ : std::max(params_.k, 1)));
+  up.topk.assign(order.begin(), order.begin() + k);
+  up.topk_distances.reserve(k);
+  for (int i : up.topk) {
+    up.topk_distances.push_back(tau[static_cast<size_t>(i)]);
+  }
+  return up;
+}
+
+Status HistSimMachine::HarvestBestEffort(const CountMatrix& fresh,
+                                         const std::vector<bool>& exhausted,
+                                         bool all_consumed,
+                                         int64_t rows_drawn) {
+  if (phase_ != Phase::kStage1 && phase_ != Phase::kStage2 &&
+      phase_ != Phase::kStage3) {
+    return Status::FailedPrecondition(
+        "HistSimMachine::HarvestBestEffort: no demand outstanding");
+  }
+  FASTMATCH_CHECK_EQ(fresh.num_candidates(), vz_);
+  FASTMATCH_CHECK_EQ(fresh.num_groups(), vx_);
+  FASTMATCH_CHECK_EQ(static_cast<int>(exhausted.size()), vz_);
+
+  // Same exhaustion semantics as Supply: the caller's signal certifies
+  // window exactness (MarkExact handles overlapping warm priors).
+  data_exhausted_ = all_consumed;
+  if (all_consumed) {
+    for (int i = 0; i < vz_; ++i) MarkExact(i);
+  } else {
+    for (int i = 0; i < vz_; ++i) {
+      if (exhausted[i]) MarkExact(i);
+    }
+  }
+
+  switch (phase_) {
+    case Phase::kStage1:
+      diag_.stage1_samples = rows_drawn;
+      diag_.stage1_seconds = stage_timer_.Seconds();
+      break;
+    case Phase::kStage2:
+      diag_.stage2_samples += rows_drawn;
+      diag_.stage2_seconds = stage_timer_.Seconds();
+      break;
+    default:
+      diag_.stage3_samples = rows_drawn;
+      break;
+  }
+  diag_.rounds = round_t_;
+
+  total_.Merge(round_);
+  round_.Reset();
+  total_.Merge(fresh);
+  for (int i = 0; i < vz_; ++i) RefreshTau(i);
+
+  // Rank whatever the pool says. Stage-1 pruning decisions are honored
+  // when they exist (a harvest mid-stage-1 has none: every candidate is
+  // still in play); k falls back to the requested k when stage 1 never
+  // fixed k_eff_.
+  std::vector<int> order;
+  if (!active_set_.empty()) {
+    order = active_set_;
+  } else {
+    order.resize(static_cast<size_t>(vz_));
+    for (int i = 0; i < vz_; ++i) order[static_cast<size_t>(i)] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [this](int a, int b) { return TauLess(a, b); });
+  const size_t k = std::min(
+      order.size(),
+      static_cast<size_t>(k_eff_ > 0 ? k_eff_ : std::max(params_.k, 1)));
+  matching_.assign(order.begin(), order.begin() + k);
+  if (diag_.chosen_k == 0) diag_.chosen_k = static_cast<int>(k);
+
+  result_.best_effort = true;
+  const Status status = Finalize();
+  if (!status.ok()) {
+    phase_ = Phase::kFailed;
+    demand_ = SampleDemand{};
+  }
+  return status;
 }
 
 // --------------------------------------------------------------- HistSim

@@ -69,13 +69,60 @@ struct MatchResult {
   /// Final estimated distance per candidate (MaxDistance for zero-sample
   /// candidates).
   std::vector<double> distances;
+  /// Per-candidate deviation radius at confidence 1 - delta: with
+  /// probability > 1 - delta, |distances[i] - true_distance_i| <=
+  /// error_bars[i] simultaneously for every candidate (Theorem 1 at
+  /// delta/|VZ| per candidate, |tau_hat - tau| <= ||r_hat - r||_1).
+  /// 0 for exact candidates; MaxDistance for zero-sample candidates.
+  std::vector<double> error_bars;
   /// Final cumulative counts per candidate.
   CountMatrix counts;
   /// Stage-1 pruning decision per candidate.
   std::vector<bool> pruned;
   /// Candidates whose counts are exact (fully enumerated).
   std::vector<bool> exact;
+  /// The run was harvested before its three stages completed (execution
+  /// budget expired): topk/distances rank whatever samples were pooled
+  /// at harvest time and error_bars are the honest per-candidate radii
+  /// over those samples. Guarantees 1 and 2 are NOT claimed; the
+  /// per-candidate bars are the result's only confidence statement.
+  bool best_effort = false;
   HistSimDiagnostics diag;
+};
+
+/// \brief A point-in-time snapshot of a running query's answer,
+/// surfaced at chunk boundaries by the batch executor (the anytime /
+/// progressive-results channel).
+///
+/// Soundness: every sample behind the snapshot is a scan prefix of the
+/// pre-shuffled store (plus any warm prior, itself such a prefix), so
+/// the pooled per-candidate counts are uniform without-replacement
+/// samples and Theorem 1 applies at the pooled size — the same §4.1
+/// argument that makes suffix joins and stage-1 reuse sound. Bars are
+/// per-candidate at delta/|VZ| (union bound), so all of them contain
+/// the true distances simultaneously with probability > 1 - delta, and
+/// they shrink weakly as the scan pools more rows.
+struct ProgressUpdate {
+  /// Per-query update number, strictly increasing from 1.
+  uint64_t sequence = 0;
+  /// Current top-k guess, ascending estimated distance (ties by id).
+  std::vector<int> topk;
+  /// Estimated distances of the current top-k (same order).
+  std::vector<double> topk_distances;
+  /// Estimated distance per candidate over the pooled sample.
+  std::vector<double> distances;
+  /// Per-candidate deviation radius (see MatchResult::error_bars).
+  std::vector<double> error_bars;
+  /// Candidates whose pooled counts are exact (bar is 0).
+  std::vector<bool> exact;
+  /// Rows behind this query's pooled estimate (all phases + partial).
+  int64_t rows_consumed = 0;
+  /// Blocks the shared scan has read so far (batch-level).
+  int64_t blocks_read = 0;
+  /// True exactly once, on the update emitted at completion: its
+  /// topk/distances/error_bars/exact equal the delivered MatchResult
+  /// bit for bit.
+  bool final_update = false;
 };
 
 /// \brief What the algorithm needs next from the data layer.
@@ -189,6 +236,26 @@ class HistSimMachine {
   /// \brief Moves the finished result out. Requires done(); valid once.
   MatchResult TakeResult();
 
+  /// \brief Point-in-time answer snapshot from a live machine (any
+  /// phase with a demand outstanding; also valid when done). `partial`
+  /// is the caller's not-yet-supplied fresh counts for the current
+  /// phase (nullptr = none) and `partial_rows` the rows behind them;
+  /// both pool with the machine's own totals. Const: never advances the
+  /// machine. rows_consumed is filled from the pooled totals;
+  /// blocks_read/sequence/final_update are the caller's to stamp.
+  ProgressUpdate Progress(const CountMatrix* partial,
+                          int64_t partial_rows) const;
+
+  /// \brief Completes the machine NOW from whatever it holds plus the
+  /// caller's partial phase sample, producing a best_effort MatchResult
+  /// (TakeResult becomes valid). Arguments follow the Supply contract
+  /// (fresh = the current phase's counts so far). Valid only with a
+  /// demand outstanding; a failure leaves the machine failed, exactly
+  /// like a bad Supply.
+  Status HarvestBestEffort(const CountMatrix& fresh,
+                           const std::vector<bool>& exhausted,
+                           bool all_consumed, int64_t rows_drawn);
+
  private:
   enum class Phase { kCreated, kStage1, kStage2, kStage3, kDone, kFailed };
 
@@ -201,6 +268,12 @@ class HistSimMachine {
   /// totals: the caller's exhaustion only proves ITS window's counts
   /// exact, and the prior's rows may double-count that window.
   void MarkExact(int i);
+
+  /// Per-candidate deviation radius from `n` pooled rows: 0 when
+  /// `is_exact`, MaxDistance when n == 0, else Theorem 1 at delta/|VZ|
+  /// clamped to MaxDistance. Shared by Finalize and Progress so the
+  /// final update equals the delivered result bit for bit.
+  double ErrorBarFor(bool is_exact, int64_t n) const;
 
   Status FinishStage1(const CountMatrix& fresh, int64_t rows_drawn);
   /// Merges the previous round, picks M and the split point, and either
@@ -225,6 +298,8 @@ class HistSimMachine {
   int64_t n_total_ = 0;
   double eps_sep_ = 0;
   double log_delta_third_ = 0;
+  /// log(delta / |VZ|): the per-candidate level behind error bars.
+  double log_delta_bar_ = 0;
 
   CountMatrix total_;  // cumulative counts across stages/rounds
   CountMatrix round_;  // fresh counts of the current stage-2/3 phase

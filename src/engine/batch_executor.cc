@@ -742,17 +742,63 @@ void BatchExecutor::SetCompletionCallback(
   on_complete_ = std::move(fn);
 }
 
+void BatchExecutor::SetProgressCallback(
+    std::function<void(size_t, const ProgressUpdate&)> fn) {
+  FASTMATCH_CHECK(!started_)
+      << "SetProgressCallback after Start: updates already missed";
+  on_progress_ = std::move(fn);
+}
+
 void BatchExecutor::NotifyCompletions() {
-  if (!on_complete_) return;
+  if (!on_complete_ && !on_progress_) return;
   for (size_t i = 0; i < queries_.size(); ++i) {
     QueryState& q = queries_[i];
     if (q.active || q.notified) continue;
     q.notified = true;
+    if (on_progress_ && q.status.ok()) {
+      // Final update, built FROM the delivered result so the streamed
+      // view and the future's answer agree bit-for-bit (the progressive-
+      // monotonicity contract's terminal condition).
+      ProgressUpdate up;
+      up.sequence = ++q.progress_seq;
+      up.topk = q.match.topk;
+      up.topk_distances = q.match.topk_distances;
+      up.distances = q.match.distances;
+      up.error_bars = q.match.error_bars;
+      up.exact = q.match.exact;
+      up.rows_consumed = q.match.diag.stage1_samples +
+                         q.match.diag.stage2_samples +
+                         q.match.diag.stage3_samples;
+      up.blocks_read = stats_.blocks_read;
+      up.final_update = true;
+      on_progress_(i, up);
+    }
+    if (!on_complete_) continue;
     BatchItem item;
     item.status = q.status;
     item.match = q.match;  // copy: TakeItems still moves the original
     item.wall_seconds = q.wall_seconds;
     on_complete_(i, std::move(item));
+  }
+}
+
+void BatchExecutor::EmitProgress() {
+  if (!on_progress_) return;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    QueryState& q = queries_[i];
+    if (!q.active) continue;
+    const TemplateState& ts = templates_[q.tmpl];
+    // The in-flight phase's fresh sample, by the same cumulative-minus-
+    // snapshot rule SupplyPhase uses; the machine pools it with its
+    // folded phases for the snapshot.
+    CountMatrix partial = ts.cum;
+    partial.Subtract(q.snapshot);
+    const int64_t partial_rows = ts.rows_cum - q.snap_rows;
+    ProgressUpdate up = q.machine.Progress(&partial, partial_rows);
+    if (up.distances.empty()) continue;  // machine not live yet
+    up.sequence = ++q.progress_seq;
+    up.blocks_read = stats_.blocks_read;
+    on_progress_(i, up);
   }
 }
 
@@ -786,6 +832,7 @@ bool BatchExecutor::Step() {
   ReadChunk();
   Settle();
   NotifyCompletions();
+  EmitProgress();
   return AnyActive();
 }
 
@@ -814,6 +861,47 @@ Status BatchExecutor::Evict(size_t index) {
   // query's unmet candidates (only active queries contribute), so
   // blocks only it wanted stop being marked — an abandoned query stops
   // consuming scan work at the next chunk boundary.
+  NotifyCompletions();
+  return Status::OK();
+}
+
+Status BatchExecutor::EvictWithResult(size_t index) {
+  if (!started_) {
+    return Status::FailedPrecondition("EvictWithResult before Start");
+  }
+  if (taken_) {
+    return Status::FailedPrecondition("batch already finished");
+  }
+  if (index >= queries_.size()) {
+    return Status::OutOfRange("EvictWithResult index out of range");
+  }
+  QueryState& q = queries_[index];
+  if (!q.active) {
+    // Completed (or already evicted/failed) first: the exact item
+    // exists and MUST win the race — callers racing a budget expiry
+    // against completion branch on this code and deliver it instead.
+    return Status::FailedPrecondition("query already completed");
+  }
+  TemplateState& ts = templates_[q.tmpl];
+  // Hand the machine its in-flight phase's fresh sample (cumulative
+  // minus snapshot, exactly as SupplyPhase would) and harvest: the
+  // machine folds everything pooled so far into a best-effort result
+  // with honest non-exact error bars.
+  CountMatrix fresh = ts.cum;
+  fresh.Subtract(q.snapshot);
+  const int64_t drawn = ts.rows_cum - q.snap_rows;
+  const bool all_consumed = consumed_blocks_ == num_blocks_;
+  const Status harvest =
+      q.machine.HarvestBestEffort(fresh, ts.exhausted, all_consumed, drawn);
+  if (harvest.ok()) {
+    q.match = q.machine.TakeResult();
+    q.status = Status::OK();
+  } else {
+    q.status = harvest;
+  }
+  q.active = false;
+  q.wall_seconds = timer_.Seconds();
+  ++stats_.harvested_queries;
   NotifyCompletions();
   return Status::OK();
 }

@@ -253,6 +253,10 @@ struct BatchStats {
   int64_t joined_queries = 0;
   /// Queries removed mid-flight through Evict().
   int64_t evicted_queries = 0;
+  /// Queries removed mid-flight through EvictWithResult(): their machine
+  /// was harvested into a best-effort MatchResult instead of a
+  /// Cancelled status.
+  int64_t harvested_queries = 0;
   /// Queries that skipped stage 1 via BoundQuery::stage1_warm.
   int64_t warm_queries = 0;
   /// Warm starts DROPPED because their generation did not match the
@@ -341,6 +345,22 @@ class BatchExecutor {
   /// observe every query's terminal transition through one channel.
   Status Evict(size_t index);
 
+  /// \brief Removes a still-active query like Evict(), but instead of a
+  /// Cancelled item the query's machine is harvested: its pooled sample
+  /// so far (all folded phases plus the in-flight phase's fresh counts)
+  /// is finalized into a best-effort MatchResult with
+  /// `best_effort = true` and honest non-exact error bars, delivered as
+  /// an OK item. This is the execution-budget seam: an expired query
+  /// still answers with whatever confidence its sample bought.
+  ///
+  /// Same failure contract as Evict(): OutOfRange for an unknown index,
+  /// FailedPrecondition("query already completed") when the machine
+  /// finished first — in that race the exact result exists and the
+  /// caller must deliver IT, never a partial. The completion callback
+  /// (and a final ProgressUpdate, if a progress callback is set) fires
+  /// for the harvested query.
+  Status EvictWithResult(size_t index);
+
   /// \brief Registers `fn`, called exactly once per query at the moment
   /// it completes — result ready, per-query failure, or eviction — with
   /// the query's TakeItems() index and a copy of its item (passed by
@@ -355,6 +375,20 @@ class BatchExecutor {
   /// Start(). TakeItems() is unaffected: it still returns every item,
   /// so retire-time consumers need no callback.
   void SetCompletionCallback(std::function<void(size_t, BatchItem)> fn);
+
+  /// \brief Registers `fn`, called at every chunk boundary for every
+  /// still-active query with its current anytime snapshot (top-k so
+  /// far, per-candidate distances and Theorem-1 error bars over the
+  /// pooled sample — see HistSimMachine::Progress), and exactly once
+  /// more per OK query at completion with `final_update = true`, where
+  /// the update mirrors the delivered MatchResult bit-for-bit. Per
+  /// query, `sequence` increases strictly from 1 and error bars shrink
+  /// weakly (the pooled sample only grows).
+  ///
+  /// Same discipline as the completion callback: synchronous on the
+  /// driving thread, set before Start(), fn must not re-enter the
+  /// executor. Unset (the default) costs the scan nothing.
+  void SetProgressCallback(std::function<void(size_t, const ProgressUpdate&)> fn);
 
   /// \brief Moves out the per-query outcomes. Requires Start() and no
   /// remaining active queries; valid once.
@@ -481,10 +515,11 @@ class BatchExecutor {
     CountMatrix snapshot;  // cumulative counts at current phase start
     int64_t snap_rows = 0;
     bool active = false;
-    bool notified = false;  // completion callback already fired
+    bool notified = false;  // terminal callbacks already fired
     Status status;
     MatchResult match;
     double wall_seconds = 0;
+    uint64_t progress_seq = 0;  // last ProgressUpdate::sequence issued
   };
 
   void AddQuery(const BoundQuery& query);
@@ -510,8 +545,13 @@ class BatchExecutor {
   /// Worker slots feeding per-chunk reads (private pool size or the
   /// shared-pool quota); valid after Start().
   int NumSlots() const;
-  /// Fires the completion callback for every newly-inactive query.
+  /// Fires the terminal callbacks for every newly-inactive query: the
+  /// final ProgressUpdate (OK queries, progress callback set) then the
+  /// completion callback.
   void NotifyCompletions();
+  /// Fires the progress callback for every still-active query with its
+  /// current pooled-sample snapshot (chunk-boundary emission).
+  void EmitProgress();
 
   std::shared_ptr<const ColumnStore> store_;
   BatchOptions options_;
@@ -539,6 +579,7 @@ class BatchExecutor {
   std::vector<BlockId> read_local_;
   std::vector<int64_t> chunk_part_rows_;
   std::function<void(size_t, BatchItem)> on_complete_;
+  std::function<void(size_t, const ProgressUpdate&)> on_progress_;
   BatchStats stats_;
   WallTimer timer_;  // restarted at Start(); item wall_seconds base
   bool started_ = false;

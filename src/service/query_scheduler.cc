@@ -94,6 +94,7 @@ Result<QueryHandle> QueryScheduler::Submit(BoundQuery query,
 
     std::future<SchedulerItem> future;
     std::shared_ptr<CancelToken> cancel;
+    std::shared_ptr<ProgressChannel> progress;
     {
       MutexLock lock(&pipeline->mu);
       if (pipeline->retiring) {
@@ -130,6 +131,12 @@ Result<QueryHandle> QueryScheduler::Submit(BoundQuery query,
       pend.deadline = submit.deadline_seconds > 0
                           ? pend.enqueued + FromSeconds(submit.deadline_seconds)
                           : Clock::time_point::max();
+      pend.budget_seconds = submit.budget_seconds;
+      if (submit.track_progress) {
+        pend.progress = std::make_shared<ProgressChannel>();
+        progress = pend.progress;
+      }
+      pend.on_progress = submit.on_progress;
       cancel = pend.cancel;
       future = pend.promise.get_future();
       pipeline->pending.push_back(std::move(pend));
@@ -139,6 +146,9 @@ Result<QueryHandle> QueryScheduler::Submit(BoundQuery query,
     QueryHandle handle;
     handle.cancel_ = std::move(cancel);
     handle.future_ = std::move(future);
+    // The channel is shared with the Admitted entry: handle polls never
+    // touch scheduler state and stay valid after the pipeline is gone.
+    handle.progress_ = std::move(progress);
     return handle;
   }
 }
@@ -291,6 +301,11 @@ bool QueryScheduler::GatherLaunchBatch(Pipeline* pipeline,
               a.cancel = std::move(pend.cancel);
               a.enqueued = pend.enqueued;
               a.admitted = now;
+              if (pend.budget_seconds > 0) {
+                a.budget_deadline = now + FromSeconds(pend.budget_seconds);
+              }
+              a.progress = std::move(pend.progress);
+              a.on_progress = std::move(pend.on_progress);
               admitted->push_back(std::move(a));
             }
             pipeline->busy = true;
@@ -431,6 +446,32 @@ void QueryScheduler::EvictCancelled(BatchExecutor* executor,
   }
 }
 
+void QueryScheduler::EvictBudgetExpired(BatchExecutor* executor,
+                                        std::vector<Admitted>* admitted) {
+  const Clock::time_point now = Clock::now();
+  for (size_t i = 0; i < admitted->size(); ++i) {
+    Admitted& a = (*admitted)[i];
+    if (a.fulfilled || a.evict_attempted || a.budget_evict_attempted ||
+        now < a.budget_deadline) {
+      continue;
+    }
+    a.budget_evict_attempted = true;
+    const Status harvested = executor->EvictWithResult(i);
+    if (harvested.ok()) {
+      // The harvested best-effort item (status OK, match.best_effort)
+      // rides the normal delivery paths: the completion callback in
+      // eager mode, TakeItems at retire. Terminal accounting lands in
+      // budget_evicted ONLY — the future resolves OK, so Resolve()
+      // counts it as a plain completion, never deadline_exceeded or
+      // cancelled.
+      counters_.budget_evicted.fetch_add(1, std::memory_order_relaxed);
+    }
+    // !ok means the machine completed in this same chunk: the EXACT
+    // result exists and is delivered normally — a budget expiry never
+    // downgrades a finished result to a partial.
+  }
+}
+
 void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
                               int64_t num_blocks,
                               std::vector<Admitted>* admitted) {
@@ -500,6 +541,11 @@ void QueryScheduler::TryJoins(Pipeline* pipeline, BatchExecutor* executor,
     a.enqueued = pend.enqueued;
     a.admitted = Clock::now();
     a.joined_midflight = bound;
+    if (pend.budget_seconds > 0) {
+      a.budget_deadline = a.admitted + FromSeconds(pend.budget_seconds);
+    }
+    a.progress = std::move(pend.progress);
+    a.on_progress = std::move(pend.on_progress);
     admitted->push_back(std::move(a));
     if (bound) {
       counters_.joined_midflight.fetch_add(1, std::memory_order_relaxed);
@@ -606,6 +652,20 @@ void QueryScheduler::RunBatch(Pipeline* pipeline,
       ready.emplace_back(index, std::move(item));
     });
   }
+  // Anytime streaming: the executor emits per-query snapshots at every
+  // chunk boundary; route each to its query's consumers. Runs on THIS
+  // thread inside Step/EvictWithResult with no pipeline lock held (the
+  // promise-resolution discipline applies to progress publication too);
+  // `admitted` only grows, and only between Steps, so the index map is
+  // stable whenever the callback fires. A query that opted out costs
+  // one null check.
+  executor->SetProgressCallback(
+      [&admitted](size_t index, const ProgressUpdate& update) {
+        if (index >= admitted.size()) return;
+        Admitted& a = admitted[index];
+        if (a.progress != nullptr) a.progress->Publish(update);
+        if (a.on_progress) a.on_progress(update);
+      });
   const auto deliver_ready = [&] {
     for (auto& [index, item] : ready) {
       FASTMATCH_CHECK(index < admitted.size());
@@ -628,6 +688,7 @@ void QueryScheduler::RunBatch(Pipeline* pipeline,
     // scan suffix remains.
     ShedPending(pipeline);
     EvictCancelled(executor.get(), &admitted);
+    EvictBudgetExpired(executor.get(), &admitted);
     if (options_.allow_joins) {
       TryJoins(pipeline, executor.get(), num_blocks, &admitted);
     }
@@ -789,6 +850,7 @@ SchedulerStats QueryScheduler::stats() const {
       counters_.deadline_exceeded.load(std::memory_order_relaxed);
   s.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
   s.evicted = counters_.evicted.load(std::memory_order_relaxed);
+  s.budget_evicted = counters_.budget_evicted.load(std::memory_order_relaxed);
   s.unavailable = counters_.unavailable.load(std::memory_order_relaxed);
   s.pipelines_reaped =
       counters_.pipelines_reaped.load(std::memory_order_relaxed);

@@ -40,7 +40,8 @@
 //
 //   queued ──► admitted ──► delivered        (item.status: result or a
 //     │            │                          per-query error)
-//     │            └──► evicted               Cancelled
+//     │            ├──► evicted               Cancelled
+//     │            └──► budget-evicted        OK, best-effort result
 //     ├──► shed (deadline passed in queue)    DeadlineExceeded
 //     ├──► shed (cancelled in queue)          Cancelled
 //     └──► shed (scheduler tearing down)      Unavailable
@@ -48,7 +49,16 @@
 // Deadlines bound QUEUE time: a query that has not entered a scan when
 // its deadline passes is shed with DeadlineExceeded at the next
 // scheduling boundary (queue wait, chunk boundary, or launch). Once
-// admitted, a query runs to completion unless cancelled. Cancel() — or
+// admitted, a query runs to completion unless cancelled or past its
+// EXECUTION budget (SubmitOptions::budget_seconds, which starts at
+// admission): a budget expiry harvests the query at the next chunk
+// boundary into a best-effort result with honest non-exact error bars —
+// an OK answer, never an error (and never if the machine completed
+// first: the exact result always wins the race). Anytime streaming
+// rides the same chunk boundaries: a query submitted with
+// track_progress / on_progress surfaces its current top-k with
+// per-candidate Theorem-1 error bars (ProgressUpdate) after every chunk,
+// published by the driver with no pipeline lock held. Cancel() — or
 // abandoning the QueryHandle without taking its result — marks the
 // query; a queued query is shed, a running query is evicted from the
 // batch at the next chunk boundary (its template's contribution leaves
@@ -82,6 +92,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -150,8 +161,28 @@ struct SchedulerOptions {
 struct SubmitOptions {
   /// Queue-time budget, relative to Submit. A query still queued when
   /// the budget elapses is shed with DeadlineExceeded; once admitted
-  /// into a scan it runs to completion. <= 0 means no deadline.
+  /// into a scan it runs to completion (subject to budget_seconds).
+  /// <= 0 means no deadline.
   double deadline_seconds = 0;
+  /// EXECUTION budget, relative to admission into a scan (where
+  /// deadline_seconds stops). A query still running when the budget
+  /// elapses is evicted at the next chunk boundary and its future is
+  /// fulfilled with a best-effort result: status OK,
+  /// MatchResult::best_effort = true, and honest non-exact error bars
+  /// over the sample pooled so far — NOT DeadlineExceeded. A budget
+  /// expiry that races the machine's own completion loses benignly:
+  /// the completed exact result is delivered. <= 0 means no budget.
+  double budget_seconds = 0;
+  /// Allocate a poll channel for this query: QueryHandle::Progress()
+  /// then returns the latest anytime snapshot (see ProgressUpdate)
+  /// published at each chunk boundary of the query's scan.
+  bool track_progress = false;
+  /// Streaming variant: invoked at every chunk boundary with the
+  /// query's current anytime snapshot, and once more with
+  /// final_update = true mirroring the delivered result bit-for-bit
+  /// (OK terminals only). Runs on the store pipeline's driver thread —
+  /// it must be fast and must not call back into the scheduler.
+  std::function<void(const ProgressUpdate&)> on_progress;
 };
 
 /// \brief Counters describing scheduler behaviour (monotonic; snapshot
@@ -172,7 +203,13 @@ struct SchedulerStats {
   int64_t eager_delivered = 0;    // futures fulfilled before batch retire
   int64_t deadline_exceeded = 0;  // shed while queued, deadline passed
   int64_t cancelled = 0;          // terminal Cancelled (queued + evicted)
-  int64_t evicted = 0;            // removed from a running batch
+  int64_t evicted = 0;            // removed from a running batch (cancel)
+  // Execution budget expiries: queries harvested from a running batch
+  // with a best-effort result. These terminate OK (counted in
+  // `completed` like any delivered result) and NEVER under
+  // deadline_exceeded or cancelled — the budget path delivers an
+  // answer, not an error.
+  int64_t budget_evicted = 0;
   int64_t unavailable = 0;        // shed by scheduler teardown
   int64_t pipelines_reaped = 0;   // idle pipelines joined by the janitor
   // Stage-1 cache counters (all zero when the cache is disabled). These
@@ -231,6 +268,35 @@ struct SchedulerItem {
 
 class QueryScheduler;
 
+/// \brief Latest-value mailbox for one query's anytime snapshots: the
+/// pipeline driver publishes at each chunk boundary, any thread polls.
+/// Its mutex is a LEAF of the lock hierarchy (held only around the
+/// copy; Publish/Latest never take scheduler or pipeline locks), and
+/// the driver publishes with NO pipeline lock held — the same
+/// discipline as promise resolution.
+class ProgressChannel {
+ public:
+  /// \brief Replaces the latest snapshot (driver thread).
+  void Publish(const ProgressUpdate& update) FASTMATCH_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    latest_ = update;
+    has_update_ = true;
+  }
+
+  /// \brief The most recent snapshot, or nullopt before the first
+  /// publish. Safe from any thread.
+  std::optional<ProgressUpdate> Latest() const FASTMATCH_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    if (!has_update_) return std::nullopt;
+    return latest_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  ProgressUpdate latest_ FASTMATCH_GUARDED_BY(mu_);
+  bool has_update_ FASTMATCH_GUARDED_BY(mu_) = false;
+};
+
 /// \brief One query's cancellation state: a sticky flag plus a doorbell
 /// that wakes the query's pipeline driver so a cancelled QUEUED query
 /// is shed immediately instead of at the next flush wakeup.
@@ -287,6 +353,7 @@ class QueryHandle {
       if (future_.valid()) Cancel();
       cancel_ = std::move(other.cancel_);
       future_ = std::move(other.future_);
+      progress_ = std::move(other.progress_);
     }
     return *this;
   }
@@ -310,6 +377,16 @@ class QueryHandle {
   /// \brief Blocks for the terminal outcome. Valid exactly once.
   SchedulerItem Get() { return future_.get(); }
 
+  /// \brief The query's latest anytime snapshot, or nullopt before the
+  /// first chunk boundary of its scan (or when the query was submitted
+  /// without SubmitOptions::track_progress). Safe from any thread; never
+  /// blocks on the scan. The last snapshot before the future resolves
+  /// has final_update = true and mirrors the delivered result.
+  std::optional<ProgressUpdate> Progress() const {
+    if (progress_ == nullptr) return std::nullopt;
+    return progress_->Latest();
+  }
+
   /// \brief True until Get() consumes the outcome.
   bool valid() const { return future_.valid(); }
 
@@ -322,6 +399,7 @@ class QueryHandle {
   friend class QueryScheduler;
   std::shared_ptr<CancelToken> cancel_;
   std::future<SchedulerItem> future_;
+  std::shared_ptr<ProgressChannel> progress_;
 };
 
 /// \brief Routes a stream of BoundQuerys to per-store shared-scan
@@ -372,6 +450,11 @@ class QueryScheduler {
     Clock::time_point enqueued;
     /// Queue-time budget; time_point::max() when none.
     Clock::time_point deadline;
+    /// Execution budget (seconds, <= 0 none); starts at admission.
+    double budget_seconds = 0;
+    /// Progress consumers, carried from SubmitOptions into Admitted.
+    std::shared_ptr<ProgressChannel> progress;
+    std::function<void(const ProgressUpdate&)> on_progress;
     /// A mid-flight join was refused at least once. Counted into
     /// join_fallbacks only if the query actually launches in a fresh
     /// batch — a later chunk boundary may still join it (the driver
@@ -394,6 +477,13 @@ class QueryScheduler {
     /// Evict() already issued for this query; don't re-issue each
     /// chunk boundary.
     bool evict_attempted = false;
+    /// Execution-budget expiry instant; time_point::max() when none.
+    Clock::time_point budget_deadline = Clock::time_point::max();
+    /// EvictWithResult() already issued; don't re-issue each chunk.
+    bool budget_evict_attempted = false;
+    /// Progress consumers (null/empty when the query opted out).
+    std::shared_ptr<ProgressChannel> progress;
+    std::function<void(const ProgressUpdate&)> on_progress;
   };
 
   /// Per-store pipeline: bounded pending queue + driver thread.
@@ -456,6 +546,13 @@ class QueryScheduler {
                        bool eager);
   /// Issues Evict() for admitted queries whose cancel flag is set.
   void EvictCancelled(BatchExecutor* executor, std::vector<Admitted>* admitted);
+  /// Issues EvictWithResult() for admitted queries past their execution
+  /// budget: the harvested best-effort item (status OK,
+  /// MatchResult::best_effort) rides the normal delivery paths. A
+  /// budget expiry racing the machine's completion loses — the exact
+  /// result is delivered.
+  void EvictBudgetExpired(BatchExecutor* executor,
+                          std::vector<Admitted>* admitted);
   /// Looks the query's template up in the stage-1 cache and attaches
   /// the snapshot on a hit (no-op when the cache is disabled or the
   /// query already carries warm state). The consult is GENERATION-
@@ -499,6 +596,7 @@ class QueryScheduler {
     std::atomic<int64_t> deadline_exceeded{0};
     std::atomic<int64_t> cancelled{0};
     std::atomic<int64_t> evicted{0};
+    std::atomic<int64_t> budget_evicted{0};
     std::atomic<int64_t> unavailable{0};
     std::atomic<int64_t> pipelines_reaped{0};
     std::atomic<int64_t> joins_enabled_by_cache{0};

@@ -2,9 +2,10 @@
 // under TSan with elevated iterations).
 //
 // N producer threads submit / cancel / abandon queries with mixed
-// deadlines across K stores while the scheduler reaps idle pipelines on
-// a timeout shorter than the test's natural pauses — so admission,
-// eager delivery, eviction, shedding, reaping, and shutdown all race
+// deadlines and execution budgets across K stores while the scheduler
+// reaps idle pipelines on a timeout shorter than the test's natural
+// pauses — so admission, eager delivery, eviction, budget harvesting,
+// progress publication, shedding, reaping, and shutdown all race
 // for real. Half the queries carry each store's partition set, so
 // scatter-gather pipelines (keyed by the set's id, separate from the
 // plain store pipeline) churn through the same lifecycle storm. The RNG is seeded (FASTMATCH_STRESS_SEED) so failures
@@ -19,7 +20,17 @@
 //     with the correct top-k, a deadline query ends OK or
 //     DeadlineExceeded, a cancelled query ends OK or Cancelled (a
 //     cancel never corrupts a result that beat it), a malformed query
-//     ends InvalidArgument;
+//     ends InvalidArgument, and a budgeted query ends OK — either
+//     exact (completion won the race) or best-effort (harvested) —
+//     never DeadlineExceeded or Cancelled;
+//   * the terminal-state partition seals the ledger: the scheduler's
+//     per-code counters sum to the accepted submits, budget-harvested
+//     results count under budget_evicted and nowhere else, and only
+//     abandoned queries (whose terminal code nobody observes) leave
+//     slack between observed tallies and the counters;
+//   * progress channels opened mid-storm (track_progress on plain and
+//     budgeted queries) deliver: an OK result's poll channel ends on a
+//     final update matching the delivered distances bit-for-bit;
 //   * the process thread count stays bounded by pool size + pipelines
 //     + producers + slack throughout the churn (the SharedWorkerPool /
 //     reaping claim), sampled while the storm runs.
@@ -34,6 +45,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <random>
 #include <set>
 #include <thread>
@@ -79,12 +91,17 @@ HistSimParams StressParams(uint64_t seed) {
   return p;
 }
 
-enum class Action { kPlain, kDeadline, kCancel, kAbandon, kMalformed };
+enum class Action { kPlain, kDeadline, kCancel, kAbandon, kMalformed, kBudget };
 
 struct Outcome {
   Action action;
   StatusCode code;
   bool topk_ok = false;
+  bool best_effort = false;
+  // The poll channel's last update reproduced the delivered result
+  // (only meaningful when tracked && code == kOk).
+  bool tracked = false;
+  bool progress_final_ok = false;
 };
 
 TEST(LifecycleStressTest, RandomizedSubmitCancelAbandonChurn) {
@@ -130,6 +147,7 @@ TEST(LifecycleStressTest, RandomizedSubmitCancelAbandonChurn) {
     std::atomic<int64_t> accepted{0};
     std::atomic<int> max_threads{0};
     std::atomic<bool> storm_over{false};
+    SchedulerStats final_stats;
 
     {
       QueryScheduler scheduler(options);
@@ -179,6 +197,8 @@ TEST(LifecycleStressTest, RandomizedSubmitCancelAbandonChurn) {
             } else if (draw < 0.45) {
               action = Action::kMalformed;
               query.target = UniformDistribution(5);  // |VX| is 8
+            } else if (draw < 0.60) {
+              action = Action::kBudget;
             } else {
               action = Action::kPlain;
             }
@@ -188,6 +208,20 @@ TEST(LifecycleStressTest, RandomizedSubmitCancelAbandonChurn) {
               // 50us..2ms: some shed, some slip in before expiring.
               submit.deadline_seconds = 5e-5 + uni(rng) * 2e-3;
             }
+            if (action == Action::kBudget) {
+              // 50us..2ms: some harvested at the first chunk boundary,
+              // some only after real progress, some beaten by the
+              // machine completing — the evict-vs-completion race runs
+              // for real here.
+              submit.budget_seconds = 5e-5 + uni(rng) * 2e-3;
+            }
+            // Half the plain/budget traffic opens a progress channel,
+            // so chunk-boundary publication races eviction, joins, and
+            // eager delivery under TSan.
+            const bool tracked =
+                (action == Action::kPlain || action == Action::kBudget) &&
+                rng() % 2 == 0;
+            submit.track_progress = tracked;
             auto handle = scheduler.Submit(query, submit);
             if (!handle.ok()) {
               // Back-pressure is the only legal Submit-time refusal in
@@ -219,12 +253,27 @@ TEST(LifecycleStressTest, RandomizedSubmitCancelAbandonChurn) {
               }
               default: {
                 Outcome o{action, StatusCode::kOk, false};
+                o.tracked = tracked;
                 SchedulerItem item = handle->Get();
                 o.code = item.status.code();
                 if (item.status.ok()) {
                   std::set<int> got(item.match.topk.begin(),
                                     item.match.topk.end());
                   o.topk_ok = got == std::set<int>{0, 1, 2};
+                  o.best_effort = item.match.best_effort;
+                  if (tracked) {
+                    // An OK result's final update is published before
+                    // its future is fulfilled: the poll channel must
+                    // already hold it, bit-for-bit.
+                    const std::optional<ProgressUpdate> latest =
+                        handle->Progress();
+                    o.progress_final_ok = latest.has_value() &&
+                                          latest->final_update &&
+                                          latest->distances ==
+                                              item.match.distances &&
+                                          latest->error_bars ==
+                                              item.match.error_bars;
+                  }
                 }
                 outcomes[static_cast<size_t>(t)].push_back(o);
                 break;
@@ -263,22 +312,44 @@ TEST(LifecycleStressTest, RandomizedSubmitCancelAbandonChurn) {
       storm_over.store(true, std::memory_order_relaxed);
       monitor.join();
       scheduler.Shutdown();
+      final_stats = scheduler.stats();
     }
 
     // Lifecycle legality per category. Top-k quality is judged in
     // aggregate, not per query: HistSim's separation guarantee is
     // probabilistic (delta per query), so a small fraction of OK
     // results may legally rank a borderline candidate differently.
+    // Best-effort (budget-harvested) results are excluded from the
+    // quality aggregate — they claim only their error bars, whose
+    // honesty test_anytime pins against closed-form ground truth.
     int64_t ok_results = 0, wrong_topk = 0;
+    int64_t observed = 0, observed_deadline = 0, observed_cancelled = 0,
+            observed_best_effort = 0;
     for (const auto& per_thread : outcomes) {
       for (const Outcome& o : per_thread) {
-        if (o.code == StatusCode::kOk) {
+        ++observed;
+        observed_deadline += o.code == StatusCode::kDeadlineExceeded;
+        observed_cancelled += o.code == StatusCode::kCancelled;
+        observed_best_effort += o.code == StatusCode::kOk && o.best_effort;
+        if (o.code == StatusCode::kOk && !o.best_effort) {
           ++ok_results;
           wrong_topk += !o.topk_ok;
+        }
+        if (o.tracked && o.code == StatusCode::kOk) {
+          ASSERT_TRUE(o.progress_final_ok)
+              << "a tracked OK query's poll channel did not end on its "
+                 "delivered result";
         }
         switch (o.action) {
           case Action::kPlain:
             ASSERT_EQ(o.code, StatusCode::kOk);
+            ASSERT_FALSE(o.best_effort) << "harvest without a budget";
+            break;
+          case Action::kBudget:
+            // A budget is never an error: expiry harvests a
+            // best-effort OK result, and a completion that won the
+            // race delivers the exact one.
+            ASSERT_EQ(o.code, StatusCode::kOk) << StatusCodeName(o.code);
             break;
           case Action::kDeadline:
             ASSERT_TRUE(o.code == StatusCode::kOk ||
@@ -307,6 +378,35 @@ TEST(LifecycleStressTest, RandomizedSubmitCancelAbandonChurn) {
               0.25 * static_cast<double>(ok_results))
         << "round " << round << ": " << wrong_topk << "/" << ok_results
         << " OK results had a wrong top-k";
+
+    // Terminal-state partition: every accepted submit resolved under
+    // exactly one code, and the per-code counters reconcile with the
+    // observed outcomes. Only abandoned queries go unobserved (their
+    // auto-cancel ends OK or Cancelled), so they are the only slack;
+    // budget harvests count under budget_evicted and NOWHERE else —
+    // above all not under deadline_exceeded, the bug class this PR
+    // fixes.
+    const int64_t total = accepted.load(std::memory_order_relaxed);
+    const int64_t unobserved = total - observed;
+    ASSERT_GE(unobserved, 0);
+    EXPECT_EQ(final_stats.budget_evicted, observed_best_effort)
+        << "round " << round;
+    EXPECT_EQ(final_stats.deadline_exceeded, observed_deadline)
+        << "round " << round;
+    EXPECT_EQ(final_stats.unavailable, 0)
+        << "round " << round << ": all futures resolved before Shutdown";
+    EXPECT_GE(final_stats.cancelled, observed_cancelled) << "round " << round;
+    EXPECT_LE(final_stats.cancelled, observed_cancelled + unobserved)
+        << "round " << round;
+    const int64_t ok_or_invalid_terminals =
+        total - final_stats.deadline_exceeded - final_stats.cancelled -
+        final_stats.unavailable;
+    const int64_t observed_ok_or_invalid =
+        observed - observed_deadline - observed_cancelled;
+    EXPECT_GE(ok_or_invalid_terminals, observed_ok_or_invalid)
+        << "round " << round << ": the partition lost a terminal state";
+    EXPECT_LE(ok_or_invalid_terminals, observed_ok_or_invalid + unobserved)
+        << "round " << round << ": the partition double-counted";
 
     // Thread bound: shared pool workers + one driver per live pipeline
     // — up to two per store (plain + sharded), and old and new can

@@ -144,8 +144,16 @@ TEST(QuerySchedulerTest, EmptyTimeoutNeverLaunchesABatch) {
   ASSERT_TRUE(warm.ok());
   ExpectTop3(warm->Get());
   const int64_t batches_after_warm = scheduler.stats().batches_launched;
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
-  EXPECT_EQ(scheduler.stats().batches_launched, batches_after_warm);
+  // Condition-driven negative check: watch the counter across many
+  // multiples of the 1 ms flush window and fail fast on any spurious
+  // launch, instead of asserting once after a blind sleep (which on a
+  // loaded box can elapse before the flush timer ever runs).
+  const auto watch_until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(30);
+  while (std::chrono::steady_clock::now() < watch_until) {
+    ASSERT_EQ(scheduler.stats().batches_launched, batches_after_warm);
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
   // And the pipeline still accepts work afterwards.
   auto late = scheduler.Submit(MakeQuery(f, 2));
   ASSERT_TRUE(late.ok());
@@ -278,16 +286,23 @@ TEST(QuerySchedulerTest, SuffixFractionPolicyRefusesLateJoins) {
 
   BoundQuery slow = MakeQuery(f, 1);
   slow.params.epsilon = 0.03;
-  auto first = scheduler.Submit(std::move(slow));
+  SubmitOptions track;
+  track.track_progress = true;
+  auto first = scheduler.Submit(std::move(slow), track);
   ASSERT_TRUE(first.ok());
-  for (int spin = 0; scheduler.stats().batches_launched < 1 && spin < 10000;
-       ++spin) {
+  // Condition, not timing: a ProgressUpdate is published only at a
+  // chunk boundary, i.e. after the scan has consumed at least one
+  // block — from that moment the suffix fraction is < 1.0 for the rest
+  // of the batch and a join must be refused. (A blind sleep here let
+  // the follower slip in BEFORE the first chunk on a slow box, where
+  // the fraction is still exactly 1.0 and joining is legal.) If the
+  // batch already finished, the final update satisfies the wait and
+  // the follower lands in a fresh batch — still not a mid-flight join.
+  for (int spin = 0; !first->Progress().has_value() && spin < 10000; ++spin) {
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
-  // Give the scan time to consume its first chunk; whether the batch is
-  // still running (join refused) or already done (nothing to join), the
-  // follower must not be admitted mid-flight.
-  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(first->Progress().has_value())
+      << "scan never reached a chunk boundary";
   auto follower = scheduler.Submit(MakeQuery(f, 2));
   ASSERT_TRUE(follower.ok());
   SchedulerItem follower_item = follower->Get();
